@@ -1,0 +1,103 @@
+// Ablation: link faults. The paper's machinery supports node AND link
+// faults (Definition 2.4, footnote 1) but its simulations use node
+// faults only. This sweep compares: f node faults vs f bidirectional
+// link faults vs f single-direction link faults vs treating each faulty
+// link's endpoint as a faulty node (the crude reduction the paper warns
+// "introduces unnecessary additional faults").
+#include <cmath>
+#include <cstdio>
+
+#include "core/lamb.hpp"
+#include "expt/table.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+using namespace lamb;
+
+namespace {
+
+enum class FaultKind { kNode, kLink, kDirectedLink, kLinkAsNode };
+
+FaultSet make_faults(const MeshShape& shape, std::int64_t f, FaultKind kind,
+                     Rng& rng) {
+  if (kind == FaultKind::kNode) return FaultSet::random_nodes(shape, f, rng);
+  FaultSet out(shape);
+  std::int64_t added = 0;
+  while (added < f) {
+    const NodeId id = (NodeId)rng.below((std::uint64_t)shape.size());
+    const int dim = (int)rng.below((std::uint64_t)shape.dim());
+    const Point p = shape.point(id);
+    const Dir dir = rng.bernoulli(0.5) ? Dir::Pos : Dir::Neg;
+    Point other;
+    if (!shape.neighbor(p, dim, Dir::Pos, &other)) continue;
+    switch (kind) {
+      case FaultKind::kLink:
+        out.add_link(p, dim, Dir::Pos);
+        break;
+      case FaultKind::kDirectedLink:
+        // Same physical link, random direction of failure.
+        out.add_directed_link(dir == Dir::Pos ? p : other, dim, dir);
+        break;
+      case FaultKind::kLinkAsNode:
+        out.add_node(p);  // lower endpoint becomes a node fault
+        break;
+      case FaultKind::kNode:
+        break;
+    }
+    ++added;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  expt::print_banner(
+      "Ablation 11 (Definition 2.4, footnote 1)",
+      "lamb cost of node vs link vs directed-link faults",
+      "M_2(32) and M_3(16), f faults of each kind, 2 rounds");
+
+  struct Case {
+    MeshShape shape;
+    std::int64_t f;
+    int trials;
+  };
+  const std::vector<Case> cases{
+      {MeshShape::cube(2, 32), 31, scaled_trials(300)},
+      {MeshShape::cube(3, 16), 123, scaled_trials(50)}};
+  for (const auto& [shape, f, trials] : cases) {
+    std::printf("--- %s, f = %lld ---\n", shape.to_string().c_str(),
+                (long long)f);
+    expt::TableWriter table({"fault kind", "avg_lambs", "max_lambs",
+                             "avg_SES"},
+                            16);
+    table.print_header();
+    for (const auto& [kind, name] :
+         {std::pair{FaultKind::kNode, "node"},
+          std::pair{FaultKind::kLink, "link (bidir)"},
+          std::pair{FaultKind::kDirectedLink, "link (one-way)"},
+          std::pair{FaultKind::kLinkAsNode, "link-as-node"}}) {
+      Rng master(default_seed() ^ (shape.size() * (1 + (int)kind)));
+      Accumulator lambs, ses;
+      for (int t = 0; t < trials; ++t) {
+        Rng rng(master.child_seed((std::uint64_t)t));
+        const FaultSet faults = make_faults(shape, f, kind, rng);
+        const LambResult result = lamb1(shape, faults, {});
+        lambs.add((double)result.size());
+        ses.add((double)result.stats.p);
+      }
+      table.print_row({name, expt::TableWriter::num(lambs.mean(), 2),
+                       expt::TableWriter::integer((std::int64_t)lambs.max()),
+                       expt::TableWriter::num(ses.mean(), 1)});
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Link faults are strictly milder than node faults (a node fault\n"
+      "kills 2d links AND an endpoint); one-way link faults are milder\n"
+      "still. Promoting links to node faults -- what schemes without\n"
+      "native link-fault support must do -- inflates the damage, which is\n"
+      "why the library models links natively (paper footnote 1).\n");
+  return 0;
+}

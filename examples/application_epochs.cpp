@@ -1,0 +1,63 @@
+// End-to-end application lifecycle on a degrading machine, built on the
+// MachineManager (the paper's roll-back/reconfigure loop) and the
+// collective schedules: a bulk-synchronous application alternates
+// compute steps with all-reduce exchanges; every epoch the diagnostic
+// reports new faults, the manager reconfigures (monotone lamb growth),
+// and the application resumes on the surviving partition.
+#include <cstdio>
+
+#include "collective/schedule.hpp"
+#include "manager/machine_manager.hpp"
+#include "support/rng.hpp"
+#include "wormhole/route_builder.hpp"
+
+using namespace lamb;
+
+int main() {
+  manager::MachineManager mgr(MeshShape::cube(3, 10));  // 1000 nodes
+  Rng rng(20020416);
+  mgr.reconfigure();  // epoch 1: pristine machine
+
+  std::printf(
+      "bulk-synchronous application on %s across fault epochs\n"
+      "epoch | faults | lambs | survivors | allreduce cycles | solve ms\n",
+      mgr.shape().to_string().c_str());
+
+  for (int epoch = 1; epoch <= 6; ++epoch) {
+    if (epoch > 1) {
+      // The diagnostic reports a burst of failures.
+      int added = 0;
+      while (added < 15) {
+        const NodeId id = (NodeId)rng.below((std::uint64_t)mgr.shape().size());
+        if (mgr.faults().node_faulty(id)) continue;
+        mgr.report_node_fault(id);
+        ++added;
+      }
+      mgr.reconfigure();
+    }
+    const auto& report = mgr.history().back();
+
+    // One application step: all-reduce over the survivors.
+    const auto survivors = mgr.survivors();
+    const wormhole::RouteBuilder builder(
+        mgr.shape(), mgr.faults(), ascending_rounds(mgr.shape().dim(), 2));
+    const auto schedule = collective::recursive_doubling_exchange(survivors);
+    const auto result = collective::simulate_schedule(
+        mgr.shape(), mgr.faults(), schedule, builder, wormhole::SimConfig{},
+        /*message_flits=*/8, rng);
+    if (!result.sim.all_delivered() || result.sim.deadlocked) {
+      std::printf("FATAL: collective failed at epoch %d\n", epoch);
+      return 1;
+    }
+    std::printf("%5d | %6lld | %5lld | %9lld | %16lld | %8.1f\n", epoch,
+                (long long)report.total_faults, (long long)report.lambs_total,
+                (long long)report.survivors,
+                (long long)result.completion_cycles,
+                report.solve_seconds * 1e3);
+  }
+  std::printf(
+      "\nThe machine degrades gracefully: each epoch trades a handful of\n"
+      "lambs for guaranteed 2-round connectivity, and the application's\n"
+      "collective keeps completing without deadlock or rerouting logic.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Wormhole routing demo: runs survivor traffic through the flit-level
+// simulator on a faulty 8x8x8 mesh, with 2 rounds of XYZ routing on 2
+// virtual channels (the paper's Blue Gene configuration), and prints a
+// latency/turn report plus a visual slice of the mesh showing faults (#),
+// lambs (L), and survivors (.).
+#include <algorithm>
+#include <cstdio>
+
+#include "core/lamb.hpp"
+#include "support/rng.hpp"
+#include "wormhole/network.hpp"
+#include "wormhole/traffic.hpp"
+
+using namespace lamb;
+
+int main() {
+  const MeshShape shape = MeshShape::cube(3, 8);
+  Rng rng(77);
+  const FaultSet faults = FaultSet::random_nodes(shape, 20, rng);  // ~4%
+  const LambResult lambs = lamb1(shape, faults, {});
+  std::printf("mesh %s: %lld faults, %lld lambs\n",
+              shape.to_string().c_str(), (long long)faults.f(),
+              (long long)lambs.size());
+
+  // Draw the z = 0 and z = 1 planes.
+  for (Coord z = 0; z < 2; ++z) {
+    std::printf("plane z=%d:\n", z);
+    for (Coord y = 0; y < 8; ++y) {
+      std::printf("  ");
+      for (Coord x = 0; x < 8; ++x) {
+        const NodeId id = shape.index(Point{x, y, z});
+        char c = '.';
+        if (faults.node_faulty(id)) {
+          c = '#';
+        } else if (std::binary_search(lambs.lambs.begin(), lambs.lambs.end(),
+                                      id)) {
+          c = 'L';
+        }
+        std::printf("%c ", c);
+      }
+      std::printf("\n");
+    }
+  }
+
+  const wormhole::RouteBuilder builder(shape, faults, ascending_rounds(3, 2));
+  wormhole::TrafficConfig tc;
+  tc.pattern = wormhole::Pattern::kUniform;
+  tc.num_messages = 400;
+  tc.message_flits = 8;
+  tc.injection_gap = 1.0;
+  const auto traffic =
+      generate_traffic(shape, faults, lambs.lambs, builder, tc, rng);
+  std::printf("\ntraffic: %zu messages, %lld unroutable (must be 0)\n",
+              traffic.messages.size(), (long long)traffic.unroutable);
+
+  wormhole::SimConfig config;
+  config.vcs_per_link = 2;   // one per round: deadlock-free by design
+  config.buffer_flits = 4;
+  wormhole::Network net(shape, faults, config);
+  for (const auto& m : traffic.messages) net.submit(m);
+  const auto result = net.run();
+
+  std::printf("delivered %lld/%lld in %lld cycles (deadlock: %s)\n",
+              (long long)result.delivered, (long long)result.total_messages,
+              (long long)result.cycles, result.deadlocked ? "YES" : "no");
+  std::printf("latency  avg %.1f  min %.0f  max %.0f cycles\n",
+              result.latency.mean(), result.latency.min(),
+              result.latency.max());
+  std::printf("hops     avg %.1f  max %.0f\n", result.hops.mean(),
+              result.hops.max());
+  std::printf("turns    avg %.1f  max %.0f (bound for 3D, 2 rounds: 5)\n",
+              result.turns.mean(), result.turns.max());
+  std::printf("throughput %.2f flits/cycle\n", result.flit_throughput);
+  return 0;
+}

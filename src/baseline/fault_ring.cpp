@@ -1,0 +1,95 @@
+#include "baseline/fault_ring.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace lamb::baseline {
+
+FaultRingRouter::FaultRingRouter(const MeshShape& shape,
+                                 std::vector<RectSet> regions)
+    : shape_(&shape), regions_(std::move(regions)) {
+  if (shape.dim() != 2) {
+    throw std::invalid_argument("FaultRingRouter: 2D meshes only");
+  }
+}
+
+const RectSet* FaultRingRouter::blocking_region(const Point& p) const {
+  for (const RectSet& r : regions_) {
+    if (r.contains(p)) return &r;
+  }
+  return nullptr;
+}
+
+std::optional<RingRoute> FaultRingRouter::route(const Point& src,
+                                                const Point& dst) const {
+  RingRoute out;
+  out.nodes.push_back(src);
+  Point cur = src;
+  int last_dim = -1;
+  const std::int64_t step_budget = 8 * shape_->size();
+  std::int64_t steps = 0;
+
+  auto step_to = [&](Point next, int dim) {
+    if (last_dim >= 0 && dim != last_dim) ++out.turns;
+    last_dim = dim;
+    cur = next;
+    out.nodes.push_back(cur);
+  };
+
+  // Moves one step along `dim` toward coordinate `target`; on hitting a
+  // region, detours around it along the ring in the feasible Y (resp. X)
+  // direction that is closer, then resumes.
+  auto advance = [&](int dim, Coord target) -> bool {
+    while (cur[dim] != target) {
+      if (++steps > step_budget) return false;
+      const Dir dir = target > cur[dim] ? Dir::Pos : Dir::Neg;
+      Point next = cur;
+      next[dim] += static_cast<Coord>(dir_sign(dir));
+      const RectSet* region = blocking_region(next);
+      if (region == nullptr) {
+        step_to(next, dim);
+        continue;
+      }
+      // Detour along the other dimension past the region's extent.
+      const int other = 1 - dim;
+      const Coord above = static_cast<Coord>(region->lo(other) - 1);
+      const Coord below = static_cast<Coord>(region->hi(other) + 1);
+      Coord ring_target;
+      const bool above_ok = above >= 0;
+      const bool below_ok = below < shape_->width(other);
+      if (above_ok && below_ok) {
+        ring_target =
+            std::abs(cur[other] - above) <= std::abs(cur[other] - below)
+                ? above
+                : below;
+      } else if (above_ok) {
+        ring_target = above;
+      } else if (below_ok) {
+        ring_target = below;
+      } else {
+        return false;  // region spans the full mesh in `other`
+      }
+      while (cur[other] != ring_target) {
+        if (++steps > step_budget) return false;
+        const Dir ring_dir = ring_target > cur[other] ? Dir::Pos : Dir::Neg;
+        Point ring_next = cur;
+        ring_next[other] += static_cast<Coord>(dir_sign(ring_dir));
+        if (blocking_region(ring_next) != nullptr) return false;  // rings touch
+        step_to(ring_next, other);
+      }
+    }
+    return true;
+  };
+
+  // A detour during the Y phase displaces X, so alternate phases until
+  // both coordinates match (the step budget bounds pathological cases).
+  while (cur != dst) {
+    const Point before = cur;
+    if (!advance(0, dst[0])) return std::nullopt;
+    if (!advance(1, dst[1])) return std::nullopt;
+    if (cur == before && cur != dst) return std::nullopt;  // wedged
+  }
+  return out;
+}
+
+}  // namespace lamb::baseline

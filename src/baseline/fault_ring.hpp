@@ -1,0 +1,45 @@
+// Simplified 2D fault-ring (f-cube style) router, used ONLY to account
+// for the turn counts the paper's introduction contrasts with the lamb
+// approach: "there is a fault set on a 2D n x n mesh that causes some
+// routes to use a constant times n turns". The router performs XY routing
+// and, on hitting a rectangular fault region, detours around it along the
+// region boundary (the fault ring), which adds turns per region skirted.
+// Lamb routes, by contrast, make at most k*(d-1) + (k-1) turns total.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "mesh/rect_set.hpp"
+
+namespace lamb::baseline {
+
+struct RingRoute {
+  std::vector<Point> nodes;  // visited nodes, src first, dst last
+  int turns = 0;
+  std::int64_t hops() const {
+    return static_cast<std::int64_t>(nodes.size()) - 1;
+  }
+};
+
+class FaultRingRouter {
+ public:
+  // `regions` must be disjoint rectangular blocks that do not touch the
+  // mesh boundary on both sides of any dimension (otherwise no detour
+  // exists). 2D meshes only.
+  FaultRingRouter(const MeshShape& shape, std::vector<RectSet> regions);
+
+  // XY route from src to dst detouring around regions; nullopt when the
+  // step budget is exhausted (disconnected or pathological input).
+  std::optional<RingRoute> route(const Point& src, const Point& dst) const;
+
+ private:
+  const RectSet* blocking_region(const Point& p) const;
+
+  const MeshShape* shape_;
+  std::vector<RectSet> regions_;
+};
+
+}  // namespace lamb::baseline

@@ -1,0 +1,55 @@
+#include "baseline/patterns.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lamb::baseline {
+
+FaultSet comb_faults(const MeshShape& shape) {
+  if (shape.dim() != 2) {
+    throw std::invalid_argument("comb_faults: 2D meshes only");
+  }
+  const Coord n = shape.width(0);
+  FaultSet out(shape);
+  for (Coord x = 1; x + 1 < n; x += 2) {
+    const bool attach_top = ((x - 1) / 2) % 2 == 0;
+    const Coord y_lo = attach_top ? 0 : 1;
+    const Coord y_hi = attach_top ? shape.width(1) - 2 : shape.width(1) - 1;
+    for (Coord y = y_lo; y <= y_hi; ++y) {
+      out.add_node(Point{x, y});
+    }
+  }
+  return out;
+}
+
+FaultSet clustered_faults(const MeshShape& shape, int clusters, int max_side,
+                          Rng& rng) {
+  FaultSet out(shape);
+  for (int c = 0; c < clusters; ++c) {
+    Point lo, side;
+    for (int j = 0; j < shape.dim(); ++j) {
+      side[j] = static_cast<Coord>(
+          1 + rng.below(static_cast<std::uint64_t>(max_side)));
+      side[j] = std::min(side[j], shape.width(j));
+      lo[j] = static_cast<Coord>(
+          rng.below(static_cast<std::uint64_t>(shape.width(j) - side[j] + 1)));
+    }
+    // Enumerate the block (dimension-generic odometer).
+    Point cur = lo;
+    while (true) {
+      out.add_node(cur);
+      int j = 0;
+      for (; j < shape.dim(); ++j) {
+        if (cur[j] + 1 < lo[j] + side[j]) {
+          ++cur[j];
+          break;
+        }
+        cur[j] = lo[j];
+      }
+      if (j == shape.dim()) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace lamb::baseline

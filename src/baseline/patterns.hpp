@@ -1,0 +1,29 @@
+// Structured fault patterns used by comparisons and adversarial demos:
+//   * the "comb": alternating near-full fault columns that force fault-
+//     ring routing into Theta(n) turns across a 2D mesh (the paper's
+//     introduction uses exactly such a construction to motivate bounding
+//     turns);
+//   * clustered random faults: rectangular fault blobs, the favourable
+//     regime for region-based baselines, for a fair inactivation-vs-lamb
+//     comparison.
+#pragma once
+
+#include <cstdint>
+
+#include "mesh/fault_set.hpp"
+#include "mesh/mesh.hpp"
+#include "support/rng.hpp"
+
+namespace lamb::baseline {
+
+// Vertical fault columns at x = 2t + 1 alternately attached to the top
+// (y in [0, n-2]) and bottom (y in [1, n-1]) edges of M_2(n). Any
+// west-to-east route must snake, costing ~2 turns per column.
+FaultSet comb_faults(const MeshShape& shape);
+
+// `clusters` random axis-aligned blocks with side lengths in
+// [1, max_side]; overlapping blocks simply union. Total faults vary.
+FaultSet clustered_faults(const MeshShape& shape, int clusters, int max_side,
+                          Rng& rng);
+
+}  // namespace lamb::baseline

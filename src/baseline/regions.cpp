@@ -1,0 +1,79 @@
+#include "baseline/regions.hpp"
+
+#include <algorithm>
+
+namespace lamb::baseline {
+
+namespace {
+
+bool dilated_overlap(const RectSet& a, const RectSet& b, int separation) {
+  for (int j = 0; j < a.dim(); ++j) {
+    if (a.hi(j) + separation < b.lo(j) || b.hi(j) + separation < a.lo(j)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+RectSet bounding_box(const RectSet& a, const RectSet& b) {
+  RectSet out = a;
+  for (int j = 0; j < a.dim(); ++j) {
+    out.clamp(j, std::min(a.lo(j), b.lo(j)), std::max(a.hi(j), b.hi(j)));
+  }
+  return out;
+}
+
+RectSet unit_box(const MeshShape& shape, const Point& p) {
+  RectSet box(shape);
+  for (int j = 0; j < shape.dim(); ++j) box.clamp(j, p[j], p[j]);
+  return box;
+}
+
+}  // namespace
+
+BlockFaultModel rectangular_fault_regions(const MeshShape& shape,
+                                          const FaultSet& faults,
+                                          int separation) {
+  std::vector<RectSet> boxes;
+  for (NodeId id : faults.node_faults()) {
+    boxes.push_back(unit_box(shape, shape.point(id)));
+  }
+  for (const LinkFault& lf : faults.link_faults()) {
+    boxes.push_back(unit_box(shape, lf.from));
+    Point other;
+    if (shape.neighbor(lf.from, lf.dim, lf.dir, &other)) {
+      boxes.push_back(unit_box(shape, other));
+    }
+  }
+
+  // Greedy absorb-in-place passes until fixpoint; each pass is O(B^2) and
+  // only a few passes are ever needed because merging is monotone.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t a = 0; a < boxes.size(); ++a) {
+      std::size_t b = a + 1;
+      while (b < boxes.size()) {
+        if (dilated_overlap(boxes[a], boxes[b], separation)) {
+          boxes[a] = bounding_box(boxes[a], boxes[b]);
+          boxes[b] = boxes.back();
+          boxes.pop_back();
+          changed = true;
+        } else {
+          ++b;
+        }
+      }
+    }
+  }
+
+  BlockFaultModel out;
+  std::int64_t volume = 0;
+  for (const RectSet& box : boxes) volume += box.size();
+  out.regions = std::move(boxes);
+  out.inactivated = volume - faults.num_node_faults();
+  // Link-fault endpoints are good nodes already counted in the volume, so
+  // no further adjustment is needed.
+  return out;
+}
+
+}  // namespace lamb::baseline

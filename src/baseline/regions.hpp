@@ -1,0 +1,34 @@
+// Rectangular fault-region preconditioning, the alternative the paper
+// compares against (Section 1): routing schemes like Boppana-Chalasani
+// [4] require fault regions to be rectangular (and their fault rings not
+// to overlap), which for arbitrary fault placements forces additional
+// good nodes to be INACTIVATED — unusable for processing *and* routing,
+// strictly worse than a lamb. The paper poses the open question of how
+// the inactivation count compares with the lamb count; the
+// abl04_inactivation_vs_lambs bench measures it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/fault_set.hpp"
+#include "mesh/mesh.hpp"
+#include "mesh/rect_set.hpp"
+
+namespace lamb::baseline {
+
+struct BlockFaultModel {
+  std::vector<RectSet> regions;    // disjoint rectangular fault regions
+  std::int64_t inactivated = 0;    // good nodes swallowed by the regions
+};
+
+// Grows the fault set into rectangular regions: every faulty node (and
+// both endpoints of every faulty link) seeds a unit box; boxes whose
+// `separation`-dilations overlap are merged into their bounding box until
+// fixpoint. separation = 1 keeps regions disconnected; separation = 2
+// additionally keeps their fault rings disjoint (the [4] requirement).
+BlockFaultModel rectangular_fault_regions(const MeshShape& shape,
+                                          const FaultSet& faults,
+                                          int separation = 2);
+
+}  // namespace lamb::baseline

@@ -1,0 +1,72 @@
+#include "core/bit_matrix.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace lamb {
+
+BitMatrix::BitMatrix(std::int64_t rows, std::int64_t cols)
+    : rows_(rows),
+      cols_(cols),
+      words_per_row_((cols + 63) / 64),
+      data_(static_cast<std::size_t>(rows * words_per_row_), 0) {}
+
+std::int64_t BitMatrix::count_ones() const {
+  std::int64_t total = 0;
+  for (std::uint64_t w : data_) total += std::popcount(w);
+  return total;
+}
+
+bool BitMatrix::row_full(std::int64_t i) const {
+  const std::uint64_t* row = &data_[static_cast<std::size_t>(i * words_per_row_)];
+  for (std::int64_t wi = 0; wi < words_per_row_; ++wi) {
+    const std::int64_t bits_here =
+        wi == words_per_row_ - 1 && (cols_ & 63) != 0 ? (cols_ & 63) : 64;
+    const std::uint64_t mask =
+        bits_here == 64 ? ~std::uint64_t{0}
+                        : ((std::uint64_t{1} << bits_here) - 1);
+    if ((row[wi] & mask) != mask) return false;
+  }
+  return true;
+}
+
+Bits BitMatrix::column_all() const {
+  Bits acc(cols_);
+  if (rows_ == 0) return acc;
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(words_per_row_),
+                                   ~std::uint64_t{0});
+  for (std::int64_t i = 0; i < rows_; ++i) {
+    const std::uint64_t* row = &data_[static_cast<std::size_t>(i * words_per_row_)];
+    for (std::int64_t wi = 0; wi < words_per_row_; ++wi) {
+      words[static_cast<std::size_t>(wi)] &= row[wi];
+    }
+  }
+  for (std::int64_t j = 0; j < cols_; ++j) {
+    if ((words[static_cast<std::size_t>(j >> 6)] >> (j & 63)) & 1) acc.set(j);
+  }
+  return acc;
+}
+
+BitMatrix BitMatrix::multiply(const BitMatrix& a, const BitMatrix& b) {
+  assert(a.cols_ == b.rows_);
+  BitMatrix out(a.rows_, b.cols_);
+  const std::int64_t out_words = out.words_per_row_;
+  for (std::int64_t i = 0; i < a.rows_; ++i) {
+    std::uint64_t* out_row = &out.data_[static_cast<std::size_t>(i * out_words)];
+    const std::uint64_t* a_row =
+        &a.data_[static_cast<std::size_t>(i * a.words_per_row_)];
+    for (std::int64_t wi = 0; wi < a.words_per_row_; ++wi) {
+      std::uint64_t w = a_row[wi];
+      while (w != 0) {
+        const std::int64_t k = wi * 64 + std::countr_zero(w);
+        w &= w - 1;
+        const std::uint64_t* b_row =
+            &b.data_[static_cast<std::size_t>(k * b.words_per_row_)];
+        for (std::int64_t wo = 0; wo < out_words; ++wo) out_row[wo] |= b_row[wo];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lamb

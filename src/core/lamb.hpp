@@ -1,0 +1,85 @@
+// The lamb problem solvers (paper Sections 5, 6, 7).
+//
+// A lamb set L is a set of good nodes such that every good node outside L
+// (a "survivor") can reach every survivor in k rounds of dimension-ordered
+// routing; lambs may still be routed *through*, they just cannot be
+// message endpoints (Definition 2.6). The solvers return a small lamb set:
+//
+//   * Lamb1 (Figure 14): SES/DES partitions -> R^(k) -> bipartite WVC
+//     solved optimally by min-cut. A 2-approximation of the minimum lamb
+//     set, in time O(k d^3 f^3 + |L|), independent of the mesh size
+//     (Theorem 6.7).
+//   * Lamb2 (Figure 16): reduction to WVC on a general graph over the
+//     nonempty SES-DES intersections. With an r-approximate WVC solver it
+//     is an r-approximation (Theorem 6.9); with the exact solver it is
+//     optimal (Corollary 6.10) at exponential worst-case cost.
+//
+// Section 7 extensions supported by both: per-node values (partially
+// failed nodes are cheaper to sacrifice), predetermined lambs (the new
+// lamb set must contain a given set), arbitrary per-round orderings, and
+// hypercubes M_d(2). Tori are served by the generic solver (see
+// generic/generic_solver.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/reach_matrices.hpp"
+#include "mesh/fault_set.hpp"
+#include "mesh/mesh.hpp"
+#include "reach/dim_order.hpp"
+
+namespace lamb {
+
+struct LambOptions {
+  // Number k of routing rounds; ignored when `orders` is set.
+  int rounds = 2;
+  // Explicit per-round orderings; defaults to ascending (XY.../e-cube) in
+  // every round, the configuration of all the paper's simulations.
+  std::optional<MultiRoundOrder> orders;
+  // Optional per-node value in [0, 1] (Section 7); size must equal the
+  // mesh size. Default value is 1 for every node.
+  const std::vector<double>* node_values = nullptr;
+  // Nodes that must be lambs in the output (Section 7); must be good.
+  std::vector<NodeId> predetermined;
+  // R^(k) computation strategy (footnote 7: matrices for small f, flood
+  // "spanning trees" when f is comparable to the mesh size).
+  ReachBackend backend = ReachBackend::kAuto;
+
+  MultiRoundOrder resolved_orders(int dim) const {
+    return orders ? *orders : ascending_rounds(dim, rounds);
+  }
+};
+
+struct LambStats {
+  std::int64_t p = 0;  // |SES partition| of round 1
+  std::int64_t q = 0;  // |DES partition| of round k
+  std::int64_t relevant_ses = 0;
+  std::int64_t relevant_des = 0;
+  double cover_weight = 0.0;
+  double seconds_partition = 0.0;
+  double seconds_matrices = 0.0;
+  double seconds_cover = 0.0;
+  double rk_density = 0.0;
+};
+
+struct LambResult {
+  std::vector<NodeId> lambs;  // sorted, unique
+  LambStats stats;
+
+  std::int64_t size() const { return static_cast<std::int64_t>(lambs.size()); }
+  double value(const LambOptions& opts) const;
+};
+
+// Algorithm Lamb1 (2-approximation, polynomial time).
+LambResult lamb1(const MeshShape& shape, const FaultSet& faults,
+                 const LambOptions& options = {});
+
+// Algorithm Lamb2. `exact` selects the exponential exact WVC solver
+// (optimal lamb set, Corollary 6.10); otherwise the linear-time
+// local-ratio 2-approximation of Bar-Yehuda & Even is used.
+LambResult lamb2(const MeshShape& shape, const FaultSet& faults,
+                 const LambOptions& options = {}, bool exact = false);
+
+}  // namespace lamb

@@ -1,0 +1,173 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace lamb {
+
+std::int64_t EquivPartition::find(const Point& p) const {
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    if (sets[i].contains(p)) return static_cast<std::int64_t>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+// Recursive worker shared by the SES and DES variants. `peel` lists the
+// dimensions from outermost (peeled first; the last-routed dimension for
+// an SES partition) to innermost. `box` carries the constants fixed by
+// enclosing levels. Fault lists are pre-filtered to the current submesh.
+class PartitionBuilder {
+ public:
+  PartitionBuilder(const MeshShape& shape, std::vector<int> peel)
+      : shape_(shape), peel_(std::move(peel)) {}
+
+  EquivPartition run(const FaultSet& faults) {
+    std::vector<Point> nodes;
+    nodes.reserve(faults.node_faults().size());
+    for (NodeId id : faults.node_faults()) nodes.push_back(shape_.point(id));
+    EquivPartition out;
+    RectSet box(shape_);
+    recurse(0, box, nodes, faults.link_faults(), &out);
+    return out;
+  }
+
+ private:
+  // Coordinate of the lower endpoint of a link fault in its own dimension
+  // (the cut lies between `low_end` and `low_end + 1`).
+  static Coord low_end(const LinkFault& lf) {
+    return lf.dir == Dir::Pos ? lf.from[lf.dim] : lf.from[lf.dim] - 1;
+  }
+
+  void recurse(std::size_t level, RectSet& box, const std::vector<Point>& nodes,
+               const std::vector<LinkFault>& links, EquivPartition* out) {
+    const int j = peel_[level];
+    const Coord width = shape_.width(j);
+    const bool innermost = level + 1 == peel_.size();
+
+    // Positions blocked at this level: node faults always; link faults
+    // along deeper (not yet peeled) dimensions also (they go to H and are
+    // pushed into the recursion). At the innermost level there are no
+    // deeper dimensions, so only dimension-j link faults remain and they
+    // act as cuts.
+    std::vector<char> blocked(static_cast<std::size_t>(width), 0);
+    std::vector<char> cut(static_cast<std::size_t>(width), 0);
+    for (const Point& p : nodes) blocked[static_cast<std::size_t>(p[j])] = 1;
+    for (const LinkFault& lf : links) {
+      if (lf.dim == j) {
+        cut[static_cast<std::size_t>(low_end(lf))] = 1;
+      } else {
+        blocked[static_cast<std::size_t>(lf.from[j])] = 1;
+      }
+    }
+
+    if (!innermost) {
+      // Step 2(b): recurse into every blocked hyperplane.
+      for (Coord c = 0; c < width; ++c) {
+        if (!blocked[static_cast<std::size_t>(c)]) continue;
+        std::vector<Point> sub_nodes;
+        for (const Point& p : nodes) {
+          if (p[j] == c) sub_nodes.push_back(p);
+        }
+        std::vector<LinkFault> sub_links;
+        for (const LinkFault& lf : links) {
+          if (lf.dim != j && lf.from[j] == c) sub_links.push_back(lf);
+        }
+        if (sub_nodes.empty() && sub_links.empty()) continue;  // impossible
+        box.clamp(j, c, c);
+        recurse(level + 1, box, sub_nodes, sub_links, out);
+        box.clamp(j, 0, width - 1);
+      }
+    }
+
+    // Steps 1 / 2(c)+2(d): maximal fault-free intervals over the unblocked
+    // positions, additionally split at dimension-j link-fault cuts.
+    Coord start = -1;
+    for (Coord c = 0; c <= width; ++c) {
+      const bool usable =
+          c < width && !blocked[static_cast<std::size_t>(c)];
+      if (usable && start < 0) start = c;
+      const bool interval_ends =
+          start >= 0 &&
+          (!usable || (c < width && cut[static_cast<std::size_t>(c)]));
+      if (interval_ends) {
+        // Ending on a cut keeps position c in this interval; ending on a
+        // blocked position (or the c == width sentinel) does not.
+        const Coord end = usable ? c : c - 1;
+        RectSet set = box;
+        set.clamp(j, start, end);
+        out->sets.push_back(set);
+        start = -1;
+      }
+    }
+    // The trailing interval is flushed by the c == width sentinel above.
+  }
+
+  const MeshShape& shape_;
+  std::vector<int> peel_;
+};
+
+std::vector<int> peel_for_ses(const DimOrder& order) {
+  std::vector<int> peel(static_cast<std::size_t>(order.dim()));
+  for (int t = 0; t < order.dim(); ++t) {
+    peel[static_cast<std::size_t>(t)] = order.at(order.dim() - 1 - t);
+  }
+  return peel;
+}
+
+std::vector<int> peel_for_des(const DimOrder& order) {
+  std::vector<int> peel(static_cast<std::size_t>(order.dim()));
+  for (int t = 0; t < order.dim(); ++t) {
+    peel[static_cast<std::size_t>(t)] = order.at(t);
+  }
+  return peel;
+}
+
+void require_mesh(const MeshShape& shape) {
+  if (shape.wraps()) {
+    throw std::invalid_argument(
+        "rectangular SES/DES partitions require a (non-wrapping) mesh; use "
+        "the generic solver for tori");
+  }
+}
+
+}  // namespace
+
+EquivPartition find_ses_partition(const MeshShape& shape,
+                                  const FaultSet& faults,
+                                  const DimOrder& order) {
+  require_mesh(shape);
+  return PartitionBuilder(shape, peel_for_ses(order)).run(faults);
+}
+
+EquivPartition find_des_partition(const MeshShape& shape,
+                                  const FaultSet& faults,
+                                  const DimOrder& order) {
+  require_mesh(shape);
+  return PartitionBuilder(shape, peel_for_des(order)).run(faults);
+}
+
+std::int64_t theorem64_bound(const MeshShape& shape, std::int64_t f,
+                             const DimOrder& order) {
+  const int d = shape.dim();
+  std::int64_t total = f + 1;
+  // Widths listed in routing order: m_i = width of the i-th routed dim.
+  // Term j (2 <= j <= d): min(2f, m_d m_{d-1} ... m_{j+1} (m_j - 1)).
+  for (int j = 2; j <= d; ++j) {
+    std::int64_t prod = shape.width(order.at(j - 1)) - 1;
+    for (int i = j + 1; i <= d; ++i) {
+      prod *= shape.width(order.at(i - 1));
+      if (prod >= 2 * f) break;  // saturated; min picks 2f anyway
+    }
+    total += std::min<std::int64_t>(2 * f, prod);
+  }
+  return total;
+}
+
+std::int64_t coarse_partition_bound(int d, std::int64_t f) {
+  return (2 * d - 1) * f + 1;
+}
+
+}  // namespace lamb

@@ -1,0 +1,64 @@
+// Find-Reachability (paper Section 6.2, Figure 12): builds the per-round
+// 1-round reachability matrices R_t between SES and DES representatives,
+// the intersection matrices I_t, and their Boolean product
+// R^(k) = R1 I1 R2 I2 ... I_{k-1} R_k, whose zeros are exactly the
+// (SES, DES) pairs that cannot communicate in k rounds (Lemma 5.1
+// generalized).
+#pragma once
+
+#include <vector>
+
+#include "core/bit_matrix.hpp"
+#include "core/partition.hpp"
+#include "reach/reach_oracle.hpp"
+
+namespace lamb {
+
+// R_t(i, j) = 1 iff rep(ses[i]) can (F, order)-reach rep(des[j]).
+BitMatrix one_round_reach_matrix(const ReachOracle& oracle,
+                                 const EquivPartition& ses,
+                                 const EquivPartition& des,
+                                 const DimOrder& order);
+
+// I_t(j, i) = 1 iff des_prev[j] and ses_next[i] share a node.
+BitMatrix intersection_matrix(const EquivPartition& des_prev,
+                              const EquivPartition& ses_next);
+
+// Everything the lamb solvers need about reachability, for one fault set.
+struct ReachComputation {
+  // Per distinct round ordering; round t uses partition index round_part[t].
+  std::vector<EquivPartition> ses;
+  std::vector<EquivPartition> des;
+  std::vector<int> round_part;  // size k
+  BitMatrix rk;                 // p_1 x q_k k-round reachability
+  double seconds_partition = 0.0;
+  double seconds_matrices = 0.0;
+
+  const EquivPartition& first_ses() const {
+    return ses[static_cast<std::size_t>(round_part.front())];
+  }
+  const EquivPartition& last_des() const {
+    return des[static_cast<std::size_t>(round_part.back())];
+  }
+};
+
+// How R^(k) is computed.
+//   kMatrix: the Section 6.2 chain of Boolean matrix products — time
+//            polynomial in f, independent of the mesh size N.
+//   kFlood:  one k-round set-valued flood ("spanning tree", footnote 7)
+//            per SES representative — time O(p * k * d * N), superior
+//            when f is large relative to N (e.g. the Section 9 gadgets).
+//   kAuto:   picks kFlood when the estimated product cost q^2/64 exceeds
+//            the estimated flood cost 2 k d N per representative.
+enum class ReachBackend { kAuto, kMatrix, kFlood };
+
+// Runs Find-SES/DES-Partition for each distinct ordering in `orders` and
+// computes R^(k) with the chosen backend. Identical orderings share one
+// partition and one R_t, the simplification the paper notes at the end
+// of Section 6.2.
+ReachComputation compute_reachability(const MeshShape& shape,
+                                      const FaultSet& faults,
+                                      const MultiRoundOrder& orders,
+                                      ReachBackend backend = ReachBackend::kAuto);
+
+}  // namespace lamb

@@ -1,0 +1,173 @@
+#include "core/theory.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "support/bitset.hpp"
+
+namespace lamb {
+
+double thm31_lower_bound(int n, int f) {
+  const double nd = n;
+  const double fd = f;
+  return fd * nd * nd / 4.0 - fd * fd * nd / 4.0 + fd * fd * fd / 12.0 - fd;
+}
+
+std::int64_t thm31_process_sample(int n, int f, Rng& rng) {
+  const MeshShape shape = MeshShape::cube(3, n);
+  Bits sacrificed(shape.size());
+
+  // A(u) = { (x, y, z0) : any x, y <= y0, y < (n-1)/2 }.
+  auto mark_a = [&](Coord x0, Coord y0, Coord z0) {
+    (void)x0;
+    for (Coord y = 0; y <= y0 && 2 * y < n - 1; ++y) {
+      for (Coord x = 0; x < n; ++x) {
+        sacrificed.set(shape.index(Point{x, y, z0}));
+      }
+    }
+  };
+  // B(u) = { (x0, y, z) : any z, y >= y0, y > (n-1)/2 }.
+  auto mark_b = [&](Coord x0, Coord y0, Coord z0) {
+    (void)z0;
+    for (Coord y = y0 < 0 ? 0 : y0; y < n; ++y) {
+      if (2 * y <= n - 1) continue;
+      for (Coord z = 0; z < n; ++z) {
+        sacrificed.set(shape.index(Point{x0, y, z}));
+      }
+    }
+  };
+
+  std::vector<char> used_x(static_cast<std::size_t>(n), 0);
+  std::vector<char> used_z(static_cast<std::size_t>(n), 0);
+  std::vector<NodeId> accepted_faults;
+  for (int i = 0; i < f; ++i) {
+    const Coord x = static_cast<Coord>(rng.below(static_cast<std::uint64_t>(n)));
+    const Coord y = static_cast<Coord>(rng.below(static_cast<std::uint64_t>(n)));
+    const Coord z = static_cast<Coord>(rng.below(static_cast<std::uint64_t>(n)));
+    if (used_x[static_cast<std::size_t>(x)] || used_z[static_cast<std::size_t>(z)]) {
+      continue;
+    }
+    used_x[static_cast<std::size_t>(x)] = 1;
+    used_z[static_cast<std::size_t>(z)] = 1;
+    accepted_faults.push_back(shape.index(Point{x, y, z}));
+    if (2 * y < n - 1) {
+      mark_a(x, y, z);
+    } else if (2 * y > n - 1) {
+      mark_b(x, y, z);
+    } else {  // y == (n-1)/2, only possible for odd n
+      mark_a(x, y - 1, z);
+    }
+  }
+
+  std::int64_t inside = 0;
+  for (NodeId id : accepted_faults) {
+    if (sacrificed.test(id)) ++inside;
+  }
+  return sacrificed.count() - inside;
+}
+
+namespace {
+
+// Recursive Proposition 6.5 placement. `suffix` holds the already-fixed
+// coordinates for dimensions level..d-1 (outermost first peeled); faults
+// are placed in the remaining dimensions 0..level-1.
+void place_prop65(const MeshShape& shape, int level, std::int64_t f,
+                  Point& coords, bool link_faults, FaultSet* out) {
+  const Coord n = shape.width(0);  // all widths equal by precondition
+  if (level == 0) {
+    assert(2 * f <= n - 1);
+    for (std::int64_t i = 1; i <= f; ++i) {
+      coords[0] = static_cast<Coord>(2 * i - 1);
+      if (link_faults) {
+        out->add_link(coords, 0, Dir::Pos);
+      } else {
+        out->add_node(coords);
+      }
+    }
+    return;
+  }
+  if (2 * f <= n - 1) {
+    // Case 1: one fault in each submesh (*,...,*,2i-1).
+    for (std::int64_t i = 1; i <= f; ++i) {
+      coords[level] = static_cast<Coord>(2 * i - 1);
+      place_prop65(shape, level - 1, 1, coords, link_faults, out);
+    }
+    return;
+  }
+  // Case 2: f = q*n + r; r submeshes get q+1 faults, n-r get q, with the
+  // odd-coordinate submeshes served first so each has at least one fault.
+  const std::int64_t q = f / n;
+  const std::int64_t r = f % n;
+  std::vector<Coord> priority;
+  priority.reserve(static_cast<std::size_t>(n));
+  for (Coord c = 1; c < n; c += 2) priority.push_back(c);
+  for (Coord c = 0; c < n; c += 2) priority.push_back(c);
+  for (std::int64_t idx = 0; idx < n; ++idx) {
+    const std::int64_t count = q + (idx < r ? 1 : 0);
+    if (count == 0) continue;
+    coords[level] = priority[static_cast<std::size_t>(idx)];
+    place_prop65(shape, level - 1, count, coords, link_faults, out);
+  }
+}
+
+}  // namespace
+
+FaultSet prop65_faults(const MeshShape& shape, std::int64_t f,
+                       bool link_faults) {
+  const int d = shape.dim();
+  const Coord n = shape.width(0);
+  for (int j = 1; j < d; ++j) {
+    if (shape.width(j) != n) {
+      throw std::invalid_argument("prop65_faults: requires M_d(n)");
+    }
+  }
+  if (n % 2 == 0) throw std::invalid_argument("prop65_faults: n must be odd");
+  std::int64_t cap = (n - 1) / 2;
+  for (int j = 1; j < d; ++j) cap *= n;
+  if (f > cap) {
+    throw std::invalid_argument("prop65_faults: f exceeds n^{d-1}(n-1)/2");
+  }
+  FaultSet out(shape);
+  Point coords;
+  place_prop65(shape, d - 1, f, coords, link_faults, &out);
+  return out;
+}
+
+FaultSet diagonal_faults(const MeshShape& shape, std::int64_t f) {
+  FaultSet out(shape);
+  for (std::int64_t i = 1; i <= f; ++i) {
+    Point p;
+    for (int j = 0; j < shape.dim(); ++j) {
+      p[j] = static_cast<Coord>(2 * i - 1);
+    }
+    if (!shape.in_bounds(p)) {
+      throw std::invalid_argument("diagonal_faults: f too large for mesh");
+    }
+    out.add_node(p);
+  }
+  return out;
+}
+
+FaultSet adversarial_fig15(const MeshShape& shape, int m) {
+  const Coord n = shape.width(0);
+  if (shape.dim() != 2 || shape.width(1) != n || n != 4 * m + 1) {
+    throw std::invalid_argument("adversarial_fig15: requires M_2(4m+1)");
+  }
+  FaultSet out(shape);
+  for (Coord x = 0; x < n; ++x) {
+    out.add_node(Point{x, static_cast<Coord>(m)});
+    out.add_node(Point{x, static_cast<Coord>(n - m - 1)});
+  }
+  return out;
+}
+
+std::int64_t fig15_lamb1_size(int m) {
+  return static_cast<std::int64_t>(4 * m - 1) * (4 * m + 1);
+}
+
+std::int64_t fig15_optimal_size(int m) {
+  return static_cast<std::int64_t>(2 * m) * (4 * m + 1);
+}
+
+}  // namespace lamb

@@ -1,0 +1,49 @@
+// Constructions and closed forms from the paper's analytic sections:
+//   * Theorem 3.1: lower bound on the expected minimum lamb-set size with
+//     ONE round of routing on M_3(n) (why the paper uses k = 2), plus the
+//     Appendix random process that realizes a per-trial lower bound.
+//   * Proposition 6.5: fault placements on which Find-SES-Partition emits
+//     exactly B(d, f) sets (node-fault and link-fault variants).
+//   * The diagonal placement that meets the coarse (2d-1)f + 1 bound.
+//   * The Figure 15 adversarial family on M_2(4m+1) where Lamb1 is off by
+//     a factor 2 - 1/(2m).
+#pragma once
+
+#include <cstdint>
+
+#include "mesh/fault_set.hpp"
+#include "mesh/mesh.hpp"
+#include "support/rng.hpp"
+
+namespace lamb {
+
+// Theorem 3.1 closed form: f*n^2/4 - f^2*n/4 + f^3/12 - f (valid for
+// f <= n).
+double thm31_lower_bound(int n, int f);
+
+// One run of the Appendix random process; returns |S - F_2|, a valid
+// per-trial lower bound on the minimum 1-round lamb set for the process's
+// fault set. The expectation over trials lower-bounds E[lambda] for f
+// uniformly random faults.
+std::int64_t thm31_process_sample(int n, int f, Rng& rng);
+
+// Proposition 6.5 worst-case fault sets for M_d(n), n odd,
+// f <= n^{d-1}(n-1)/2. With `link_faults` the faults are the links whose
+// lower endpoints the node-fault variant would mark.
+FaultSet prop65_faults(const MeshShape& shape, std::int64_t f,
+                       bool link_faults);
+
+// One node fault at (i, i, ..., i) for each odd i in [1, 2f-1]; makes both
+// the SEC and DEC partition sizes equal (2d-1)f + 1 (remark after
+// Proposition 6.5; requires f <= (n-1)/2, n odd).
+FaultSet diagonal_faults(const MeshShape& shape, std::int64_t f);
+
+// Figure 15 family on M_2(4m+1): two full fault rows at y = m and
+// y = n-m-1. Lamb1 returns (4m-1)*n lambs; the optimum is 2m*n.
+FaultSet adversarial_fig15(const MeshShape& shape, int m);
+
+// Sizes for the Figure 15 family.
+std::int64_t fig15_lamb1_size(int m);
+std::int64_t fig15_optimal_size(int m);
+
+}  // namespace lamb

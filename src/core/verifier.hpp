@@ -1,0 +1,37 @@
+// Brute-force verification of lamb sets, by explicit whole-mesh k-round
+// reachability (the O(N^2) "spanning tree" approach of paper Section 4).
+// Used by tests and the optimal solver; memory is Theta(N^2) bits, so it
+// is guarded to meshes of at most 2^14 nodes.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mesh/fault_set.hpp"
+#include "mesh/mesh.hpp"
+#include "reach/dim_order.hpp"
+#include "support/bitset.hpp"
+
+namespace lamb {
+
+// rows[v] = bitset of nodes (k, F, orders)-reachable from v (empty when v
+// is faulty). Throws for meshes larger than 2^14 nodes.
+std::vector<Bits> full_reach_rows(const MeshShape& shape,
+                                  const FaultSet& faults,
+                                  const MultiRoundOrder& orders);
+
+// Whether `lambs` (sorted or not) is a (k, F, orders)-lamb set: every good
+// node outside it reaches every other good node outside it.
+bool is_lamb_set(const MeshShape& shape, const FaultSet& faults,
+                 const MultiRoundOrder& orders,
+                 const std::vector<NodeId>& lambs);
+
+// Ordered survivor pairs (v, w) with w not reachable from v, up to
+// `max_pairs`; empty means the lamb set is valid.
+std::vector<std::pair<NodeId, NodeId>> unreachable_survivor_pairs(
+    const MeshShape& shape, const FaultSet& faults,
+    const MultiRoundOrder& orders, const std::vector<NodeId>& lambs,
+    std::size_t max_pairs = 16);
+
+}  // namespace lamb

@@ -1,0 +1,106 @@
+#include "expt/experiments.hpp"
+
+#include <cmath>
+
+#include "expt/table.hpp"
+
+namespace lamb::expt {
+
+namespace {
+
+std::int64_t faults_for_percent(const MeshShape& shape, double percent) {
+  return static_cast<std::int64_t>(
+      std::llround(static_cast<double>(shape.size()) * percent / 100.0));
+}
+
+}  // namespace
+
+std::vector<SweepRow> percent_sweep(const MeshShape& shape,
+                                    const std::vector<double>& percents,
+                                    int trials, std::uint64_t seed) {
+  std::vector<SweepRow> rows;
+  for (double pct : percents) {
+    SweepRow row;
+    row.label = TableWriter::percent(pct, 1);
+    row.n_nodes = shape.size();
+    row.summary = run_lamb_trials(shape, faults_for_percent(shape, pct),
+                                  trials, seed);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<SweepRow> ratio_sweep(int dim, Coord n,
+                                  const std::vector<double>& ratios,
+                                  int trials, std::uint64_t seed) {
+  const MeshShape shape = MeshShape::cube(dim, n);
+  std::int64_t bisection = 1;
+  for (int j = 1; j < dim; ++j) bisection *= n;
+  std::vector<SweepRow> rows;
+  for (double ratio : ratios) {
+    SweepRow row;
+    row.label = TableWriter::num(ratio, 2);
+    row.n_nodes = shape.size();
+    row.summary = run_lamb_trials(
+        shape,
+        static_cast<std::int64_t>(std::llround(ratio * static_cast<double>(bisection))),
+        trials, seed);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Coord width_for_size(int dim, int exp) {
+  const double target = std::pow(2.0, exp);
+  const Coord base = static_cast<Coord>(std::floor(std::pow(target, 1.0 / dim)));
+  Coord best = base;
+  double best_err = std::abs(std::pow(base, dim) - target);
+  for (Coord cand = base + 1; cand <= base + 1; ++cand) {
+    const double err = std::abs(std::pow(cand, dim) - target);
+    if (err < best_err) {
+      best = cand;
+      best_err = err;
+    }
+  }
+  return best;
+}
+
+std::vector<SweepRow> size_sweep(int dim, double percent, int lo_exp,
+                                 int hi_exp, int trials, std::uint64_t seed) {
+  std::vector<SweepRow> rows;
+  for (int e = lo_exp; e <= hi_exp; ++e) {
+    const Coord n = width_for_size(dim, e);
+    const MeshShape shape = MeshShape::cube(dim, n);
+    SweepRow row;
+    row.label = shape.to_string();
+    row.n_nodes = shape.size();
+    row.summary = run_lamb_trials(shape, faults_for_percent(shape, percent),
+                                  trials, seed);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void print_sweep(const std::vector<SweepRow>& rows) {
+  TableWriter table({"x", "N", "f", "avg_lambs", "max_lambs", "lamb%",
+                     "damage%", "avg_SES", "max_SES", "avg_ms"});
+  table.print_header();
+  for (const SweepRow& row : rows) {
+    const TrialSummary& s = row.summary;
+    const double lamb_pct =
+        100.0 * s.lambs.mean() / static_cast<double>(row.n_nodes);
+    const double damage_pct =
+        s.f > 0 ? 100.0 * s.lambs.mean() / static_cast<double>(s.f) : 0.0;
+    table.print_row({row.label, TableWriter::integer(row.n_nodes),
+                     TableWriter::integer(s.f),
+                     TableWriter::num(s.lambs.mean(), 2),
+                     TableWriter::integer(static_cast<std::int64_t>(s.lambs.max())),
+                     TableWriter::num(lamb_pct, 3),
+                     TableWriter::num(damage_pct, 2),
+                     TableWriter::num(s.ses.mean(), 1),
+                     TableWriter::integer(static_cast<std::int64_t>(s.ses.max())),
+                     TableWriter::num(s.runtime_s.mean() * 1e3, 2)});
+  }
+}
+
+}  // namespace lamb::expt

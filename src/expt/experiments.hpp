@@ -1,0 +1,44 @@
+// Shared drivers for the paper's Section 8 figure sweeps, so each bench
+// binary stays a thin main(). All sweeps print one row per x-axis point
+// with the statistics the corresponding figure plots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "expt/trial.hpp"
+#include "mesh/mesh.hpp"
+
+namespace lamb::expt {
+
+struct SweepRow {
+  std::string label;
+  std::int64_t n_nodes = 0;
+  TrialSummary summary;
+};
+
+// Figures 17, 18, 20: fault percentage sweep on one mesh. `percents` are
+// percentages of the node count (0.5 .. 3.0 in the paper).
+std::vector<SweepRow> percent_sweep(const MeshShape& shape,
+                                    const std::vector<double>& percents,
+                                    int trials, std::uint64_t seed);
+
+// Figures 21, 22: faults = ratio * bisection width (n^{d-1} for M_d(n)).
+std::vector<SweepRow> ratio_sweep(int dim, Coord n,
+                                  const std::vector<double>& ratios,
+                                  int trials, std::uint64_t seed);
+
+// Figures 23, 24: fixed fault percent, mesh sizes closest to 2^i for
+// i in [lo_exp, hi_exp].
+std::vector<SweepRow> size_sweep(int dim, double percent, int lo_exp,
+                                 int hi_exp, int trials, std::uint64_t seed);
+
+// Width n so that n^dim is as close as possible to 2^exp.
+Coord width_for_size(int dim, int exp);
+
+// Prints the standard sweep table (avg/max lambs, lamb%, damage%, SES
+// counts, runtime).
+void print_sweep(const std::vector<SweepRow>& rows);
+
+}  // namespace lamb::expt

@@ -1,0 +1,55 @@
+#include "expt/table.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace lamb::expt {
+
+TableWriter::TableWriter(std::vector<std::string> columns, int width)
+    : columns_(std::move(columns)), width_(width) {}
+
+void TableWriter::print_header() const {
+  for (const std::string& c : columns_) {
+    std::printf("%*s", width_, c.c_str());
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    for (int w = 0; w < width_; ++w) std::printf("-");
+  }
+  std::printf("\n");
+}
+
+void TableWriter::print_row(const std::vector<std::string>& cells) const {
+  for (const std::string& c : cells) {
+    std::printf("%*s", width_, c.c_str());
+  }
+  std::printf("\n");
+}
+
+std::string TableWriter::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TableWriter::integer(std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  return buf;
+}
+
+std::string TableWriter::percent(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, value);
+  return buf;
+}
+
+void print_banner(const std::string& experiment_id, const std::string& what,
+                  const std::string& paper_setup) {
+  std::printf("== %s ==\n%s\npaper setup: %s\n", experiment_id.c_str(),
+              what.c_str(), paper_setup.c_str());
+  std::printf(
+      "(LAMBMESH_TRIALS scales trial counts; LAMBMESH_SEED reseeds)\n\n");
+}
+
+}  // namespace lamb::expt

@@ -1,0 +1,30 @@
+// Minimal fixed-width table printer for the bench binaries; each bench
+// regenerates one of the paper's tables/figures as rows on stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lamb::expt {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> columns, int width = 12);
+
+  void print_header() const;
+  void print_row(const std::vector<std::string>& cells) const;
+
+  static std::string num(double value, int precision = 2);
+  static std::string integer(std::int64_t value);
+  static std::string percent(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> columns_;
+  int width_;
+};
+
+// Banner for a bench binary: figure/table id and reproduction context.
+void print_banner(const std::string& experiment_id, const std::string& what,
+                  const std::string& paper_setup);
+
+}  // namespace lamb::expt

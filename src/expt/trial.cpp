@@ -1,0 +1,90 @@
+#include "expt/trial.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "mesh/fault_set.hpp"
+#include "support/rng.hpp"
+
+namespace lamb::expt {
+
+TrialSummary run_lamb_trials(const MeshShape& shape, std::int64_t f,
+                             int trials, std::uint64_t seed,
+                             const LambOptions& options) {
+  TrialSummary summary;
+  summary.trials = trials;
+  summary.f = f;
+  Rng master(seed);
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(master.child_seed(static_cast<std::uint64_t>(t)));
+    const FaultSet faults = FaultSet::random_nodes(shape, f, rng);
+    Stopwatch watch;
+    const LambResult result = lamb1(shape, faults, options);
+    summary.runtime_s.add(watch.seconds());
+    summary.lambs.add(static_cast<double>(result.size()));
+    summary.ses.add(static_cast<double>(result.stats.p));
+    summary.des.add(static_cast<double>(result.stats.q));
+    summary.cover_weight.add(result.stats.cover_weight);
+    if (result.size() > 0) ++summary.trials_needing_lambs;
+  }
+  return summary;
+}
+
+TrialSummary run_lamb_trials_parallel(const MeshShape& shape, std::int64_t f,
+                                      int trials, std::uint64_t seed,
+                                      const LambOptions& options,
+                                      int threads) {
+  if (threads <= 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, std::max(1, trials));
+
+  struct TrialRecord {
+    double lambs = 0, ses = 0, des = 0, cover = 0, seconds = 0;
+  };
+  std::vector<TrialRecord> records(static_cast<std::size_t>(trials));
+
+  // The per-trial seed derivation must match run_lamb_trials exactly.
+  Rng master(seed);
+  auto worker = [&](int begin, int end) {
+    for (int t = begin; t < end; ++t) {
+      Rng rng(master.child_seed(static_cast<std::uint64_t>(t)));
+      const FaultSet faults = FaultSet::random_nodes(shape, f, rng);
+      Stopwatch watch;
+      const LambResult result = lamb1(shape, faults, options);
+      TrialRecord& rec = records[static_cast<std::size_t>(t)];
+      rec.seconds = watch.seconds();
+      rec.lambs = static_cast<double>(result.size());
+      rec.ses = static_cast<double>(result.stats.p);
+      rec.des = static_cast<double>(result.stats.q);
+      rec.cover = result.stats.cover_weight;
+    }
+  };
+
+  std::vector<std::thread> pool;
+  const int per_thread = (trials + threads - 1) / threads;
+  for (int w = 0; w < threads; ++w) {
+    const int begin = w * per_thread;
+    const int end = std::min(trials, begin + per_thread);
+    if (begin >= end) break;
+    pool.emplace_back(worker, begin, end);
+  }
+  for (std::thread& t : pool) t.join();
+
+  // Aggregate in trial order for bit-identical statistics.
+  TrialSummary summary;
+  summary.trials = trials;
+  summary.f = f;
+  for (const TrialRecord& rec : records) {
+    summary.runtime_s.add(rec.seconds);
+    summary.lambs.add(rec.lambs);
+    summary.ses.add(rec.ses);
+    summary.des.add(rec.des);
+    summary.cover_weight.add(rec.cover);
+    if (rec.lambs > 0) ++summary.trials_needing_lambs;
+  }
+  return summary;
+}
+
+}  // namespace lamb::expt

@@ -1,0 +1,49 @@
+// Generic-topology lamb solver (paper Section 7, last paragraph): the
+// lamb method only needs a node set and an efficiently computable "simple
+// route" reachability relation. This solver takes explicit per-round
+// 1-round reachability rows, groups the good nodes into source / destination
+// equivalence CLASSES (the minimal SES/DES partitions of Remark 4.1) by
+// hashing rows and columns, and then runs the same matrix product and
+// bipartite WVC reduction as Lamb1.
+//
+// Cost is Theta(k N^2 / 64) time and memory, so this is for topologies
+// the rectangular partition cannot serve (tori, irregular graphs) at
+// moderate sizes — exactly the trade the paper describes ("in the worst
+// case, the SEC and DEC partition can be found by explicitly computing
+// the reachability sets for each node").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mesh/fault_set.hpp"
+#include "mesh/mesh.hpp"
+#include "reach/dim_order.hpp"
+#include "support/bitset.hpp"
+
+namespace lamb {
+
+struct GenericLambResult {
+  std::vector<NodeId> lambs;  // sorted
+  std::int64_t num_sec = 0;   // source equivalence classes, round 1
+  std::int64_t num_dec = 0;   // destination equivalence classes, round k
+  double cover_weight = 0.0;
+};
+
+// `num_nodes` nodes with ids 0..num_nodes-1. `good[v]` marks usable nodes.
+// `round_rows[r][v]` is the set of nodes 1-round-reachable from v in round
+// r; rows of non-good nodes must be empty. `node_values` (optional, size
+// num_nodes) weights the sacrifice of each node.
+GenericLambResult generic_lamb_from_rows(
+    std::int64_t num_nodes, const std::vector<char>& good,
+    const std::vector<std::vector<Bits>>& round_rows,
+    const std::vector<double>* node_values = nullptr);
+
+// Convenience wrapper for meshes and tori: rows are computed with the
+// FloodOracle for the given per-round orderings.
+GenericLambResult generic_lamb(const MeshShape& shape, const FaultSet& faults,
+                               const MultiRoundOrder& orders,
+                               const std::vector<double>* node_values = nullptr);
+
+}  // namespace lamb

@@ -1,0 +1,131 @@
+#include "graph/bipartite_matching.hpp"
+
+#include <limits>
+#include <queue>
+
+namespace lamb {
+
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max();
+
+struct Adjacency {
+  std::vector<std::vector<int>> left_to_right;
+
+  Adjacency(int num_left, const std::vector<BipartiteEdge>& edges)
+      : left_to_right(static_cast<std::size_t>(num_left)) {
+    for (const BipartiteEdge& e : edges) {
+      left_to_right[static_cast<std::size_t>(e.left)].push_back(e.right);
+    }
+  }
+};
+
+}  // namespace
+
+Matching hopcroft_karp(int num_left, int num_right,
+                       const std::vector<BipartiteEdge>& edges) {
+  const Adjacency adj(num_left, edges);
+  Matching m;
+  m.match_left.assign(static_cast<std::size_t>(num_left), -1);
+  m.match_right.assign(static_cast<std::size_t>(num_right), -1);
+
+  std::vector<int> dist(static_cast<std::size_t>(num_left));
+
+  // BFS phase: layered distances from free left vertices.
+  auto bfs = [&]() {
+    std::queue<int> queue;
+    bool found_augmenting = false;
+    for (int u = 0; u < num_left; ++u) {
+      if (m.match_left[static_cast<std::size_t>(u)] < 0) {
+        dist[static_cast<std::size_t>(u)] = 0;
+        queue.push(u);
+      } else {
+        dist[static_cast<std::size_t>(u)] = kInf;
+      }
+    }
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop();
+      for (int v : adj.left_to_right[static_cast<std::size_t>(u)]) {
+        const int w = m.match_right[static_cast<std::size_t>(v)];
+        if (w < 0) {
+          found_augmenting = true;
+        } else if (dist[static_cast<std::size_t>(w)] == kInf) {
+          dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(u)] + 1;
+          queue.push(w);
+        }
+      }
+    }
+    return found_augmenting;
+  };
+
+  // DFS phase: augment along layered paths.
+  auto dfs = [&](auto&& self, int u) -> bool {
+    for (int v : adj.left_to_right[static_cast<std::size_t>(u)]) {
+      const int w = m.match_right[static_cast<std::size_t>(v)];
+      if (w < 0 || (dist[static_cast<std::size_t>(w)] ==
+                        dist[static_cast<std::size_t>(u)] + 1 &&
+                    self(self, w))) {
+        m.match_left[static_cast<std::size_t>(u)] = v;
+        m.match_right[static_cast<std::size_t>(v)] = u;
+        return true;
+      }
+    }
+    dist[static_cast<std::size_t>(u)] = kInf;  // dead end: prune
+    return false;
+  };
+
+  while (bfs()) {
+    for (int u = 0; u < num_left; ++u) {
+      if (m.match_left[static_cast<std::size_t>(u)] < 0 && dfs(dfs, u)) {
+        ++m.size;
+      }
+    }
+  }
+  return m;
+}
+
+BipartiteCover konig_cover(int num_left, int num_right,
+                           const std::vector<BipartiteEdge>& edges) {
+  const Matching m = hopcroft_karp(num_left, num_right, edges);
+  const Adjacency adj(num_left, edges);
+
+  // Z = free left vertices plus everything reachable by alternating paths
+  // (unmatched edge left->right, matched edge right->left). The cover is
+  // (L - Z_L) union (R intersect Z_R).
+  std::vector<char> z_left(static_cast<std::size_t>(num_left), 0);
+  std::vector<char> z_right(static_cast<std::size_t>(num_right), 0);
+  std::queue<int> queue;
+  for (int u = 0; u < num_left; ++u) {
+    if (m.match_left[static_cast<std::size_t>(u)] < 0) {
+      z_left[static_cast<std::size_t>(u)] = 1;
+      queue.push(u);
+    }
+  }
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop();
+    for (int v : adj.left_to_right[static_cast<std::size_t>(u)]) {
+      if (m.match_left[static_cast<std::size_t>(u)] == v) continue;  // matched
+      if (z_right[static_cast<std::size_t>(v)]) continue;
+      z_right[static_cast<std::size_t>(v)] = 1;
+      const int w = m.match_right[static_cast<std::size_t>(v)];
+      if (w >= 0 && !z_left[static_cast<std::size_t>(w)]) {
+        z_left[static_cast<std::size_t>(w)] = 1;
+        queue.push(w);
+      }
+    }
+  }
+
+  BipartiteCover cover;
+  for (int u = 0; u < num_left; ++u) {
+    if (!z_left[static_cast<std::size_t>(u)]) cover.left.push_back(u);
+  }
+  for (int v = 0; v < num_right; ++v) {
+    if (z_right[static_cast<std::size_t>(v)]) cover.right.push_back(v);
+  }
+  cover.weight = static_cast<double>(cover.left.size() + cover.right.size());
+  return cover;
+}
+
+}  // namespace lamb

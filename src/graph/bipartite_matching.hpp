@@ -1,0 +1,31 @@
+// Hopcroft-Karp maximum bipartite matching and the König construction of
+// a minimum UNWEIGHTED vertex cover from it. For unit weights this is
+// the classical O(E sqrt(V)) alternative to the min-cut reduction of
+// bipartite_wvc.hpp; the library keeps both and cross-checks them in
+// tests (they must agree on cover size wherever weights are uniform).
+#pragma once
+
+#include <vector>
+
+#include "graph/bipartite_wvc.hpp"
+
+namespace lamb {
+
+struct Matching {
+  // match_left[i] = matched right vertex or -1; match_right[j] likewise.
+  std::vector<int> match_left;
+  std::vector<int> match_right;
+  int size = 0;
+};
+
+// Maximum matching of the bipartite graph with `num_left` / `num_right`
+// vertices and the given edges.
+Matching hopcroft_karp(int num_left, int num_right,
+                       const std::vector<BipartiteEdge>& edges);
+
+// Minimum unweighted vertex cover via König's theorem: |cover| equals the
+// maximum matching size.
+BipartiteCover konig_cover(int num_left, int num_right,
+                           const std::vector<BipartiteEdge>& edges);
+
+}  // namespace lamb

@@ -1,0 +1,152 @@
+#include "graph/general_wvc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace lamb {
+
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+std::vector<int> wvc_local_ratio(const WeightedGraph& graph) {
+  std::vector<double> residual(static_cast<std::size_t>(graph.num_vertices()));
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    residual[static_cast<std::size_t>(v)] = graph.weight(v);
+  }
+  for (const Edge& e : graph.edges()) {
+    const double delta = std::min(residual[static_cast<std::size_t>(e.u)],
+                                  residual[static_cast<std::size_t>(e.v)]);
+    residual[static_cast<std::size_t>(e.u)] -= delta;
+    residual[static_cast<std::size_t>(e.v)] -= delta;
+  }
+  std::vector<char> chosen(static_cast<std::size_t>(graph.num_vertices()), 0);
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    if (graph.degree(v) > 0 && residual[static_cast<std::size_t>(v)] <= kEps) {
+      chosen[static_cast<std::size_t>(v)] = 1;
+    }
+  }
+  // Prune redundant vertices, heaviest first.
+  std::vector<int> order;
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    if (chosen[static_cast<std::size_t>(v)]) order.push_back(v);
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return graph.weight(a) > graph.weight(b);
+  });
+  for (int v : order) {
+    bool needed = false;
+    for (int u : graph.neighbors(v)) {
+      if (!chosen[static_cast<std::size_t>(u)]) {
+        needed = true;
+        break;
+      }
+    }
+    if (!needed) chosen[static_cast<std::size_t>(v)] = 0;
+  }
+  std::vector<int> cover;
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    if (chosen[static_cast<std::size_t>(v)]) cover.push_back(v);
+  }
+  return cover;
+}
+
+namespace {
+
+// Branch-and-bound state over a shrinking "alive" vertex set.
+class ExactSolver {
+ public:
+  ExactSolver(const WeightedGraph& graph, std::int64_t node_budget)
+      : graph_(graph),
+        budget_(node_budget),
+        alive_(static_cast<std::size_t>(graph.num_vertices()), 1),
+        in_cover_(static_cast<std::size_t>(graph.num_vertices()), 0),
+        best_weight_(std::numeric_limits<double>::infinity()) {}
+
+  std::optional<std::vector<int>> solve() {
+    // Seed the upper bound with the 2-approximation so pruning bites early.
+    std::vector<int> seed = wvc_local_ratio(graph_);
+    best_weight_ = graph_.weight_of(seed) + kEps;
+    best_cover_ = seed;
+    if (!recurse(0.0)) return std::nullopt;
+    std::sort(best_cover_.begin(), best_cover_.end());
+    return best_cover_;
+  }
+
+ private:
+  // Number of alive neighbors of v.
+  int alive_degree(int v) const {
+    int deg = 0;
+    for (int u : graph_.neighbors(v)) deg += alive_[static_cast<std::size_t>(u)];
+    return deg;
+  }
+
+  // Returns false when the node budget is exhausted.
+  bool recurse(double current_weight) {
+    if (--budget_ < 0) return false;
+    if (current_weight >= best_weight_ - kEps) return true;  // pruned
+
+    // Pick an alive vertex with an alive neighbor, preferring high degree.
+    int pivot = -1;
+    int pivot_degree = 0;
+    for (int v = 0; v < graph_.num_vertices(); ++v) {
+      if (!alive_[static_cast<std::size_t>(v)]) continue;
+      const int deg = alive_degree(v);
+      if (deg > pivot_degree) {
+        pivot = v;
+        pivot_degree = deg;
+      }
+    }
+    if (pivot < 0) {  // no edges left: record solution
+      best_weight_ = current_weight;
+      best_cover_.clear();
+      for (int v = 0; v < graph_.num_vertices(); ++v) {
+        if (in_cover_[static_cast<std::size_t>(v)]) best_cover_.push_back(v);
+      }
+      return true;
+    }
+
+    // Branch 1: include pivot.
+    alive_[static_cast<std::size_t>(pivot)] = 0;
+    in_cover_[static_cast<std::size_t>(pivot)] = 1;
+    if (!recurse(current_weight + graph_.weight(pivot))) return false;
+    in_cover_[static_cast<std::size_t>(pivot)] = 0;
+
+    // Branch 2: exclude pivot -> include all alive neighbors.
+    std::vector<int> taken;
+    double added = 0.0;
+    for (int u : graph_.neighbors(pivot)) {
+      if (alive_[static_cast<std::size_t>(u)]) {
+        alive_[static_cast<std::size_t>(u)] = 0;
+        in_cover_[static_cast<std::size_t>(u)] = 1;
+        taken.push_back(u);
+        added += graph_.weight(u);
+      }
+    }
+    const bool ok = recurse(current_weight + added);
+    for (int u : taken) {
+      alive_[static_cast<std::size_t>(u)] = 1;
+      in_cover_[static_cast<std::size_t>(u)] = 0;
+    }
+    alive_[static_cast<std::size_t>(pivot)] = 1;
+    return ok;
+  }
+
+  const WeightedGraph& graph_;
+  std::int64_t budget_;
+  std::vector<char> alive_;
+  std::vector<char> in_cover_;
+  double best_weight_;
+  std::vector<int> best_cover_;
+};
+
+}  // namespace
+
+std::optional<std::vector<int>> wvc_exact(const WeightedGraph& graph,
+                                          std::int64_t node_budget) {
+  return ExactSolver(graph, node_budget).solve();
+}
+
+}  // namespace lamb

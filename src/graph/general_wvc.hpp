@@ -1,0 +1,27 @@
+// Weighted vertex cover on general graphs (paper Section 6.3.2):
+//   * the Bar-Yehuda & Even local-ratio algorithm [3] — a linear-time
+//     2-approximation, the one the paper cites for Lamb2;
+//   * an exact branch-and-bound solver, exponential in the worst case but
+//     fine for the small graphs in tests and for the optimal solver of
+//     Corollary 6.10.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lamb {
+
+// Local-ratio 2-approximation. The returned cover is additionally pruned:
+// vertices that are not needed (all incident edges otherwise covered) are
+// dropped greedily in order of decreasing weight.
+std::vector<int> wvc_local_ratio(const WeightedGraph& graph);
+
+// Exact minimum-weight vertex cover by branch and bound. `node_budget`
+// bounds the number of search-tree nodes; returns nullopt when exceeded.
+std::optional<std::vector<int>> wvc_exact(const WeightedGraph& graph,
+                                          std::int64_t node_budget = 1 << 22);
+
+}  // namespace lamb

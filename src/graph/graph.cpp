@@ -1,0 +1,44 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace lamb {
+
+WeightedGraph::WeightedGraph(int num_vertices, double default_weight)
+    : weights_(static_cast<std::size_t>(num_vertices), default_weight),
+      adjacency_(static_cast<std::size_t>(num_vertices)) {}
+
+void WeightedGraph::add_edge(int u, int v) {
+  if (u == v) throw std::invalid_argument("WeightedGraph: self-loop");
+  assert(u >= 0 && u < num_vertices() && v >= 0 && v < num_vertices());
+  if (has_edge(u, v)) return;
+  edges_.push_back(Edge{std::min(u, v), std::max(u, v)});
+  adjacency_[static_cast<std::size_t>(u)].push_back(v);
+  adjacency_[static_cast<std::size_t>(v)].push_back(u);
+}
+
+bool WeightedGraph::has_edge(int u, int v) const {
+  const auto& adj = adjacency_[static_cast<std::size_t>(u)];
+  return std::find(adj.begin(), adj.end(), v) != adj.end();
+}
+
+double WeightedGraph::weight_of(const std::vector<int>& vertices) const {
+  double total = 0.0;
+  for (int v : vertices) total += weight(v);
+  return total;
+}
+
+bool WeightedGraph::is_vertex_cover(const std::vector<int>& cover) const {
+  std::vector<char> in(static_cast<std::size_t>(num_vertices()), 0);
+  for (int v : cover) in[static_cast<std::size_t>(v)] = 1;
+  for (const Edge& e : edges_) {
+    if (!in[static_cast<std::size_t>(e.u)] && !in[static_cast<std::size_t>(e.v)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lamb

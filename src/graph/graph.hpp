@@ -1,0 +1,53 @@
+// Small vertex-weighted undirected graph type shared by the vertex-cover
+// solvers (paper Section 6.3 reduces the lamb problem to weighted vertex
+// cover, WVC). Vertices are dense 0-based ids; parallel edges and
+// self-loops are rejected.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lamb {
+
+struct Edge {
+  int u = 0;
+  int v = 0;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class WeightedGraph {
+ public:
+  WeightedGraph() = default;
+  explicit WeightedGraph(int num_vertices, double default_weight = 1.0);
+
+  int num_vertices() const { return static_cast<int>(weights_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  void set_weight(int v, double w) { weights_[static_cast<std::size_t>(v)] = w; }
+  double weight(int v) const { return weights_[static_cast<std::size_t>(v)]; }
+
+  // Adds the undirected edge (u, v); duplicate edges are ignored.
+  void add_edge(int u, int v);
+  bool has_edge(int u, int v) const;
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  const std::vector<int>& neighbors(int v) const {
+    return adjacency_[static_cast<std::size_t>(v)];
+  }
+  int degree(int v) const {
+    return static_cast<int>(adjacency_[static_cast<std::size_t>(v)].size());
+  }
+
+  // Total weight of a vertex subset.
+  double weight_of(const std::vector<int>& vertices) const;
+
+  // True iff `cover` touches every edge.
+  bool is_vertex_cover(const std::vector<int>& cover) const;
+
+ private:
+  std::vector<double> weights_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> adjacency_;
+};
+
+}  // namespace lamb

@@ -1,0 +1,75 @@
+#include "io/cli_args.hpp"
+
+#include <algorithm>
+
+namespace lamb::io {
+
+CliArgs CliArgs::parse(const std::vector<std::string>& argv) {
+  CliArgs args;
+  if (argv.empty()) throw ArgError("missing command");
+  args.command_ = argv[0];
+  if (args.command_.rfind("--", 0) == 0) {
+    throw ArgError("expected a command before options");
+  }
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    const std::string& token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      throw ArgError("unexpected positional argument '" + token + "'");
+    }
+    if (token.size() == 2) throw ArgError("bare '--' is not an option");
+    if (i + 1 >= argv.size()) {
+      throw ArgError("missing value for " + token);
+    }
+    args.options_[token.substr(2)] = argv[++i];
+  }
+  return args;
+}
+
+CliArgs CliArgs::parse(int argc, const char* const* argv) {
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  return parse(tokens);
+}
+
+std::string CliArgs::get(const std::string& key,
+                         const std::string& fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+long CliArgs::get_long(const std::string& key, long fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const long value = std::stol(it->second, &consumed);
+    if (consumed != it->second.size()) throw std::invalid_argument("");
+    return value;
+  } catch (const std::exception&) {
+    throw ArgError("--" + key + " expects an integer, got '" + it->second +
+                   "'");
+  }
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(it->second, &consumed);
+    if (consumed != it->second.size()) throw std::invalid_argument("");
+    return value;
+  } catch (const std::exception&) {
+    throw ArgError("--" + key + " expects a number, got '" + it->second + "'");
+  }
+}
+
+void CliArgs::require_known(const std::vector<std::string>& known) const {
+  for (const auto& [key, value] : options_) {
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      throw ArgError("unknown option --" + key);
+    }
+  }
+}
+
+}  // namespace lamb::io

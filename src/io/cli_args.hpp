@@ -1,0 +1,40 @@
+// Tiny command-line convention shared by the lambmesh tools:
+// `prog <command> --key value --key2 value2 ...`. Extracted from the CLI
+// so parsing is unit-testable without spawning processes.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lamb::io {
+
+class ArgError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class CliArgs {
+ public:
+  // Parses {command, options}; throws ArgError on malformed input
+  // (missing command, positional arguments, --flag without a value).
+  static CliArgs parse(const std::vector<std::string>& argv);
+  static CliArgs parse(int argc, const char* const* argv);
+
+  const std::string& command() const { return command_; }
+  bool has(const std::string& key) const { return options_.count(key) > 0; }
+  std::string get(const std::string& key,
+                  const std::string& fallback = "") const;
+  long get_long(const std::string& key, long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+
+  // Throws ArgError naming any option not in `known` — catches typos like
+  // --ouput before they are silently ignored.
+  void require_known(const std::vector<std::string>& known) const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> options_;
+};
+
+}  // namespace lamb::io

@@ -1,0 +1,200 @@
+#include "io/text_format.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace lamb::io {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) {
+    if (token[0] == '#') break;  // comment to end of line
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+Point parse_point(const std::vector<std::string>& tokens, std::size_t first,
+                  const MeshShape& shape, int line) {
+  if (tokens.size() < first + static_cast<std::size_t>(shape.dim())) {
+    throw ParseError(line, "expected " + std::to_string(shape.dim()) +
+                               " coordinates");
+  }
+  Point p;
+  for (int j = 0; j < shape.dim(); ++j) {
+    const std::string& tok = tokens[first + static_cast<std::size_t>(j)];
+    try {
+      p[j] = static_cast<Coord>(std::stol(tok));
+    } catch (const std::exception&) {
+      throw ParseError(line, "bad coordinate '" + tok + "'");
+    }
+  }
+  if (!shape.in_bounds(p)) throw ParseError(line, "coordinate out of bounds");
+  return p;
+}
+
+Dir parse_dir(const std::string& token, int line) {
+  if (token == "+") return Dir::Pos;
+  if (token == "-") return Dir::Neg;
+  throw ParseError(line, "direction must be '+' or '-'");
+}
+
+int parse_dim(const std::string& token, const MeshShape& shape, int line) {
+  int dim = -1;
+  try {
+    dim = std::stoi(token);
+  } catch (const std::exception&) {
+    throw ParseError(line, "bad dimension '" + token + "'");
+  }
+  if (dim < 0 || dim >= shape.dim()) {
+    throw ParseError(line, "dimension out of range");
+  }
+  return dim;
+}
+
+}  // namespace
+
+Document parse(std::istream& in) {
+  Document doc;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& verb = tokens[0];
+    if (verb == "mesh" || verb == "torus") {
+      if (doc.shape) throw ParseError(line_no, "duplicate mesh declaration");
+      std::vector<Coord> widths;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        try {
+          widths.push_back(static_cast<Coord>(std::stol(tokens[i])));
+        } catch (const std::exception&) {
+          throw ParseError(line_no, "bad width '" + tokens[i] + "'");
+        }
+      }
+      if (widths.empty()) throw ParseError(line_no, "mesh needs widths");
+      try {
+        doc.shape = std::make_unique<MeshShape>(
+            verb == "mesh" ? MeshShape::mesh(widths)
+                           : MeshShape::torus(widths));
+      } catch (const std::invalid_argument& e) {
+        throw ParseError(line_no, e.what());
+      }
+      doc.faults = std::make_unique<FaultSet>(*doc.shape);
+      continue;
+    }
+    if (!doc.shape) {
+      throw ParseError(line_no, "mesh/torus declaration must come first");
+    }
+    if (verb == "node") {
+      doc.faults->add_node(parse_point(tokens, 1, *doc.shape, line_no));
+    } else if (verb == "link" || verb == "unilink") {
+      const std::size_t d = static_cast<std::size_t>(doc.shape->dim());
+      if (tokens.size() < 1 + d + 2) {
+        throw ParseError(line_no, "link needs coords, dim, dir");
+      }
+      const Point p = parse_point(tokens, 1, *doc.shape, line_no);
+      const int dim = parse_dim(tokens[1 + d], *doc.shape, line_no);
+      const Dir dir = parse_dir(tokens[2 + d], line_no);
+      try {
+        if (verb == "link") {
+          doc.faults->add_link(p, dim, dir);
+        } else {
+          doc.faults->add_directed_link(p, dim, dir);
+        }
+      } catch (const std::invalid_argument& e) {
+        throw ParseError(line_no, e.what());
+      }
+    } else if (verb == "lamb") {
+      const Point p = parse_point(tokens, 1, *doc.shape, line_no);
+      doc.lambs.push_back(doc.shape->index(p));
+    } else {
+      throw ParseError(line_no, "unknown directive '" + verb + "'");
+    }
+  }
+  if (!doc.shape) throw ParseError(line_no, "missing mesh/torus declaration");
+  std::sort(doc.lambs.begin(), doc.lambs.end());
+  doc.lambs.erase(std::unique(doc.lambs.begin(), doc.lambs.end()),
+                  doc.lambs.end());
+  return doc;
+}
+
+Document parse_string(const std::string& text) {
+  std::istringstream stream(text);
+  return parse(stream);
+}
+
+Document parse_file(const std::string& path) {
+  std::ifstream stream(path);
+  if (!stream) throw std::runtime_error("cannot open " + path);
+  return parse(stream);
+}
+
+void write(std::ostream& out, const MeshShape& shape, const FaultSet& faults,
+           const std::vector<NodeId>* lambs) {
+  out << (shape.wraps() ? "torus" : "mesh");
+  for (int j = 0; j < shape.dim(); ++j) out << " " << shape.width(j);
+  out << "\n";
+  for (NodeId id : faults.node_faults()) {
+    const Point p = shape.point(id);
+    out << "node";
+    for (int j = 0; j < shape.dim(); ++j) out << " " << p[j];
+    out << "\n";
+  }
+  for (const LinkFault& lf : faults.link_faults()) {
+    out << (lf.bidirectional ? "link" : "unilink");
+    for (int j = 0; j < shape.dim(); ++j) out << " " << lf.from[j];
+    out << " " << lf.dim << " " << (lf.dir == Dir::Pos ? "+" : "-") << "\n";
+  }
+  if (lambs != nullptr) {
+    for (NodeId id : *lambs) {
+      const Point p = shape.point(id);
+      out << "lamb";
+      for (int j = 0; j < shape.dim(); ++j) out << " " << p[j];
+      out << "\n";
+    }
+  }
+}
+
+std::string write_string(const MeshShape& shape, const FaultSet& faults,
+                         const std::vector<NodeId>* lambs) {
+  std::ostringstream out;
+  write(out, shape, faults, lambs);
+  return out.str();
+}
+
+void write_file(const std::string& path, const MeshShape& shape,
+                const FaultSet& faults, const std::vector<NodeId>* lambs) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  write(out, shape, faults, lambs);
+}
+
+MeshShape parse_geometry(const std::string& spec) {
+  std::string body = spec;
+  bool torus = false;
+  if (!body.empty() && (body.back() == 't' || body.back() == 'T')) {
+    torus = true;
+    body.pop_back();
+  }
+  std::vector<Coord> widths;
+  std::string token;
+  std::istringstream stream(body);
+  while (std::getline(stream, token, 'x')) {
+    try {
+      widths.push_back(static_cast<Coord>(std::stol(token)));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad geometry '" + spec + "'");
+    }
+  }
+  if (widths.empty()) throw std::invalid_argument("bad geometry '" + spec + "'");
+  return torus ? MeshShape::torus(widths) : MeshShape::mesh(widths);
+}
+
+}  // namespace lamb::io

@@ -1,0 +1,110 @@
+#include "manager/machine_manager.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/stats.hpp"
+
+namespace lamb::manager {
+
+MachineManager::MachineManager(const MeshShape& shape, LambOptions options)
+    : shape_(std::make_unique<MeshShape>(shape)),
+      options_(std::move(options)),
+      values_(static_cast<std::size_t>(shape.size()), 1.0),
+      faults_(*shape_) {
+  if (!options_.predetermined.empty()) {
+    throw std::invalid_argument(
+        "MachineManager manages predetermined lambs itself");
+  }
+}
+
+void MachineManager::report_node_fault(const Point& p) {
+  if (faults_.node_faulty(p)) return;
+  faults_.add_node(p);
+  pending_ = true;
+}
+
+void MachineManager::report_link_fault(const Point& from, int dim, Dir dir) {
+  faults_.add_link(from, dim, dir);
+  pending_ = true;
+}
+
+void MachineManager::degrade_node(NodeId id, double value) {
+  if (faults_.node_faulty(id)) return;
+  values_[static_cast<std::size_t>(id)] = value;
+  pending_ = true;
+}
+
+EpochReport MachineManager::reconfigure() {
+  EpochReport report;
+  report.epoch = epoch() + 1;
+  report.new_node_faults = faults_.num_node_faults() - seen_node_faults_;
+  report.new_link_faults = faults_.num_link_faults() - seen_link_faults_;
+  seen_node_faults_ = faults_.num_node_faults();
+  seen_link_faults_ = faults_.num_link_faults();
+
+  // Previous lambs that are still good stay lambs (monotone growth).
+  LambOptions options = options_;
+  options.node_values = &values_;
+  options.predetermined.clear();
+  for (NodeId id : lambs_) {
+    if (faults_.node_good(id)) options.predetermined.push_back(id);
+  }
+
+  Stopwatch watch;
+  const LambResult result = lamb1(*shape_, faults_, options);
+  report.solve_seconds = watch.seconds();
+
+  report.lambs_new =
+      result.size() - static_cast<std::int64_t>(options.predetermined.size());
+  lambs_ = result.lambs;
+  report.lambs_total = static_cast<std::int64_t>(lambs_.size());
+  report.total_faults = faults_.f();
+
+  report.survivors = 0;
+  report.survivor_value = 0.0;
+  for (NodeId id = 0; id < shape_->size(); ++id) {
+    if (faults_.node_faulty(id) ||
+        std::binary_search(lambs_.begin(), lambs_.end(), id)) {
+      continue;
+    }
+    ++report.survivors;
+    report.survivor_value += values_[static_cast<std::size_t>(id)];
+  }
+
+  routes_ = std::make_unique<wormhole::RouteCache>(
+      *shape_, faults_, options_.resolved_orders(shape_->dim()));
+  pending_ = false;
+  history_.push_back(report);
+  return report;
+}
+
+void MachineManager::require_configured() const {
+  if (pending_) {
+    throw std::logic_error(
+        "MachineManager: configuration is stale; call reconfigure() first");
+  }
+}
+
+bool MachineManager::is_survivor(NodeId id) const {
+  require_configured();
+  return faults_.node_good(id) &&
+         !std::binary_search(lambs_.begin(), lambs_.end(), id);
+}
+
+std::vector<NodeId> MachineManager::survivors() const {
+  require_configured();
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < shape_->size(); ++id) {
+    if (is_survivor(id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::optional<wormhole::Route> MachineManager::route(NodeId src, NodeId dst,
+                                                     Rng& rng) {
+  require_configured();
+  return routes_->build(src, dst, rng);
+}
+
+}  // namespace lamb::manager

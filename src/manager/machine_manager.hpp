@@ -1,0 +1,100 @@
+// The roll-back / reconfigure control loop of paper Section 1: "a system
+// diagnostic program will be invoked when new faults are detected. This
+// will roll back to a previous checkpoint of the application, redefine
+// the new set of faults, and reconfigure the machine assuming static
+// faults and global knowledge. Our approach and algorithm would be part
+// of the reconfiguration step."
+//
+// MachineManager owns the machine's fault/lamb/value state across
+// epochs. Diagnostics are queued with report_* / degrade_node; a call to
+// reconfigure() recomputes the lamb set — monotonically, using the
+// Section 7 predetermined-lamb extension, so nodes once sacrificed stay
+// sacrificed — and logs an epoch record. Between reconfigurations the
+// manager vends verified survivor routes through a cached route builder.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/lamb.hpp"
+#include "mesh/fault_set.hpp"
+#include "mesh/mesh.hpp"
+#include "support/rng.hpp"
+#include "wormhole/route_cache.hpp"
+
+namespace lamb::manager {
+
+struct EpochReport {
+  int epoch = 0;
+  std::int64_t new_node_faults = 0;
+  std::int64_t new_link_faults = 0;
+  std::int64_t total_faults = 0;
+  std::int64_t lambs_total = 0;
+  std::int64_t lambs_new = 0;
+  std::int64_t survivors = 0;
+  double survivor_value = 0.0;  // sum of survivor node values
+  double solve_seconds = 0.0;
+};
+
+class MachineManager {
+ public:
+  MachineManager(const MeshShape& shape, LambOptions options = {});
+
+  // Not movable: the internal route cache refers to the fault-set member,
+  // whose address must stay stable.
+  MachineManager(const MachineManager&) = delete;
+  MachineManager& operator=(const MachineManager&) = delete;
+  MachineManager(MachineManager&&) = delete;
+  MachineManager& operator=(MachineManager&&) = delete;
+
+  const MeshShape& shape() const { return *shape_; }
+  const FaultSet& faults() const { return faults_; }
+  const std::vector<NodeId>& lambs() const { return lambs_; }
+  int epoch() const { return static_cast<int>(history_.size()); }
+  const std::vector<EpochReport>& history() const { return history_; }
+
+  // --- Diagnostic inputs (queued until the next reconfigure) ---
+  // Reports a dead node. Reporting a current lamb is fine (it simply
+  // stops being a lamb and becomes a fault); reporting an existing fault
+  // is idempotent.
+  void report_node_fault(const Point& p);
+  void report_node_fault(NodeId id) { report_node_fault(shape_->point(id)); }
+  void report_link_fault(const Point& from, int dim, Dir dir);
+  // Marks a node as partially failed: its sacrifice cost becomes `value`
+  // (Section 7 node values). Ignored for faulty nodes.
+  void degrade_node(NodeId id, double value);
+
+  bool has_pending_reports() const { return pending_; }
+
+  // Recomputes the lamb set over the accumulated faults. The previous
+  // lambs are predetermined (monotone growth) except those that became
+  // faults. Returns the epoch record (also appended to history()).
+  EpochReport reconfigure();
+
+  // --- Queries against the CURRENT configuration ---
+  // Throws std::logic_error while reports are pending (the configuration
+  // is stale — the paper's model requires reconfiguring first).
+  bool is_survivor(NodeId id) const;
+  std::vector<NodeId> survivors() const;
+  // k-round route between survivors; nullopt is impossible for survivor
+  // pairs by the lamb guarantee (and is verified in tests).
+  std::optional<wormhole::Route> route(NodeId src, NodeId dst, Rng& rng);
+
+ private:
+  void require_configured() const;
+
+  std::unique_ptr<MeshShape> shape_;
+  LambOptions options_;
+  std::vector<double> values_;
+  FaultSet faults_;
+  std::vector<NodeId> lambs_;  // sorted
+  std::vector<EpochReport> history_;
+  std::unique_ptr<wormhole::RouteCache> routes_;
+  std::int64_t seen_node_faults_ = 0;  // totals at the last reconfigure
+  std::int64_t seen_link_faults_ = 0;
+  bool pending_ = true;  // epoch 0 must be established by reconfigure()
+};
+
+}  // namespace lamb::manager

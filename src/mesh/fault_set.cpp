@@ -1,0 +1,91 @@
+#include "mesh/fault_set.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace lamb {
+
+FaultSet::FaultSet(const MeshShape& shape) : shape_(&shape) {
+  node_bad_.assign(static_cast<std::size_t>(shape.size()), 0);
+}
+
+void FaultSet::add_node(const Point& p) {
+  assert(shape_->in_bounds(p));
+  const NodeId id = shape_->index(p);
+  if (node_bad_[static_cast<std::size_t>(id)]) return;
+  node_bad_[static_cast<std::size_t>(id)] = 1;
+  node_faults_.insert(
+      std::lower_bound(node_faults_.begin(), node_faults_.end(), id), id);
+}
+
+namespace {
+
+// Canonical endpoint/direction for a link so duplicates are detected
+// regardless of which end was named.
+bool canonicalize(const MeshShape& shape, Point* from, int dim, Dir* dir) {
+  Point to;
+  if (!shape.neighbor(*from, dim, *dir, &to)) return false;
+  if (*dir == Dir::Neg) {
+    *from = to;
+    *dir = Dir::Pos;
+  }
+  return true;
+}
+
+}  // namespace
+
+void FaultSet::add_link(const Point& from, int dim, Dir dir) {
+  Point a = from;
+  Dir d = dir;
+  if (!canonicalize(*shape_, &a, dim, &d)) {
+    throw std::invalid_argument("FaultSet::add_link: link does not exist");
+  }
+  Point b;
+  shape_->neighbor(a, dim, Dir::Pos, &b);
+  const LinkId fwd = shape_->link_id(a, dim, Dir::Pos);
+  const LinkId bwd = shape_->link_id(b, dim, Dir::Neg);
+  const bool already =
+      std::binary_search(bad_directed_links_.begin(), bad_directed_links_.end(), fwd) &&
+      std::binary_search(bad_directed_links_.begin(), bad_directed_links_.end(), bwd);
+  if (already) return;
+  for (LinkId id : {fwd, bwd}) {
+    auto it = std::lower_bound(bad_directed_links_.begin(),
+                               bad_directed_links_.end(), id);
+    if (it == bad_directed_links_.end() || *it != id) {
+      bad_directed_links_.insert(it, id);
+    }
+  }
+  link_faults_.push_back(LinkFault{a, dim, Dir::Pos, /*bidirectional=*/true});
+}
+
+void FaultSet::add_directed_link(const Point& from, int dim, Dir dir) {
+  Point to;
+  if (!shape_->neighbor(from, dim, dir, &to)) {
+    throw std::invalid_argument("FaultSet::add_directed_link: link does not exist");
+  }
+  const LinkId id = shape_->link_id(from, dim, dir);
+  auto it = std::lower_bound(bad_directed_links_.begin(),
+                             bad_directed_links_.end(), id);
+  if (it != bad_directed_links_.end() && *it == id) return;
+  bad_directed_links_.insert(it, id);
+  link_faults_.push_back(LinkFault{from, dim, dir, /*bidirectional=*/false});
+}
+
+bool FaultSet::link_faulty(NodeId from, int dim, Dir dir) const {
+  if (bad_directed_links_.empty()) return false;
+  return std::binary_search(bad_directed_links_.begin(),
+                            bad_directed_links_.end(),
+                            shape_->link_id(from, dim, dir));
+}
+
+FaultSet FaultSet::random_nodes(const MeshShape& shape, std::int64_t count,
+                                Rng& rng) {
+  FaultSet fs(shape);
+  for (NodeId id : sample_without_replacement(shape.size(), count, rng)) {
+    fs.add_node(id);
+  }
+  return fs;
+}
+
+}  // namespace lamb

@@ -1,0 +1,89 @@
+#include "mesh/mesh.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lamb {
+
+MeshShape::MeshShape(std::vector<Coord> widths, bool wraps)
+    : widths_(std::move(widths)), wraps_(wraps) {
+  dim_ = static_cast<int>(widths_.size());
+  if (dim_ < 1 || dim_ > kMaxDim) {
+    throw std::invalid_argument("MeshShape: dimension must be in [1, " +
+                                std::to_string(kMaxDim) + "]");
+  }
+  strides_.resize(widths_.size());
+  NodeId acc = 1;
+  for (int j = 0; j < dim_; ++j) {
+    const Coord w = widths_[static_cast<std::size_t>(j)];
+    if (w < 2) throw std::invalid_argument("MeshShape: widths must be >= 2");
+    strides_[static_cast<std::size_t>(j)] = acc;
+    acc *= w;
+  }
+  size_ = acc;
+}
+
+MeshShape MeshShape::mesh(std::vector<Coord> widths) {
+  return MeshShape(std::move(widths), /*wraps=*/false);
+}
+
+MeshShape MeshShape::torus(std::vector<Coord> widths) {
+  return MeshShape(std::move(widths), /*wraps=*/true);
+}
+
+MeshShape MeshShape::hypercube(int d) {
+  return mesh(std::vector<Coord>(static_cast<std::size_t>(d), Coord{2}));
+}
+
+bool MeshShape::in_bounds(const Point& p) const {
+  for (int j = 0; j < dim_; ++j) {
+    if (p[j] < 0 || p[j] >= width(j)) return false;
+  }
+  for (int j = dim_; j < kMaxDim; ++j) {
+    if (p[j] != 0) return false;
+  }
+  return true;
+}
+
+bool MeshShape::neighbor(const Point& p, int j, Dir d, Point* out) const {
+  Point q = p;
+  q[j] += static_cast<Coord>(dir_sign(d));
+  if (q[j] < 0 || q[j] >= width(j)) {
+    if (!wraps_) return false;
+    q[j] = (q[j] + width(j)) % width(j);
+  }
+  *out = q;
+  return true;
+}
+
+std::int64_t MeshShape::num_links() const {
+  std::int64_t total = 0;
+  for (int j = 0; j < dim_; ++j) {
+    const std::int64_t per_line = wraps_ ? width(j) : width(j) - 1;
+    total += 2 * per_line * (size_ / width(j));
+  }
+  return total;
+}
+
+std::int64_t MeshShape::l1_distance(const Point& a, const Point& b) const {
+  std::int64_t dist = 0;
+  for (int j = 0; j < dim_; ++j) {
+    std::int64_t d = std::abs(static_cast<std::int64_t>(a[j]) - b[j]);
+    if (wraps_) d = std::min(d, width(j) - d);
+    dist += d;
+  }
+  return dist;
+}
+
+std::string MeshShape::to_string() const {
+  std::ostringstream os;
+  os << (wraps_ ? "T" : "M") << dim_ << "(";
+  for (int j = 0; j < dim_; ++j) {
+    if (j > 0) os << "x";
+    os << width(j);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace lamb

@@ -1,0 +1,80 @@
+#include "mesh/rect_set.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace lamb {
+
+RectSet::RectSet(const MeshShape& shape) : dim_(shape.dim()) {
+  lo_.assign(static_cast<std::size_t>(dim_), 0);
+  hi_.resize(static_cast<std::size_t>(dim_));
+  for (int j = 0; j < dim_; ++j) {
+    hi_[static_cast<std::size_t>(j)] = shape.width(j) - 1;
+  }
+}
+
+void RectSet::clamp(int j, Coord lo, Coord hi) {
+  assert(j >= 0 && j < dim_ && lo <= hi);
+  lo_[static_cast<std::size_t>(j)] = lo;
+  hi_[static_cast<std::size_t>(j)] = hi;
+}
+
+bool RectSet::contains(const Point& p) const {
+  for (int j = 0; j < dim_; ++j) {
+    if (p[j] < lo(j) || p[j] > hi(j)) return false;
+  }
+  return true;
+}
+
+NodeId RectSet::size() const {
+  NodeId total = 1;
+  for (int j = 0; j < dim_; ++j) total *= (hi(j) - lo(j) + 1);
+  return dim_ == 0 ? 0 : total;
+}
+
+Point RectSet::representative() const {
+  Point p;
+  for (int j = 0; j < dim_; ++j) p[j] = lo(j);
+  return p;
+}
+
+bool RectSet::intersects(const RectSet& a, const RectSet& b) {
+  assert(a.dim_ == b.dim_);
+  for (int j = 0; j < a.dim_; ++j) {
+    if (a.hi(j) < b.lo(j) || b.hi(j) < a.lo(j)) return false;
+  }
+  return true;
+}
+
+RectSet RectSet::intersection(const RectSet& a, const RectSet& b) {
+  if (!intersects(a, b)) return RectSet{};
+  RectSet out = a;
+  for (int j = 0; j < a.dim_; ++j) {
+    out.clamp(j, std::max(a.lo(j), b.lo(j)), std::min(a.hi(j), b.hi(j)));
+  }
+  return out;
+}
+
+void RectSet::collect(const MeshShape& shape, std::vector<NodeId>* out) const {
+  for_each([&](const Point& p) { out->push_back(shape.index(p)); });
+}
+
+std::string RectSet::to_string(const MeshShape& shape) const {
+  std::ostringstream os;
+  os << "(";
+  for (int j = 0; j < dim_; ++j) {
+    if (j > 0) os << ",";
+    if (lo(j) == 0 && hi(j) == shape.width(j) - 1) {
+      os << "*";
+    } else if (lo(j) == hi(j)) {
+      os << lo(j);
+    } else {
+      os << "[" << lo(j) << "," << hi(j) << "]";
+    }
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace lamb

@@ -1,0 +1,71 @@
+// Rectangular ("box") node sets, the abbreviation the partition algorithm
+// of paper Section 6.1 manipulates: each coordinate is either a *, an
+// interval [l,r], or a constant c. All three collapse to an interval
+// [lo,hi] per dimension (a * is [0, n-1], a constant is [c,c]), which is
+// what we store; the representative rule rep(S) = (0,..,0,l,c,..,c) then
+// becomes simply the per-dimension lower corner.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace lamb {
+
+class RectSet {
+ public:
+  RectSet() = default;
+  // Whole-mesh box.
+  explicit RectSet(const MeshShape& shape);
+
+  int dim() const { return dim_; }
+  Coord lo(int j) const { return lo_[static_cast<std::size_t>(j)]; }
+  Coord hi(int j) const { return hi_[static_cast<std::size_t>(j)]; }
+
+  // Restricts dimension j to [lo, hi]. Requires lo <= hi.
+  void clamp(int j, Coord lo, Coord hi);
+
+  bool contains(const Point& p) const;
+  NodeId size() const;
+  bool empty() const { return dim_ == 0; }
+
+  // Lower corner; by construction of the partition algorithm this node is
+  // good and serves as the set's representative (Lemma 4.1).
+  Point representative() const;
+
+  static bool intersects(const RectSet& a, const RectSet& b);
+  // Intersection box; result.size() == 0-dim sentinel when disjoint.
+  static RectSet intersection(const RectSet& a, const RectSet& b);
+
+  // Enumerates all member node ids in index order.
+  void collect(const MeshShape& shape, std::vector<NodeId>* out) const;
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    Point p = representative();
+    visit_rec(dim_ - 1, p, fn);
+  }
+
+  std::string to_string(const MeshShape& shape) const;
+
+  friend bool operator==(const RectSet&, const RectSet&) = default;
+
+ private:
+  template <typename Fn>
+  void visit_rec(int j, Point& p, Fn&& fn) const {
+    if (j < 0) {
+      fn(static_cast<const Point&>(p));
+      return;
+    }
+    for (Coord v = lo(j); v <= hi(j); ++v) {
+      p[j] = v;
+      visit_rec(j - 1, p, fn);
+    }
+    p[j] = lo(j);
+  }
+
+  std::vector<Coord> lo_, hi_;
+  int dim_ = 0;
+};
+
+}  // namespace lamb

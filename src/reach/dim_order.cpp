@@ -1,0 +1,62 @@
+#include "reach/dim_order.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace lamb {
+
+DimOrder DimOrder::ascending(int d) {
+  std::vector<int> perm(static_cast<std::size_t>(d));
+  std::iota(perm.begin(), perm.end(), 0);
+  return DimOrder(std::move(perm));
+}
+
+DimOrder DimOrder::descending(int d) {
+  std::vector<int> perm(static_cast<std::size_t>(d));
+  std::iota(perm.rbegin(), perm.rend(), 0);
+  return DimOrder(std::move(perm));
+}
+
+DimOrder::DimOrder(std::vector<int> perm) : perm_(std::move(perm)) {
+  std::vector<int> sorted = perm_;
+  std::sort(sorted.begin(), sorted.end());
+  for (int j = 0; j < static_cast<int>(sorted.size()); ++j) {
+    if (sorted[static_cast<std::size_t>(j)] != j) {
+      throw std::invalid_argument("DimOrder: not a permutation of 0..d-1");
+    }
+  }
+}
+
+int DimOrder::position_of(int j) const {
+  for (int t = 0; t < dim(); ++t) {
+    if (at(t) == j) return t;
+  }
+  return -1;
+}
+
+DimOrder DimOrder::reversed() const {
+  std::vector<int> perm(perm_.rbegin(), perm_.rend());
+  return DimOrder(std::move(perm));
+}
+
+std::string DimOrder::to_string() const {
+  static constexpr char kNames[] = "XYZWABCD";
+  std::ostringstream os;
+  for (int t = 0; t < dim(); ++t) {
+    const int j = at(t);
+    if (dim() <= 8 && j < 8) {
+      os << kNames[j];
+    } else {
+      os << j << ".";
+    }
+  }
+  return os.str();
+}
+
+MultiRoundOrder ascending_rounds(int d, int k) {
+  return MultiRoundOrder(static_cast<std::size_t>(k), DimOrder::ascending(d));
+}
+
+}  // namespace lamb

@@ -1,0 +1,46 @@
+// Dimension-ordered routing orders (paper Definitions 2.2, 2.3).
+//
+// A 1-round ordering is a permutation pi of the dimensions; the pi-route
+// from v to w corrects coordinates one dimension at a time in that order
+// (XY routing in 2D, XYZ / e-cube in 3D). A k-round ordering is a sequence
+// of k 1-round orderings, one per round / virtual channel.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace lamb {
+
+class DimOrder {
+ public:
+  // Ascending order (1,2,...,d): XY, XYZ, e-cube.
+  static DimOrder ascending(int d);
+  static DimOrder descending(int d);
+  // perm[t] = dimension routed at step t (0-based dimensions).
+  explicit DimOrder(std::vector<int> perm);
+
+  int dim() const { return static_cast<int>(perm_.size()); }
+  int at(int t) const { return perm_[static_cast<std::size_t>(t)]; }
+  // Position of dimension j in the order.
+  int position_of(int j) const;
+
+  DimOrder reversed() const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const DimOrder&, const DimOrder&) = default;
+
+ private:
+  std::vector<int> perm_;
+};
+
+// A k-round ordering (pi_1, ..., pi_k).
+using MultiRoundOrder = std::vector<DimOrder>;
+
+// The pi-ordered k-round routing used throughout the paper's examples and
+// simulations: the ascending order in every round.
+MultiRoundOrder ascending_rounds(int d, int k);
+
+}  // namespace lamb

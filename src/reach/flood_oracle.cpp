@@ -1,0 +1,187 @@
+#include "reach/flood_oracle.hpp"
+
+#include <vector>
+
+namespace lamb {
+
+FloodOracle::FloodOracle(const MeshShape& shape, const FaultSet& faults)
+    : shape_(&shape), faults_(&faults) {}
+
+namespace {
+
+// On a torus, travel from a to b goes positive iff the forward arc is no
+// longer than the backward arc.
+bool travels_positive(const MeshShape& shape, int j, Coord a, Coord b) {
+  if (!shape.wraps()) return b >= a;
+  const Coord n = shape.width(j);
+  const Coord fwd = static_cast<Coord>(((b - a) % n + n) % n);
+  return fwd <= n - fwd;
+}
+
+}  // namespace
+
+void FloodOracle::expand_line_from(const Point& p, int j, Bits* out) const {
+  const Coord n = shape_->width(j);
+  const Coord a = p[j];
+  // max_pos[s] clear <=> first s positive steps from a are all fault-free.
+  Coord max_pos = 0;
+  {
+    Point cur = p;
+    for (Coord s = 1; s < n; ++s) {
+      if (faults_->link_faulty(cur, j, Dir::Pos)) break;
+      Point next;
+      if (!shape_->neighbor(cur, j, Dir::Pos, &next)) break;
+      if (faults_->node_faulty(next)) break;
+      max_pos = s;
+      cur = next;
+    }
+  }
+  Coord max_neg = 0;
+  {
+    Point cur = p;
+    for (Coord s = 1; s < n; ++s) {
+      if (faults_->link_faulty(cur, j, Dir::Neg)) break;
+      Point next;
+      if (!shape_->neighbor(cur, j, Dir::Neg, &next)) break;
+      if (faults_->node_faulty(next)) break;
+      max_neg = s;
+      cur = next;
+    }
+  }
+  Point q = p;
+  for (Coord b = 0; b < n; ++b) {
+    bool ok;
+    if (b == a) {
+      ok = true;
+    } else if (travels_positive(*shape_, j, a, b)) {
+      const Coord steps = shape_->wraps()
+                              ? static_cast<Coord>(((b - a) % n + n) % n)
+                              : static_cast<Coord>(b - a);
+      ok = steps <= max_pos;
+    } else {
+      const Coord steps = shape_->wraps()
+                              ? static_cast<Coord>(((a - b) % n + n) % n)
+                              : static_cast<Coord>(a - b);
+      ok = steps <= max_neg;
+    }
+    if (ok) {
+      q[j] = b;
+      out->set(shape_->index(q));
+    }
+  }
+}
+
+void FloodOracle::expand_line_to(const Point& p, int j, Bits* out) const {
+  const Coord n = shape_->width(j);
+  const Coord b = p[j];
+  // Walk outward from the target: a reaches b going positive iff the path
+  // a -> b (positive direction) is clear, i.e. walking backward from b we
+  // stay on good nodes and good forward links.
+  Coord max_from_below = 0;  // sources at distance s below b (positive travel)
+  {
+    Point cur = p;
+    for (Coord s = 1; s < n; ++s) {
+      Point prev;
+      if (!shape_->neighbor(cur, j, Dir::Neg, &prev)) break;
+      if (faults_->node_faulty(prev)) break;
+      if (faults_->link_faulty(prev, j, Dir::Pos)) break;
+      max_from_below = s;
+      cur = prev;
+    }
+  }
+  Coord max_from_above = 0;  // sources at distance s above b (negative travel)
+  {
+    Point cur = p;
+    for (Coord s = 1; s < n; ++s) {
+      Point prev;
+      if (!shape_->neighbor(cur, j, Dir::Pos, &prev)) break;
+      if (faults_->node_faulty(prev)) break;
+      if (faults_->link_faulty(prev, j, Dir::Neg)) break;
+      max_from_above = s;
+      cur = prev;
+    }
+  }
+  Point q = p;
+  for (Coord a = 0; a < n; ++a) {
+    bool ok;
+    if (a == b) {
+      ok = true;
+    } else if (travels_positive(*shape_, j, a, b)) {
+      const Coord steps = shape_->wraps()
+                              ? static_cast<Coord>(((b - a) % n + n) % n)
+                              : static_cast<Coord>(b - a);
+      ok = steps <= max_from_below;
+    } else {
+      const Coord steps = shape_->wraps()
+                              ? static_cast<Coord>(((a - b) % n + n) % n)
+                              : static_cast<Coord>(a - b);
+      ok = steps <= max_from_above;
+    }
+    if (ok) {
+      q[j] = a;
+      out->set(shape_->index(q));
+    }
+  }
+}
+
+Bits FloodOracle::reach1_from(const Point& v, const DimOrder& order) const {
+  Bits cur(shape_->size());
+  if (faults_->node_faulty(v)) return cur;
+  cur.set(shape_->index(v));
+  for (int t = 0; t < order.dim(); ++t) {
+    const int j = order.at(t);
+    Bits next(shape_->size());
+    cur.for_each([&](NodeId id) {
+      expand_line_from(shape_->point(id), j, &next);
+    });
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+Bits FloodOracle::reach1_from_set(const Bits& sources,
+                                  const DimOrder& order) const {
+  Bits cur(shape_->size());
+  sources.for_each([&](NodeId id) {
+    if (!faults_->node_faulty(id)) cur.set(id);
+  });
+  for (int t = 0; t < order.dim(); ++t) {
+    const int j = order.at(t);
+    Bits next(shape_->size());
+    cur.for_each([&](NodeId id) {
+      expand_line_from(shape_->point(id), j, &next);
+    });
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+Bits FloodOracle::reach1_to(const Point& w, const DimOrder& order) const {
+  Bits cur(shape_->size());
+  if (faults_->node_faulty(w)) return cur;
+  cur.set(shape_->index(w));
+  for (int t = order.dim() - 1; t >= 0; --t) {
+    const int j = order.at(t);
+    Bits next(shape_->size());
+    cur.for_each([&](NodeId id) {
+      expand_line_to(shape_->point(id), j, &next);
+    });
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+Bits FloodOracle::reach_from(const Point& v, const MultiRoundOrder& orders) const {
+  Bits cur(shape_->size());
+  if (orders.empty()) {
+    if (!faults_->node_faulty(v)) cur.set(shape_->index(v));
+    return cur;
+  }
+  cur = reach1_from(v, orders.front());
+  for (std::size_t r = 1; r < orders.size(); ++r) {
+    cur = reach1_from_set(cur, orders[r]);
+  }
+  return cur;
+}
+
+}  // namespace lamb

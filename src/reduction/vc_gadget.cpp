@@ -1,0 +1,101 @@
+#include "reduction/vc_gadget.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lamb {
+
+VcGadget::VcGadget(const WeightedGraph& input, int extra_planes) {
+  num_vertices_ = input.num_vertices() + 1;  // + isolated u_0
+  const int v = num_vertices_;
+
+  adjacent_.assign(static_cast<std::size_t>(v),
+                   std::vector<char>(static_cast<std::size_t>(v), 0));
+  for (const Edge& e : input.edges()) {
+    adjacent_[static_cast<std::size_t>(e.u + 1)][static_cast<std::size_t>(e.v + 1)] = 1;
+    adjacent_[static_cast<std::size_t>(e.v + 1)][static_cast<std::size_t>(e.u + 1)] = 1;
+  }
+  for (int i = 0; i < v; ++i) {
+    for (int j = i + 1; j < v; ++j) {
+      if (!adjacent_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]) {
+        nonedges_.emplace_back(i, j);
+      }
+    }
+  }
+
+  const Coord planes_needed =
+      static_cast<Coord>(2 * nonedges_.size() + 1 + extra_planes);
+  // Strictly larger than the 2|V'|-wide internal region so the external
+  // region (x >= 2|V'| or z >= 2|V'|), which properties 1 and 3 of the
+  // Theorem 9.1 proof route through, is nonempty.
+  n_ = std::max<Coord>(static_cast<Coord>(2 * v + 2), planes_needed);
+  shape_ = std::make_unique<MeshShape>(MeshShape::cube(3, n_));
+  faults_ = std::make_unique<FaultSet>(*shape_);
+
+  for (Coord y = 0; y < n_; ++y) {
+    for (Coord x = 0; x < 2 * v; ++x) {
+      for (Coord z = 0; z < 2 * v; ++z) {
+        if (!good_in_plane(y, x, z)) {
+          faults_->add_node(Point{x, y, z});
+        }
+      }
+    }
+  }
+}
+
+bool VcGadget::good_in_plane(Coord y, Coord x, Coord z) const {
+  const int v = num_vertices_;
+  // Column positions are good in every plane.
+  if (x == z && x % 2 == 0 && x < 2 * v) return true;
+  // Non-edge planes occupy the odd levels 1, 3, ..., 2*#nonedges - 1.
+  if (y % 2 == 1) {
+    const std::size_t idx = static_cast<std::size_t>(y / 2);
+    if (idx < nonedges_.size()) {
+      const Coord a = static_cast<Coord>(2 * nonedges_[idx].first);
+      const Coord b = static_cast<Coord>(2 * nonedges_[idx].second);  // a < b
+      // Two L-paths between the outlets (one per direction) plus X and Z
+      // tails from each outlet to the external region:
+      //   rows    z == a and z == b for x in [a, 2v-1]
+      //   columns x == a and x == b for z in [a, 2v-1]
+      if ((z == a || z == b) && x >= a) return true;
+      if ((x == a || x == b) && z >= a) return true;
+    }
+  }
+  return false;
+}
+
+int VcGadget::column_of(const Point& p) const {
+  if (p[0] != p[2] || p[0] % 2 != 0 || p[0] >= 2 * num_vertices_) return -1;
+  return static_cast<int>(p[0] / 2);
+}
+
+bool VcGadget::is_outlet(const Point& p) const {
+  const int t = column_of(p);
+  if (t < 0) return false;
+  const Coord y = p[1];
+  if (y % 2 != 1) return false;
+  const std::size_t idx = static_cast<std::size_t>(y / 2);
+  if (idx >= nonedges_.size()) return false;
+  return nonedges_[idx].first == t || nonedges_[idx].second == t;
+}
+
+std::vector<int> VcGadget::extract_cover(const std::vector<NodeId>& lambs) const {
+  std::vector<char> is_lamb(static_cast<std::size_t>(shape_->size()), 0);
+  for (NodeId id : lambs) is_lamb[static_cast<std::size_t>(id)] = 1;
+
+  std::vector<int> cover;
+  for (int t = 1; t < num_vertices_; ++t) {  // skip the artificial u_0
+    bool all_non_outlets_lambs = true;
+    for (Coord y = 0; y < n_ && all_non_outlets_lambs; ++y) {
+      const Point p{column_coord(t), y, column_coord(t)};
+      if (is_outlet(p)) continue;
+      if (!is_lamb[static_cast<std::size_t>(shape_->index(p))]) {
+        all_non_outlets_lambs = false;
+      }
+    }
+    if (all_non_outlets_lambs) cover.push_back(t - 1);  // input-graph index
+  }
+  return cover;
+}
+
+}  // namespace lamb

@@ -1,0 +1,83 @@
+// The NP-hardness gadget of paper Section 9 (Theorem 9.1): a polynomial
+// reduction from VERTEX COVER to the (3, 2)-lamb problem.
+//
+// Given a graph G, add an isolated vertex u_0 and build a 3D mesh M_3(n)
+// whose Y levels alternate between "column planes" (Figure 27) — all
+// internal nodes faulty except one column position (2t, 2t) per vertex —
+// and "non-edge planes" (Figure 28) — one per non-adjacent vertex pair,
+// where the two columns' outlet nodes are connected by XZ paths in both
+// directions and have X/Z tails to the external region. The reachability
+// properties 1-3 of the proof then hold:
+//   1. columns of non-adjacent vertices 2-reach each other,
+//   2. non-outlet column nodes of ADJACENT vertices cannot 2-reach each
+//      other,
+//   3. any column plus the external region is mutually 2-reachable,
+// so small lamb sets encode small vertex covers.
+//
+// This module builds the gadget (at the structural size n = max(2|V'|,
+// 2 * #non-edges + 1); the epsilon-amplification of the proof only pads n
+// with more column planes and is available via `extra_planes`), and
+// extracts a vertex cover from any lamb set as in the proof.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mesh/fault_set.hpp"
+#include "mesh/mesh.hpp"
+
+namespace lamb {
+
+class VcGadget {
+ public:
+  // `input` is the VC instance; vertex t of the input becomes gadget
+  // vertex t+1 (gadget vertex 0 is the added isolated u_0).
+  explicit VcGadget(const WeightedGraph& input, int extra_planes = 0);
+
+  VcGadget(const VcGadget&) = delete;
+  VcGadget& operator=(const VcGadget&) = delete;
+
+  const MeshShape& shape() const { return *shape_; }
+  const FaultSet& faults() const { return *faults_; }
+  int num_gadget_vertices() const { return num_vertices_; }
+  Coord side() const { return n_; }
+
+  // Column coordinate of gadget vertex t: nodes (2t, y, 2t).
+  Coord column_coord(int t) const { return static_cast<Coord>(2 * t); }
+
+  // Gadget vertex whose column contains p, or -1.
+  int column_of(const Point& p) const;
+  // Whether p is an outlet (a column node at a non-edge-plane level in
+  // which its vertex participates).
+  bool is_outlet(const Point& p) const;
+  // Internal region: x, z < 2 |V'|.
+  bool is_internal(const Point& p) const {
+    return p[0] < 2 * num_vertices_ && p[2] < 2 * num_vertices_;
+  }
+
+  const std::vector<std::pair<int, int>>& nonedges() const { return nonedges_; }
+  // Level of the non-edge plane for nonedges()[idx].
+  Coord nonedge_level(std::size_t idx) const {
+    return static_cast<Coord>(2 * idx + 1);
+  }
+
+  // A vertex cover of the ORIGINAL input graph extracted from a lamb set
+  // (Theorem 9.1: u_t is chosen iff every non-outlet node of column t is a
+  // lamb). The result is guaranteed to be a cover whenever `lambs` is a
+  // valid (2-round XYZ) lamb set of the gadget.
+  std::vector<int> extract_cover(const std::vector<NodeId>& lambs) const;
+
+ private:
+  bool good_in_plane(Coord y, Coord x, Coord z) const;
+
+  int num_vertices_ = 0;  // |V'| = |V(input)| + 1
+  Coord n_ = 0;
+  std::vector<std::pair<int, int>> nonedges_;      // gadget vertex pairs, i < j
+  std::vector<std::vector<char>> adjacent_;        // gadget adjacency
+  std::unique_ptr<MeshShape> shape_;
+  std::unique_ptr<FaultSet> faults_;
+};
+
+}  // namespace lamb

@@ -1,0 +1,39 @@
+#include "support/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace lamb {
+
+long env_long(const char* name, long fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw) return fallback;
+  return std::max(0L, value);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw) return fallback;
+  return value;
+}
+
+int scaled_trials(int base) {
+  const double mult = env_double("LAMBMESH_TRIALS", 1.0);
+  const double scaled = static_cast<double>(base) * (mult > 0.0 ? mult : 1.0);
+  return std::max(1, static_cast<int>(scaled));
+}
+
+unsigned long long default_seed() {
+  // Arbitrary fixed constant so every run is reproducible by default.
+  constexpr long kFallbackSeed = 20020416;  // IPDPS 2002 publication month
+  return static_cast<unsigned long long>(env_long("LAMBMESH_SEED", kFallbackSeed));
+}
+
+}  // namespace lamb

@@ -1,0 +1,27 @@
+// Environment-variable helpers used by the benchmark harness.
+//
+// The Monte-Carlo experiments of the paper average over 1000 trials; the
+// bench binaries default to smaller trial counts so that the whole suite
+// runs in minutes on one core. LAMBMESH_TRIALS acts as a multiplier to
+// restore paper fidelity (see DESIGN.md section 4).
+#pragma once
+
+#include <string>
+
+namespace lamb {
+
+// Returns the integer value of environment variable `name`, or `fallback`
+// when unset or unparsable. Negative parsed values are clamped to 0.
+long env_long(const char* name, long fallback);
+
+// Returns the double value of environment variable `name`, or `fallback`.
+double env_double(const char* name, double fallback);
+
+// Trial-count helper: `base` scaled by LAMBMESH_TRIALS (a percentage-like
+// multiplier; default 1.0). Result is at least 1.
+int scaled_trials(int base);
+
+// Global default seed for reproducible experiments; LAMBMESH_SEED overrides.
+unsigned long long default_seed();
+
+}  // namespace lamb

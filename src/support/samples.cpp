@@ -1,0 +1,42 @@
+#include "support/samples.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lamb {
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Samples::min() const {
+  ensure_sorted();
+  return values_.empty() ? 0.0 : values_.front();
+}
+
+double Samples::max() const {
+  ensure_sorted();
+  return values_.empty() ? 0.0 : values_.back();
+}
+
+double Samples::quantile(double q) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: smallest value with cumulative proportion >= q.
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values_.size())));
+  return values_[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace lamb

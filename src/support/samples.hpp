@@ -1,0 +1,34 @@
+// Sample collector with exact quantiles, complementing the streaming
+// Accumulator: wormhole latency distributions are heavy-tailed under
+// contention (hot spots), so reports quote p50/p95/p99 alongside means.
+// Stores all samples; intended for simulation-scale data (<= millions).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lamb {
+
+class Samples {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::int64_t count() const { return static_cast<std::int64_t>(values_.size()); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  // Exact q-quantile (nearest-rank), q in [0, 1]. 0 when empty.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace lamb

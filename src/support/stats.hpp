@@ -1,0 +1,49 @@
+// Streaming statistics accumulators and a wall-clock stopwatch used by the
+// experiment harness (paper Section 8 reports averages and maxima over
+// 1000-trial sweeps, plus running times in Figure 26).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace lamb {
+
+// Single-pass accumulator for count/mean/min/max/variance (Welford).
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace lamb

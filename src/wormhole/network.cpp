@@ -1,0 +1,205 @@
+#include "wormhole/network.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace lamb::wormhole {
+
+Network::Network(const MeshShape& shape, const FaultSet& faults,
+                 SimConfig config)
+    : shape_(&shape), faults_(&faults), config_(config) {
+  if (config_.vcs_per_link < 1 || config_.buffer_flits < 1) {
+    throw std::invalid_argument("Network: vcs_per_link and buffer_flits >= 1");
+  }
+  const std::int64_t num_links = shape.size() * shape.dim() * 2;
+  buffers_.resize(static_cast<std::size_t>(num_links * config_.vcs_per_link));
+  link_used_.assign(static_cast<std::size_t>(num_links), 0);
+  link_flits_.assign(static_cast<std::size_t>(num_links), 0);
+}
+
+void Network::submit(Message message) {
+  MessageState st;
+  st.msg = std::move(message);
+  const std::size_t h = st.msg.route.hops.size();
+  st.count_at.assign(h, 0);
+  st.crossed.assign(h, 0);
+  st.flits_at_source = st.msg.length_flits;
+  messages_.push_back(std::move(st));
+}
+
+std::int64_t Network::buffer_index(NodeId from, const Hop& hop) const {
+  const LinkId link = shape_->link_id(from, hop.dim, hop.dir);
+  return link * config_.vcs_per_link + (hop.vc % config_.vcs_per_link);
+}
+
+NodeId Network::node_before_hop(const MessageState& st, int p) const {
+  // Walk is O(p); cached node sequences would be faster but routes are
+  // short and this keeps the state minimal. p == 0 is the source.
+  Point at = shape_->point(st.msg.route.src);
+  for (int i = 0; i < p; ++i) {
+    const Hop& hop = st.msg.route.hops[static_cast<std::size_t>(i)];
+    Point next;
+    shape_->neighbor(at, hop.dim, hop.dir, &next);
+    at = next;
+  }
+  return shape_->index(at);
+}
+
+bool Network::try_advance(MessageState& st, int p) {
+  const std::int64_t m = &st - messages_.data();
+  const int q = p + 1;  // hop to traverse
+  assert(q >= 0 && q < static_cast<int>(st.msg.route.hops.size()));
+  const Hop& hop = st.msg.route.hops[static_cast<std::size_t>(q)];
+  const NodeId from = node_before_hop(st, q);
+  const LinkId link = shape_->link_id(from, hop.dim, hop.dir);
+  if (link_used_[static_cast<std::size_t>(link)]) return false;
+  Buffer& tb = buffers_[static_cast<std::size_t>(buffer_index(from, hop))];
+  if (tb.owner != m) {
+    // Only the head flit may allocate a fresh virtual channel.
+    if (tb.owner >= 0 || st.crossed[static_cast<std::size_t>(q)] != 0) {
+      return false;
+    }
+  }
+  if (tb.occupancy >= config_.buffer_flits) return false;
+
+  // Commit the move.
+  if (p >= 0) {
+    const Hop& prev = st.msg.route.hops[static_cast<std::size_t>(p)];
+    const NodeId prev_from = node_before_hop(st, p);
+    Buffer& sb = buffers_[static_cast<std::size_t>(buffer_index(prev_from, prev))];
+    --sb.occupancy;
+    ++sb.passed;
+    --st.count_at[static_cast<std::size_t>(p)];
+    if (sb.passed == st.msg.length_flits) {
+      assert(sb.occupancy == 0);
+      sb.owner = -1;  // tail released the channel
+      sb.passed = 0;
+    }
+  } else {
+    --st.flits_at_source;
+  }
+  tb.owner = m;
+  ++tb.occupancy;
+  ++st.count_at[static_cast<std::size_t>(q)];
+  ++st.crossed[static_cast<std::size_t>(q)];
+  link_used_[static_cast<std::size_t>(link)] = 1;
+  ++link_flits_[static_cast<std::size_t>(link)];
+  moved_this_cycle_ = true;
+  return true;
+}
+
+SimResult Network::run() {
+  SimResult result;
+  result.total_messages = static_cast<std::int64_t>(messages_.size());
+  for (const MessageState& st : messages_) {
+    result.hops.add(static_cast<double>(st.msg.route.length()));
+    result.turns.add(static_cast<double>(st.msg.route.turns()));
+  }
+
+  std::int64_t delivered = 0;
+  std::int64_t flits_delivered = 0;
+  std::int64_t stagnant = 0;
+  cycle_ = 0;
+  while (delivered < result.total_messages && cycle_ < config_.max_cycles) {
+    moved_this_cycle_ = false;
+    std::fill(link_used_.begin(), link_used_.end(), 0);
+
+    const std::int64_t m_count = static_cast<std::int64_t>(messages_.size());
+    for (std::int64_t off = 0; off < m_count; ++off) {
+      MessageState& st =
+          messages_[static_cast<std::size_t>((cycle_ + off) % m_count)];
+      if (st.done() || st.msg.inject_cycle > cycle_) continue;
+      if (st.msg.after >= 0 &&
+          !messages_[static_cast<std::size_t>(st.msg.after)].done()) {
+        continue;  // dependency not yet delivered
+      }
+      st.started = true;
+      const int h = static_cast<int>(st.msg.route.hops.size());
+
+      if (h == 0) {  // src == dst: deliver immediately
+        st.ejected = st.msg.length_flits;
+        st.finish_cycle = cycle_;
+        flits_delivered += st.msg.length_flits;
+        ++delivered;
+        moved_this_cycle_ = true;
+        continue;
+      }
+
+      // Eject one flit from the final buffer, then pipeline the worm
+      // forward one position per buffer, head first.
+      if (st.count_at[static_cast<std::size_t>(h - 1)] > 0) {
+        const Hop& last = st.msg.route.hops[static_cast<std::size_t>(h - 1)];
+        const NodeId from = node_before_hop(st, h - 1);
+        Buffer& b = buffers_[static_cast<std::size_t>(buffer_index(from, last))];
+        --b.occupancy;
+        ++b.passed;
+        --st.count_at[static_cast<std::size_t>(h - 1)];
+        if (b.passed == st.msg.length_flits) {
+          b.owner = -1;
+          b.passed = 0;
+        }
+        ++st.ejected;
+        ++flits_delivered;
+        moved_this_cycle_ = true;
+        if (st.done()) {
+          st.finish_cycle = cycle_;
+          ++delivered;
+          const double lat = static_cast<double>(cycle_ - st.msg.inject_cycle);
+          result.latency.add(lat);
+          result.latency_samples.add(lat);
+          continue;
+        }
+      }
+      for (int p = h - 2; p >= -1; --p) {
+        const bool have_flit =
+            p >= 0 ? st.count_at[static_cast<std::size_t>(p)] > 0
+                   : st.flits_at_source > 0;
+        if (have_flit) try_advance(st, p);
+      }
+    }
+
+    ++cycle_;
+    if (!moved_this_cycle_) {
+      // Idle because the next injections are in the future, not because of
+      // blocking: fast-forward instead of tripping the watchdog.
+      std::int64_t next_inject = config_.max_cycles;
+      bool in_flight = false;
+      for (const MessageState& st : messages_) {
+        if (st.done()) continue;
+        if (st.msg.after >= 0 &&
+            !messages_[static_cast<std::size_t>(st.msg.after)].done()) {
+          // Dependency-blocked counts as in flight: it can only unblock
+          // through progress elsewhere, never through time alone.
+          in_flight = true;
+        } else if (st.msg.inject_cycle > cycle_) {
+          next_inject = std::min(next_inject, st.msg.inject_cycle);
+        } else {
+          in_flight = true;
+        }
+      }
+      if (!in_flight && next_inject > cycle_) {
+        cycle_ = next_inject;
+        stagnant = 0;
+        continue;
+      }
+    }
+    stagnant = moved_this_cycle_ ? 0 : stagnant + 1;
+    if (stagnant >= config_.deadlock_threshold) {
+      result.deadlocked = true;
+      break;
+    }
+  }
+
+  result.delivered = delivered;
+  result.cycles = cycle_;
+  for (std::int64_t flits : link_flits_) {
+    if (flits > 0) result.link_load.add(static_cast<double>(flits));
+  }
+  result.flit_throughput =
+      cycle_ > 0 ? static_cast<double>(flits_delivered) /
+                       static_cast<double>(cycle_)
+                 : 0.0;
+  return result;
+}
+
+}  // namespace lamb::wormhole

@@ -1,0 +1,114 @@
+// Flit-level wormhole network simulator (paper Section 1 background and
+// the Blue Gene requirements (i)-(iv)).
+//
+// Model: each directed physical link carries at most one flit per cycle,
+// shared by `vcs_per_link` virtual channels, each with its own FIFO input
+// buffer of `buffer_flits` at the downstream node (credit-based flow
+// control). A message's flits follow its precomputed k-round route in a
+// pipelined worm; the head flit must acquire each virtual channel (free
+// or already owned), the tail flit releases it. Round r of the route uses
+// virtual channel r mod vcs_per_link, so with vcs_per_link >= k the
+// channel-dependence graph is acyclic per round and the simulation can
+// never deadlock (Dally & Seitz [8]); with fewer VCs than rounds, cyclic
+// waits -- and real deadlocks -- become possible, which the abl06 bench
+// demonstrates.
+//
+// A watchdog declares deadlock when no flit moves for `deadlock_threshold`
+// cycles while traffic is still in flight.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "mesh/fault_set.hpp"
+#include "mesh/mesh.hpp"
+#include "support/samples.hpp"
+#include "support/stats.hpp"
+#include "wormhole/route_builder.hpp"
+
+namespace lamb::wormhole {
+
+struct SimConfig {
+  int vcs_per_link = 2;
+  int buffer_flits = 4;       // per virtual channel
+  int deadlock_threshold = 1000;
+  std::int64_t max_cycles = 1'000'000;
+};
+
+struct Message {
+  std::int64_t id = 0;
+  Route route;
+  int length_flits = 1;
+  std::int64_t inject_cycle = 0;
+  // Submission index of a message that must be fully delivered before
+  // this one may inject (-1: none). Used by collective schedules where a
+  // node forwards data only after receiving it.
+  std::int64_t after = -1;
+};
+
+struct SimResult {
+  std::int64_t delivered = 0;
+  std::int64_t total_messages = 0;
+  std::int64_t cycles = 0;
+  bool deadlocked = false;
+  Accumulator latency;        // inject -> tail ejected, delivered messages
+  Samples latency_samples;    // same data with exact quantiles
+  Accumulator hops;           // route lengths
+  Accumulator turns;          // route turns
+  double flit_throughput = 0.0;  // flits delivered per cycle
+  // Link load: flit-traversals per directed physical link over the run
+  // (only links that carried traffic are counted).
+  Accumulator link_load;
+
+  bool all_delivered() const { return delivered == total_messages; }
+};
+
+class Network {
+ public:
+  Network(const MeshShape& shape, const FaultSet& faults, SimConfig config);
+
+  // Queues a message for injection at its route's source.
+  void submit(Message message);
+
+  // Runs until everything is delivered, deadlock, or max_cycles.
+  SimResult run();
+
+ private:
+  struct Buffer {
+    std::int64_t owner = -1;  // message index or -1
+    int occupancy = 0;
+    std::int64_t passed = 0;  // flits that have left this buffer
+  };
+
+  struct MessageState {
+    Message msg;
+    // Flits at "position" p sit in the buffer downstream of hop p;
+    // position -1 is the source queue, position H means ejected.
+    std::vector<int> count_at;       // size H (positions 0..H-1)
+    std::vector<std::int64_t> crossed;  // flits that have traversed hop p
+    int flits_at_source = 0;
+    std::int64_t ejected = 0;
+    std::int64_t finish_cycle = -1;
+    bool started = false;
+
+    bool done() const { return ejected == msg.length_flits; }
+  };
+
+  std::int64_t buffer_index(NodeId from, const Hop& hop) const;
+  // Attempts to move one flit of message m from position p to p+1.
+  bool try_advance(MessageState& st, int p);
+  NodeId node_before_hop(const MessageState& st, int p) const;
+
+  const MeshShape* shape_;
+  const FaultSet* faults_;
+  SimConfig config_;
+  std::vector<MessageState> messages_;
+  std::vector<Buffer> buffers_;          // (directed link, vc) -> buffer
+  std::vector<char> link_used_;          // per directed link, this cycle
+  std::vector<std::int64_t> link_flits_; // per directed link, whole run
+  std::int64_t cycle_ = 0;
+  bool moved_this_cycle_ = false;
+};
+
+}  // namespace lamb::wormhole

@@ -1,0 +1,118 @@
+#include "wormhole/route_cache.hpp"
+
+#include <limits>
+
+#include "reach/flood_oracle.hpp"
+#include "reach/route.hpp"
+
+namespace lamb::wormhole {
+
+RouteCache::RouteCache(const MeshShape& shape, const FaultSet& faults,
+                       MultiRoundOrder orders)
+    : shape_(&shape),
+      faults_(&faults),
+      orders_(std::move(orders)),
+      fallback_(shape, faults, orders_) {}
+
+void RouteCache::reconfigure() {
+  forward_.clear();
+  backward_.clear();
+}
+
+const Bits& RouteCache::forward_of(NodeId src) {
+  auto it = forward_.find(src);
+  if (it != forward_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  const FloodOracle flood(*shape_, *faults_);
+  return forward_.emplace(src, flood.reach1_from(shape_->point(src),
+                                                 orders_.front()))
+      .first->second;
+}
+
+const Bits& RouteCache::backward_of(NodeId dst) {
+  auto it = backward_.find(dst);
+  if (it != backward_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  const FloodOracle flood(*shape_, *faults_);
+  return backward_.emplace(dst, flood.reach1_to(shape_->point(dst),
+                                                orders_.back()))
+      .first->second;
+}
+
+std::optional<Route> RouteCache::build(NodeId src, NodeId dst, Rng& rng,
+                                       NodeLoad* load) {
+  if (orders_.size() != 2) return fallback_.build(src, dst, rng);
+
+  Bits both = forward_of(src);
+  both &= backward_of(dst);
+  const Point src_p = shape_->point(src);
+  const Point dst_p = shape_->point(dst);
+
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  std::int32_t best_load = std::numeric_limits<std::int32_t>::max();
+  NodeId chosen = -1;
+  std::int64_t ties = 0;
+  both.for_each([&](NodeId u) {
+    const Point u_p = shape_->point(u);
+    const std::int64_t total =
+        shape_->l1_distance(src_p, u_p) + shape_->l1_distance(u_p, dst_p);
+    if (total > best) return;
+    if (load != nullptr) {
+      // Length first, then least-used intermediate.
+      const std::int32_t u_load = load->counts[static_cast<std::size_t>(u)];
+      if (total < best || u_load < best_load) {
+        best = total;
+        best_load = u_load;
+        chosen = u;
+      }
+      return;
+    }
+    if (total < best) {
+      best = total;
+      chosen = u;
+      ties = 1;
+    } else {
+      ++ties;
+      if (rng.below(static_cast<std::uint64_t>(ties)) == 0) chosen = u;
+    }
+  });
+  if (chosen < 0) return std::nullopt;
+
+  Route route;
+  route.src = src;
+  route.dst = dst;
+  route.intermediates = {chosen};
+  const Point mid = shape_->point(chosen);
+  int round = 0;
+  for (const Point& from : {src_p, mid}) {
+    const Point& to = round == 0 ? mid : dst_p;
+    for (const RouteSegment& seg :
+         dim_ordered_route(*shape_, from, to,
+                           orders_[static_cast<std::size_t>(round)])) {
+      for (Coord s = 0; s < seg.steps; ++s) {
+        route.hops.push_back(Hop{seg.dim, seg.dir, round});
+      }
+    }
+    ++round;
+  }
+  if (load != nullptr) {
+    // Charge every node the worm will occupy.
+    Point at = src_p;
+    ++load->counts[static_cast<std::size_t>(src)];
+    for (const Hop& hop : route.hops) {
+      Point next;
+      shape_->neighbor(at, hop.dim, hop.dir, &next);
+      at = next;
+      ++load->counts[static_cast<std::size_t>(shape_->index(at))];
+    }
+  }
+  return route;
+}
+
+}  // namespace lamb::wormhole

@@ -1,0 +1,68 @@
+// Route construction with per-endpoint flood caching.
+//
+// RouteBuilder recomputes the forward flood of the source and the
+// backward flood of the destination on every call; under traffic, the
+// same endpoints recur constantly (every survivor sources many messages,
+// hot spots sink many). RouteCache memoizes both floods per node — the
+// state a node's system software would keep between reconfigurations —
+// turning route construction into one bitset intersection. Memory is one
+// N-bit set per distinct endpoint seen, freed on reconfigure().
+//
+// The fast path covers k = 2 (the paper's configuration); other round
+// counts delegate to the exact RouteBuilder DP.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "support/bitset.hpp"
+#include "wormhole/route_builder.hpp"
+
+namespace lamb::wormhole {
+
+// Running per-node usage counters for congestion-aware intermediate
+// selection (the paper notes the choice of intermediates "can affect
+// message congestion" and names only the shortest-length heuristic; this
+// is the natural load-balancing refinement).
+struct NodeLoad {
+  explicit NodeLoad(const MeshShape& shape)
+      : counts(static_cast<std::size_t>(shape.size()), 0) {}
+  std::vector<std::int32_t> counts;
+};
+
+class RouteCache {
+ public:
+  RouteCache(const MeshShape& shape, const FaultSet& faults,
+             MultiRoundOrder orders);
+
+  // Same contract as RouteBuilder::build. When `load` is non-null, ties
+  // among minimum-length intermediates are broken toward the least-used
+  // intermediate node (instead of uniformly at random), and the counters
+  // of every node on the chosen route are incremented.
+  std::optional<Route> build(NodeId src, NodeId dst, Rng& rng,
+                             NodeLoad* load = nullptr);
+
+  // Drops all cached floods (call after the fault set / lamb set
+  // changes — the referenced FaultSet must reflect the new state).
+  void reconfigure();
+
+  std::int64_t hits() const { return hits_; }
+  std::int64_t misses() const { return misses_; }
+
+ private:
+  const Bits& forward_of(NodeId src);
+  const Bits& backward_of(NodeId dst);
+
+  const MeshShape* shape_;
+  const FaultSet* faults_;
+  MultiRoundOrder orders_;
+  RouteBuilder fallback_;
+  std::unordered_map<NodeId, Bits> forward_;
+  std::unordered_map<NodeId, Bits> backward_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace lamb::wormhole

@@ -1,0 +1,92 @@
+#include "wormhole/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lamb::wormhole {
+
+namespace {
+
+NodeId bit_reverse_in_range(NodeId id, NodeId size) {
+  int bits = 0;
+  while ((NodeId{1} << bits) < size) ++bits;
+  NodeId rev = 0;
+  for (int b = 0; b < bits; ++b) {
+    if ((id >> b) & 1) rev |= NodeId{1} << (bits - 1 - b);
+  }
+  return rev % size;
+}
+
+}  // namespace
+
+TrafficResult generate_traffic(const MeshShape& shape, const FaultSet& faults,
+                               const std::vector<NodeId>& lambs,
+                               const RouteBuilder& builder,
+                               const TrafficConfig& config, Rng& rng) {
+  std::vector<char> excluded(static_cast<std::size_t>(shape.size()), 0);
+  for (NodeId id : lambs) excluded[static_cast<std::size_t>(id)] = 1;
+  std::vector<NodeId> survivors;
+  for (NodeId id = 0; id < shape.size(); ++id) {
+    if (faults.node_good(id) && !excluded[static_cast<std::size_t>(id)]) {
+      survivors.push_back(id);
+    }
+  }
+
+  TrafficResult out;
+  if (survivors.size() < 2) return out;
+
+  auto pick_survivor = [&] {
+    return survivors[rng.below(survivors.size())];
+  };
+  // Nearest survivor at or after a raw node id (wrapping), used to project
+  // permutation patterns onto the survivor set.
+  auto project = [&](NodeId raw) {
+    auto it = std::lower_bound(survivors.begin(), survivors.end(), raw);
+    if (it == survivors.end()) it = survivors.begin();
+    return *it;
+  };
+  const NodeId hotspot = survivors[survivors.size() / 2];
+
+  std::int64_t next_id = 0;
+  for (std::int64_t i = 0; i < config.num_messages; ++i) {
+    const NodeId src = pick_survivor();
+    NodeId dst = src;
+    switch (config.pattern) {
+      case Pattern::kUniform:
+        while (dst == src && survivors.size() > 1) dst = pick_survivor();
+        break;
+      case Pattern::kTranspose: {
+        Point p = shape.point(src);
+        std::swap(p[0], p[1]);
+        for (int j = 0; j < 2; ++j) {
+          p[j] = static_cast<Coord>(p[j] % shape.width(j));
+        }
+        dst = project(shape.index(p));
+        break;
+      }
+      case Pattern::kBitReversal:
+        dst = project(bit_reverse_in_range(src, shape.size()));
+        break;
+      case Pattern::kHotSpot:
+        dst = hotspot;
+        break;
+    }
+    if (dst == src) continue;
+
+    auto route = builder.build(src, dst, rng);
+    if (!route) {
+      ++out.unroutable;
+      continue;
+    }
+    Message msg;
+    msg.id = next_id++;
+    msg.route = std::move(*route);
+    msg.length_flits = config.message_flits;
+    msg.inject_cycle = static_cast<std::int64_t>(
+        std::floor(static_cast<double>(i) * config.injection_gap));
+    out.messages.push_back(std::move(msg));
+  }
+  return out;
+}
+
+}  // namespace lamb::wormhole

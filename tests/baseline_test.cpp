@@ -1,0 +1,159 @@
+// Tests for the baseline (fault-region) module: rectangular region
+// growing and inactivation counting, the simplified fault-ring router's
+// correctness and turn accounting, and the comb pattern's Theta(n) turn
+// behaviour that the paper's introduction contrasts with constant-turn
+// lamb routes.
+#include <gtest/gtest.h>
+
+#include "baseline/fault_ring.hpp"
+#include "baseline/patterns.hpp"
+#include "baseline/regions.hpp"
+#include "support/rng.hpp"
+
+namespace lamb {
+namespace {
+
+using baseline::BlockFaultModel;
+using baseline::FaultRingRouter;
+using baseline::RingRoute;
+using baseline::clustered_faults;
+using baseline::comb_faults;
+using baseline::rectangular_fault_regions;
+
+TEST(Regions, SingleFaultIsUnitBox) {
+  const MeshShape shape = MeshShape::cube(2, 8);
+  FaultSet faults(shape);
+  faults.add_node(Point{3, 3});
+  const BlockFaultModel model = rectangular_fault_regions(shape, faults, 1);
+  ASSERT_EQ(model.regions.size(), 1u);
+  EXPECT_EQ(model.regions[0].size(), 1);
+  EXPECT_EQ(model.inactivated, 0);
+}
+
+TEST(Regions, DiagonalPairMergesAndInactivates) {
+  const MeshShape shape = MeshShape::cube(2, 8);
+  FaultSet faults(shape);
+  faults.add_node(Point{2, 2});
+  faults.add_node(Point{3, 3});
+  const BlockFaultModel model = rectangular_fault_regions(shape, faults, 1);
+  ASSERT_EQ(model.regions.size(), 1u);
+  EXPECT_EQ(model.regions[0].size(), 4);   // 2x2 bounding box
+  EXPECT_EQ(model.inactivated, 2);         // two good nodes swallowed
+}
+
+TEST(Regions, SeparationKeepsDistantFaultsApart) {
+  const MeshShape shape = MeshShape::cube(2, 16);
+  FaultSet faults(shape);
+  faults.add_node(Point{2, 2});
+  faults.add_node(Point{10, 10});
+  const BlockFaultModel s1 = rectangular_fault_regions(shape, faults, 1);
+  EXPECT_EQ(s1.regions.size(), 2u);
+  // With an absurd separation they must merge into one box.
+  const BlockFaultModel s12 = rectangular_fault_regions(shape, faults, 12);
+  EXPECT_EQ(s12.regions.size(), 1u);
+  EXPECT_EQ(s12.inactivated, 9 * 9 - 2);
+}
+
+TEST(Regions, HigherSeparationNeverDecreasesInactivation) {
+  const MeshShape shape = MeshShape::cube(2, 16);
+  Rng rng(5);
+  const FaultSet faults = FaultSet::random_nodes(shape, 12, rng);
+  std::int64_t prev = -1;
+  for (int sep = 1; sep <= 4; ++sep) {
+    const BlockFaultModel model =
+        rectangular_fault_regions(shape, faults, sep);
+    EXPECT_GE(model.inactivated, prev);
+    prev = model.inactivated;
+  }
+}
+
+TEST(Regions, LinkFaultEndpointsSeedRegions) {
+  const MeshShape shape = MeshShape::cube(2, 8);
+  FaultSet faults(shape);
+  faults.add_link(Point{3, 3}, 0, Dir::Pos);
+  const BlockFaultModel model = rectangular_fault_regions(shape, faults, 1);
+  ASSERT_EQ(model.regions.size(), 1u);
+  EXPECT_EQ(model.regions[0].size(), 2);  // both endpoints
+  EXPECT_EQ(model.inactivated, 2);        // both endpoints are good nodes
+}
+
+TEST(FaultRing, StraightRouteNoRegions) {
+  const MeshShape shape = MeshShape::cube(2, 8);
+  const FaultRingRouter router(shape, {});
+  const auto route = router.route(Point{0, 0}, Point{5, 3});
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->hops(), 8);
+  EXPECT_EQ(route->turns, 1);
+  EXPECT_EQ(route->nodes.front(), (Point{0, 0}));
+  EXPECT_EQ(route->nodes.back(), (Point{5, 3}));
+}
+
+TEST(FaultRing, DetoursAroundABlock) {
+  const MeshShape shape = MeshShape::cube(2, 10);
+  RectSet block(shape);
+  block.clamp(0, 4, 5);
+  block.clamp(1, 2, 6);
+  const FaultRingRouter router(shape, {block});
+  const auto route = router.route(Point{0, 4}, Point{9, 4});
+  ASSERT_TRUE(route.has_value());
+  for (const Point& p : route->nodes) EXPECT_FALSE(block.contains(p));
+  EXPECT_EQ(route->nodes.back(), (Point{9, 4}));
+  EXPECT_GT(route->turns, 1);      // had to skirt the region
+  EXPECT_GT(route->hops(), 9);       // longer than the straight line
+}
+
+TEST(FaultRing, CombCostsLinearTurns) {
+  // The paper's motivation: region-based routing can need ~n turns, while
+  // a 2-round dimension-ordered route never exceeds k(d-1)+(k-1) = 3.
+  int prev_turns = 0;
+  for (Coord n : {9, 13, 17}) {
+    const MeshShape shape = MeshShape::cube(2, n);
+    const FaultSet faults = comb_faults(shape);
+    // Separation 1 merges each tooth's cells into one column region while
+    // keeping distinct teeth apart.
+    const BlockFaultModel model = rectangular_fault_regions(shape, faults, 1);
+    const FaultRingRouter router(shape, model.regions);
+    const auto route =
+        router.route(Point{0, static_cast<Coord>(n / 2)},
+                     Point{static_cast<Coord>(n - 1), static_cast<Coord>(n / 2)});
+    ASSERT_TRUE(route.has_value()) << "n=" << n;
+    // About 2 turns per comb tooth: strictly growing with n.
+    EXPECT_GE(route->turns, (n - 3));
+    EXPECT_GT(route->turns, prev_turns);
+    prev_turns = route->turns;
+  }
+}
+
+TEST(Patterns, CombFaultsAlternateAttachment) {
+  const MeshShape shape = MeshShape::cube(2, 9);
+  const FaultSet faults = comb_faults(shape);
+  EXPECT_TRUE(faults.node_faulty(Point{1, 0}));   // first tooth at top
+  EXPECT_FALSE(faults.node_faulty(Point{1, 8}));  // gap at bottom
+  EXPECT_FALSE(faults.node_faulty(Point{3, 0}));  // second tooth: gap on top
+  EXPECT_TRUE(faults.node_faulty(Point{3, 8}));
+  EXPECT_FALSE(faults.node_faulty(Point{0, 4}));  // even columns clean
+}
+
+TEST(Patterns, CombRequires2D) {
+  EXPECT_THROW(comb_faults(MeshShape::cube(3, 9)), std::invalid_argument);
+}
+
+TEST(Patterns, ClusteredFaultsAreBlocks) {
+  const MeshShape shape = MeshShape::cube(2, 16);
+  Rng rng(9);
+  const FaultSet faults = clustered_faults(shape, 3, 3, rng);
+  EXPECT_GT(faults.num_node_faults(), 0);
+  EXPECT_LE(faults.num_node_faults(), 3 * 9);
+  // Growing regions over already-rectangular clusters swallows relatively
+  // few good nodes (that is the point of the clustered workload).
+  const BlockFaultModel model = rectangular_fault_regions(shape, faults, 1);
+  EXPECT_LE(model.inactivated, 4 * faults.num_node_faults());
+}
+
+TEST(FaultRing, Requires2D) {
+  EXPECT_THROW(FaultRingRouter(MeshShape::cube(3, 5), {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lamb

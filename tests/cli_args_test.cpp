@@ -1,0 +1,74 @@
+// Tests for the CLI argument convention shared by the lambmesh tools.
+#include <gtest/gtest.h>
+
+#include "io/cli_args.hpp"
+
+namespace lamb {
+namespace {
+
+using io::ArgError;
+using io::CliArgs;
+
+TEST(CliArgs, ParsesCommandAndOptions) {
+  const CliArgs args = CliArgs::parse(
+      {"solve", "--geometry", "32x32", "--random-faults", "31"});
+  EXPECT_EQ(args.command(), "solve");
+  EXPECT_TRUE(args.has("geometry"));
+  EXPECT_EQ(args.get("geometry"), "32x32");
+  EXPECT_EQ(args.get_long("random-faults", 0), 31);
+  EXPECT_FALSE(args.has("output"));
+}
+
+TEST(CliArgs, FallbacksWhenAbsent) {
+  const CliArgs args = CliArgs::parse({"info"});
+  EXPECT_EQ(args.get("pattern", "uniform"), "uniform");
+  EXPECT_EQ(args.get_long("rounds", 2), 2);
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.5), 0.5);
+}
+
+TEST(CliArgs, NumericParsing) {
+  const CliArgs args =
+      CliArgs::parse({"x", "--n", "-7", "--rate", "2.5"});
+  EXPECT_EQ(args.get_long("n", 0), -7);
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0), 2.5);
+}
+
+TEST(CliArgs, RejectsBadNumbers) {
+  const CliArgs args = CliArgs::parse({"x", "--n", "12abc"});
+  EXPECT_THROW(args.get_long("n", 0), ArgError);
+  EXPECT_THROW(args.get_double("n", 0), ArgError);
+}
+
+TEST(CliArgs, RejectsMissingCommand) {
+  EXPECT_THROW(CliArgs::parse(std::vector<std::string>{}), ArgError);
+  EXPECT_THROW(CliArgs::parse({"--geometry", "4x4"}), ArgError);
+}
+
+TEST(CliArgs, RejectsPositionalAndDanglingOptions) {
+  EXPECT_THROW(CliArgs::parse({"solve", "positional"}), ArgError);
+  EXPECT_THROW(CliArgs::parse({"solve", "--output"}), ArgError);
+  EXPECT_THROW(CliArgs::parse({"solve", "--", "x"}), ArgError);
+}
+
+TEST(CliArgs, RequireKnownCatchesTypos) {
+  const CliArgs args = CliArgs::parse({"solve", "--ouput", "f.lamb"});
+  EXPECT_THROW(args.require_known({"output", "geometry"}), ArgError);
+  const CliArgs ok = CliArgs::parse({"solve", "--output", "f.lamb"});
+  EXPECT_NO_THROW(ok.require_known({"output", "geometry"}));
+}
+
+TEST(CliArgs, LastDuplicateWins) {
+  const CliArgs args =
+      CliArgs::parse({"solve", "--seed", "1", "--seed", "2"});
+  EXPECT_EQ(args.get_long("seed", 0), 2);
+}
+
+TEST(CliArgs, ArgcArgvOverload) {
+  const char* argv[] = {"prog", "verify", "--input", "a.lamb"};
+  const CliArgs args = CliArgs::parse(4, argv);
+  EXPECT_EQ(args.command(), "verify");
+  EXPECT_EQ(args.get("input"), "a.lamb");
+}
+
+}  // namespace
+}  // namespace lamb

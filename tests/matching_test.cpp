@@ -1,0 +1,114 @@
+// Tests for Hopcroft-Karp maximum matching and the König minimum vertex
+// cover, cross-checked against the min-cut WVC solver with unit weights
+// (both are optimal, so sizes must coincide) over randomized sweeps.
+#include <gtest/gtest.h>
+
+#include "graph/bipartite_matching.hpp"
+#include "graph/bipartite_wvc.hpp"
+#include "support/rng.hpp"
+
+namespace lamb {
+namespace {
+
+bool is_matching(const Matching& m,
+                 const std::vector<BipartiteEdge>& edges) {
+  for (std::size_t u = 0; u < m.match_left.size(); ++u) {
+    const int v = m.match_left[u];
+    if (v < 0) continue;
+    if (m.match_right[static_cast<std::size_t>(v)] != static_cast<int>(u)) {
+      return false;
+    }
+    bool exists = false;
+    for (const auto& e : edges) {
+      if (e.left == static_cast<int>(u) && e.right == v) exists = true;
+    }
+    if (!exists) return false;
+  }
+  return true;
+}
+
+bool covers(const BipartiteCover& c, const std::vector<BipartiteEdge>& edges,
+            int num_left, int num_right) {
+  std::vector<char> inl(static_cast<std::size_t>(num_left), 0);
+  std::vector<char> inr(static_cast<std::size_t>(num_right), 0);
+  for (int u : c.left) inl[static_cast<std::size_t>(u)] = 1;
+  for (int v : c.right) inr[static_cast<std::size_t>(v)] = 1;
+  for (const auto& e : edges) {
+    if (!inl[static_cast<std::size_t>(e.left)] &&
+        !inr[static_cast<std::size_t>(e.right)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(HopcroftKarp, PerfectMatchingOnCompleteBipartite) {
+  std::vector<BipartiteEdge> edges;
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) edges.push_back({i, j});
+  }
+  const Matching m = hopcroft_karp(5, 5, edges);
+  EXPECT_EQ(m.size, 5);
+  EXPECT_TRUE(is_matching(m, edges));
+}
+
+TEST(HopcroftKarp, PathGraphAlternates) {
+  // L0-R0, L1-R0, L1-R1, L2-R1: max matching 2.
+  const std::vector<BipartiteEdge> edges{{0, 0}, {1, 0}, {1, 1}, {2, 1}};
+  const Matching m = hopcroft_karp(3, 2, edges);
+  EXPECT_EQ(m.size, 2);
+  EXPECT_TRUE(is_matching(m, edges));
+}
+
+TEST(HopcroftKarp, EmptyGraph) {
+  const Matching m = hopcroft_karp(3, 4, {});
+  EXPECT_EQ(m.size, 0);
+}
+
+TEST(HopcroftKarp, AugmentingPathNeeded) {
+  // Greedy L0->R0 forces an augmenting path for L1 (only edge L1-R0).
+  const std::vector<BipartiteEdge> edges{{0, 0}, {0, 1}, {1, 0}};
+  const Matching m = hopcroft_karp(2, 2, edges);
+  EXPECT_EQ(m.size, 2);
+}
+
+TEST(Konig, CoverSizeEqualsMatchingSize) {
+  Rng rng(41);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int l = 1 + static_cast<int>(rng.below(10));
+    const int r = 1 + static_cast<int>(rng.below(10));
+    std::vector<BipartiteEdge> edges;
+    for (int i = 0; i < l; ++i) {
+      for (int j = 0; j < r; ++j) {
+        if (rng.bernoulli(0.3)) edges.push_back({i, j});
+      }
+    }
+    const Matching m = hopcroft_karp(l, r, edges);
+    const BipartiteCover c = konig_cover(l, r, edges);
+    EXPECT_TRUE(covers(c, edges, l, r));
+    EXPECT_EQ(static_cast<int>(c.left.size() + c.right.size()), m.size)
+        << "König: |cover| must equal |matching|";
+  }
+}
+
+TEST(Konig, AgreesWithMinCutOnUnitWeights) {
+  Rng rng(42);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int l = 1 + static_cast<int>(rng.below(9));
+    const int r = 1 + static_cast<int>(rng.below(9));
+    std::vector<BipartiteEdge> edges;
+    for (int i = 0; i < l; ++i) {
+      for (int j = 0; j < r; ++j) {
+        if (rng.bernoulli(0.35)) edges.push_back({i, j});
+      }
+    }
+    const BipartiteCover konig = konig_cover(l, r, edges);
+    const BipartiteCover mincut = min_weight_bipartite_cover(
+        std::vector<double>(static_cast<std::size_t>(l), 1.0),
+        std::vector<double>(static_cast<std::size_t>(r), 1.0), edges);
+    EXPECT_NEAR(konig.weight, mincut.weight, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace lamb

@@ -1,0 +1,232 @@
+// Tests for the Boolean matrix machinery (paper Sections 5, 6.2): unit
+// tests of BitMatrix, multiply vs a naive reference, and the exact
+// reproduction of the paper's Table 1 (one-round matrix R) and Table 2
+// (two-round matrix R^(2) = R I R) for the 12x12 example.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+
+#include "core/bit_matrix.hpp"
+#include "core/reach_matrices.hpp"
+#include "support/rng.hpp"
+
+namespace lamb {
+namespace {
+
+TEST(BitMatrix, SetGetReset) {
+  BitMatrix m(3, 70);
+  m.set(0, 0);
+  m.set(2, 69);
+  m.set(1, 64);
+  EXPECT_TRUE(m.get(0, 0));
+  EXPECT_TRUE(m.get(2, 69));
+  EXPECT_TRUE(m.get(1, 64));
+  EXPECT_FALSE(m.get(0, 1));
+  EXPECT_EQ(m.count_ones(), 3);
+  m.reset(1, 64);
+  EXPECT_FALSE(m.get(1, 64));
+}
+
+TEST(BitMatrix, RowFullAndColumnAll) {
+  BitMatrix m(2, 3);
+  for (int j = 0; j < 3; ++j) m.set(0, j);
+  m.set(1, 1);
+  EXPECT_TRUE(m.row_full(0));
+  EXPECT_FALSE(m.row_full(1));
+  const Bits col_all = m.column_all();
+  EXPECT_FALSE(col_all.test(0));
+  EXPECT_TRUE(col_all.test(1));
+  EXPECT_FALSE(col_all.test(2));
+}
+
+TEST(BitMatrix, DensityAndCount) {
+  BitMatrix m(4, 4);
+  m.set(0, 0);
+  m.set(3, 3);
+  EXPECT_EQ(m.count_ones(), 2);
+  EXPECT_DOUBLE_EQ(m.density(), 2.0 / 16.0);
+}
+
+BitMatrix naive_multiply(const BitMatrix& a, const BitMatrix& b) {
+  BitMatrix out(a.rows(), b.cols());
+  for (std::int64_t i = 0; i < a.rows(); ++i) {
+    for (std::int64_t j = 0; j < b.cols(); ++j) {
+      for (std::int64_t k = 0; k < a.cols(); ++k) {
+        if (a.get(i, k) && b.get(k, j)) {
+          out.set(i, j);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TEST(BitMatrix, MultiplyMatchesNaiveOnRandomMatrices) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::int64_t m = 1 + static_cast<std::int64_t>(rng.below(90));
+    const std::int64_t n = 1 + static_cast<std::int64_t>(rng.below(90));
+    const std::int64_t p = 1 + static_cast<std::int64_t>(rng.below(90));
+    BitMatrix a(m, n), b(n, p);
+    const double density = 0.05 + 0.4 * rng.uniform01();
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t k = 0; k < n; ++k) {
+        if (rng.bernoulli(density)) a.set(i, k);
+      }
+    }
+    for (std::int64_t k = 0; k < n; ++k) {
+      for (std::int64_t j = 0; j < p; ++j) {
+        if (rng.bernoulli(density)) b.set(k, j);
+      }
+    }
+    EXPECT_EQ(BitMatrix::multiply(a, b), naive_multiply(a, b));
+  }
+}
+
+TEST(BitMatrix, MultiplyIdentityIsNoop) {
+  BitMatrix a(5, 5), id(5, 5);
+  Rng rng(3);
+  for (int i = 0; i < 5; ++i) {
+    id.set(i, i);
+    for (int j = 0; j < 5; ++j) {
+      if (rng.bernoulli(0.4)) a.set(i, j);
+    }
+  }
+  EXPECT_EQ(BitMatrix::multiply(a, id), a);
+  EXPECT_EQ(BitMatrix::multiply(id, a), a);
+}
+
+// --- Tables 1 and 2 --------------------------------------------------------
+
+class PaperMatrices : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    shape_ = std::make_unique<MeshShape>(MeshShape::cube(2, 12));
+    faults_ = std::make_unique<FaultSet>(*shape_);
+    faults_->add_node(Point{9, 1});
+    faults_->add_node(Point{11, 6});
+    faults_->add_node(Point{10, 10});
+    const DimOrder xy = DimOrder::ascending(2);
+    ses_ = find_ses_partition(*shape_, *faults_, xy);
+    des_ = find_des_partition(*shape_, *faults_, xy);
+    // Map our partition indices to the paper's S1..S9 / D1..D7 numbering.
+    s_of_ = {find_set(ses_, 0, 11, 0, 0),   find_set(ses_, 0, 8, 1, 1),
+             find_set(ses_, 10, 11, 1, 1),  find_set(ses_, 0, 11, 2, 5),
+             find_set(ses_, 0, 10, 6, 6),   find_set(ses_, 0, 11, 7, 9),
+             find_set(ses_, 0, 9, 10, 10),  find_set(ses_, 11, 11, 10, 10),
+             find_set(ses_, 0, 11, 11, 11)};
+    d_of_ = {find_set(des_, 0, 8, 0, 11),   find_set(des_, 9, 9, 0, 0),
+             find_set(des_, 9, 9, 2, 11),   find_set(des_, 10, 10, 0, 9),
+             find_set(des_, 10, 10, 11, 11), find_set(des_, 11, 11, 0, 5),
+             find_set(des_, 11, 11, 7, 11)};
+    for (auto i : s_of_) ASSERT_GE(i, 0);
+    for (auto j : d_of_) ASSERT_GE(j, 0);
+  }
+
+  std::int64_t find_set(const EquivPartition& part, Coord xlo, Coord xhi,
+                        Coord ylo, Coord yhi) const {
+    RectSet want(*shape_);
+    want.clamp(0, xlo, xhi);
+    want.clamp(1, ylo, yhi);
+    for (std::int64_t i = 0; i < part.size(); ++i) {
+      if (part.sets[static_cast<std::size_t>(i)] == want) return i;
+    }
+    return -1;
+  }
+
+  std::unique_ptr<MeshShape> shape_;
+  std::unique_ptr<FaultSet> faults_;
+  EquivPartition ses_, des_;
+  std::array<std::int64_t, 9> s_of_{};
+  std::array<std::int64_t, 7> d_of_{};
+};
+
+// Table 1 of the paper, indexed [S-1][D-1].
+constexpr int kTable1[9][7] = {
+    {1, 1, 0, 1, 0, 1, 0},  // S1
+    {1, 0, 0, 0, 0, 0, 0},  // S2
+    {0, 0, 0, 1, 0, 1, 0},  // S3
+    {1, 0, 1, 1, 0, 1, 0},  // S4
+    {1, 0, 1, 1, 0, 0, 0},  // S5
+    {1, 0, 1, 1, 0, 0, 1},  // S6
+    {1, 0, 1, 0, 0, 0, 0},  // S7
+    {0, 0, 0, 0, 0, 0, 1},  // S8
+    {1, 0, 1, 0, 1, 0, 1},  // S9
+};
+
+TEST_F(PaperMatrices, OneRoundMatrixMatchesTable1) {
+  const ReachOracle oracle(*shape_, *faults_);
+  const BitMatrix r =
+      one_round_reach_matrix(oracle, ses_, des_, DimOrder::ascending(2));
+  for (int i = 0; i < 9; ++i) {
+    for (int j = 0; j < 7; ++j) {
+      EXPECT_EQ(r.get(s_of_[static_cast<std::size_t>(i)],
+                      d_of_[static_cast<std::size_t>(j)]),
+                kTable1[i][j] == 1)
+          << "R(S" << i + 1 << ", D" << j + 1 << ")";
+    }
+  }
+}
+
+TEST_F(PaperMatrices, TwoRoundMatrixMatchesTable2) {
+  // Table 2: all ones except (S3,D5), (S8,D2), (S8,D6).
+  const ReachComputation reach =
+      compute_reachability(*shape_, *faults_, ascending_rounds(2, 2));
+  ASSERT_EQ(reach.rk.rows(), 9);
+  ASSERT_EQ(reach.rk.cols(), 7);
+  for (int i = 0; i < 9; ++i) {
+    for (int j = 0; j < 7; ++j) {
+      const bool zero = (i + 1 == 3 && j + 1 == 5) ||
+                        (i + 1 == 8 && j + 1 == 2) ||
+                        (i + 1 == 8 && j + 1 == 6);
+      EXPECT_EQ(reach.rk.get(s_of_[static_cast<std::size_t>(i)],
+                             d_of_[static_cast<std::size_t>(j)]),
+                !zero)
+          << "R2(S" << i + 1 << ", D" << j + 1 << ")";
+    }
+  }
+}
+
+TEST_F(PaperMatrices, IntersectionMatrixAgainstExplicitSets) {
+  const BitMatrix inter = intersection_matrix(des_, ses_);
+  for (std::int64_t j = 0; j < des_.size(); ++j) {
+    for (std::int64_t i = 0; i < ses_.size(); ++i) {
+      bool want = false;
+      des_.sets[static_cast<std::size_t>(j)].for_each([&](const Point& p) {
+        if (ses_.sets[static_cast<std::size_t>(i)].contains(p)) want = true;
+      });
+      EXPECT_EQ(inter.get(j, i), want);
+    }
+  }
+}
+
+TEST_F(PaperMatrices, DistinctOrdersShareNothing) {
+  // Two different per-round orderings exercise the distinct-partition path.
+  const MultiRoundOrder orders{DimOrder::ascending(2), DimOrder::descending(2)};
+  const ReachComputation reach = compute_reachability(*shape_, *faults_, orders);
+  EXPECT_EQ(reach.ses.size(), 2u);
+  EXPECT_EQ(reach.round_part, (std::vector<int>{0, 1}));
+  EXPECT_EQ(reach.rk.rows(), reach.first_ses().size());
+  EXPECT_EQ(reach.rk.cols(), reach.last_des().size());
+}
+
+TEST(ReachComputation, NoFaultsAllReachable) {
+  const MeshShape shape = MeshShape::cube(3, 4);
+  const FaultSet faults(shape);
+  const ReachComputation reach =
+      compute_reachability(shape, faults, ascending_rounds(3, 2));
+  ASSERT_EQ(reach.rk.rows(), 1);
+  ASSERT_EQ(reach.rk.cols(), 1);
+  EXPECT_TRUE(reach.rk.get(0, 0));
+}
+
+TEST(ReachComputation, RejectsZeroRounds) {
+  const MeshShape shape = MeshShape::cube(2, 4);
+  const FaultSet faults(shape);
+  EXPECT_THROW(compute_reachability(shape, faults, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lamb

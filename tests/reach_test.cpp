@@ -1,0 +1,276 @@
+// Tests for dimension orders, explicit routes, and the three reachability
+// oracles. The prefix-sum ReachOracle and the FloodOracle are checked
+// against the walk-the-route reference (route_clear) over randomized
+// parameterized sweeps covering node faults, bidirectional and directed
+// link faults, meshes and tori.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "mesh/fault_set.hpp"
+#include "reach/dim_order.hpp"
+#include "reach/flood_oracle.hpp"
+#include "reach/reach_oracle.hpp"
+#include "reach/route.hpp"
+#include "support/rng.hpp"
+
+namespace lamb {
+namespace {
+
+TEST(DimOrder, AscendingAndDescending) {
+  const DimOrder a = DimOrder::ascending(3);
+  EXPECT_EQ(a.at(0), 0);
+  EXPECT_EQ(a.at(1), 1);
+  EXPECT_EQ(a.at(2), 2);
+  EXPECT_EQ(a.to_string(), "XYZ");
+  const DimOrder d = DimOrder::descending(3);
+  EXPECT_EQ(d.to_string(), "ZYX");
+  EXPECT_EQ(a.reversed(), d);
+}
+
+TEST(DimOrder, RejectsNonPermutation) {
+  EXPECT_THROW(DimOrder({0, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(DimOrder({0, 2}), std::invalid_argument);
+}
+
+TEST(DimOrder, PositionOf) {
+  const DimOrder o({2, 0, 1});
+  EXPECT_EQ(o.position_of(2), 0);
+  EXPECT_EQ(o.position_of(0), 1);
+  EXPECT_EQ(o.position_of(1), 2);
+}
+
+TEST(Route, XyRouteVisitsExpectedNodes) {
+  const MeshShape m = MeshShape::mesh({6, 6});
+  const auto nodes =
+      route_nodes(m, Point{1, 1}, Point{4, 3}, DimOrder::ascending(2));
+  const std::vector<Point> want{{1, 1}, {2, 1}, {3, 1}, {4, 1}, {4, 2}, {4, 3}};
+  EXPECT_EQ(nodes, want);
+}
+
+TEST(Route, SelfRouteIsSingleNode) {
+  const MeshShape m = MeshShape::mesh({6, 6});
+  const auto nodes =
+      route_nodes(m, Point{2, 2}, Point{2, 2}, DimOrder::ascending(2));
+  const std::vector<Point> want{Point{2, 2}};
+  EXPECT_EQ(nodes, want);
+}
+
+TEST(Route, TorusTakesShorterArcTiesPositive) {
+  const MeshShape t = MeshShape::torus({8, 8});
+  // 7 -> 1: forward distance 2, backward 6 -> wraps positive.
+  auto segs = dim_ordered_route(t, Point{7, 0}, Point{1, 0},
+                                DimOrder::ascending(2));
+  EXPECT_EQ(segs[0].dir, Dir::Pos);
+  EXPECT_EQ(segs[0].steps, 2);
+  // distance exactly half (4): tie goes positive.
+  segs = dim_ordered_route(t, Point{0, 0}, Point{4, 0}, DimOrder::ascending(2));
+  EXPECT_EQ(segs[0].dir, Dir::Pos);
+  EXPECT_EQ(segs[0].steps, 4);
+}
+
+TEST(Route, TurnAndHopCounting) {
+  const MeshShape m = MeshShape::mesh({6, 6, 6});
+  const auto segs = dim_ordered_route(m, Point{0, 0, 0}, Point{3, 0, 2},
+                                      DimOrder::ascending(3));
+  EXPECT_EQ(count_hops(segs), 5);
+  EXPECT_EQ(count_turns(segs), 1);  // Y segment is empty: X then Z
+}
+
+// The asymmetry example of paper Section 2.1: (3,2) is not XY-reachable
+// from (0,0) if any of (1,0), (2,0), (3,0), (3,1) is faulty, but (0,0)
+// may still be XY-reachable from (3,2).
+TEST(Route, PaperSection21AsymmetryExample) {
+  const MeshShape m = MeshShape::mesh({12, 12});
+  const DimOrder xy = DimOrder::ascending(2);
+  for (Point fp : {Point{1, 0}, Point{2, 0}, Point{3, 0}, Point{3, 1}}) {
+    FaultSet f(m);
+    f.add_node(fp);
+    EXPECT_FALSE(route_clear(m, f, Point{0, 0}, Point{3, 2}, xy));
+  }
+  FaultSet all(m);
+  for (Point fp : {Point{1, 0}, Point{2, 0}, Point{3, 0}, Point{3, 1}}) {
+    all.add_node(fp);
+  }
+  EXPECT_TRUE(route_clear(m, all, Point{3, 2}, Point{0, 0}, xy));
+}
+
+TEST(Route, FaultySourceOrDestinationUnreachable) {
+  const MeshShape m = MeshShape::mesh({6, 6});
+  FaultSet f(m);
+  f.add_node(Point{2, 2});
+  const DimOrder xy = DimOrder::ascending(2);
+  EXPECT_FALSE(route_clear(m, f, Point{2, 2}, Point{0, 0}, xy));
+  EXPECT_FALSE(route_clear(m, f, Point{0, 0}, Point{2, 2}, xy));
+  EXPECT_FALSE(route_clear(m, f, Point{2, 2}, Point{2, 2}, xy));
+}
+
+TEST(Route, DirectedLinkFaultBlocksOnlyOneWay) {
+  const MeshShape m = MeshShape::mesh({6, 6});
+  FaultSet f(m);
+  f.add_directed_link(Point{2, 0}, 0, Dir::Pos);  // (2,0) -> (3,0) only
+  const DimOrder xy = DimOrder::ascending(2);
+  EXPECT_FALSE(route_clear(m, f, Point{0, 0}, Point{4, 0}, xy));
+  EXPECT_TRUE(route_clear(m, f, Point{4, 0}, Point{0, 0}, xy));
+}
+
+struct OracleSweepParam {
+  std::vector<Coord> widths;
+  bool torus;
+  int node_faults;
+  int link_faults;
+  int directed_link_faults;
+  std::uint64_t seed;
+};
+
+class OracleSweep : public ::testing::TestWithParam<OracleSweepParam> {};
+
+FaultSet random_faults(const MeshShape& shape, const OracleSweepParam& p,
+                       Rng& rng) {
+  FaultSet f = FaultSet::random_nodes(shape, p.node_faults, rng);
+  int added = 0;
+  while (added < p.link_faults + p.directed_link_faults) {
+    const NodeId id = static_cast<NodeId>(
+        rng.below(static_cast<std::uint64_t>(shape.size())));
+    const int dim = static_cast<int>(rng.below(
+        static_cast<std::uint64_t>(shape.dim())));
+    const Dir dir = rng.bernoulli(0.5) ? Dir::Pos : Dir::Neg;
+    Point other;
+    if (!shape.neighbor(shape.point(id), dim, dir, &other)) continue;
+    if (added < p.link_faults) {
+      f.add_link(shape.point(id), dim, dir);
+    } else {
+      f.add_directed_link(shape.point(id), dim, dir);
+    }
+    ++added;
+  }
+  return f;
+}
+
+TEST_P(OracleSweep, PrefixSumOracleMatchesRouteWalk) {
+  const OracleSweepParam p = GetParam();
+  const MeshShape shape =
+      p.torus ? MeshShape::torus(p.widths) : MeshShape::mesh(p.widths);
+  Rng rng(p.seed);
+  const FaultSet faults = random_faults(shape, p, rng);
+  const ReachOracle oracle(shape, faults);
+  const DimOrder order = DimOrder::ascending(shape.dim());
+  for (int trial = 0; trial < 400; ++trial) {
+    const Point v = shape.point(static_cast<NodeId>(
+        rng.below(static_cast<std::uint64_t>(shape.size()))));
+    const Point w = shape.point(static_cast<NodeId>(
+        rng.below(static_cast<std::uint64_t>(shape.size()))));
+    EXPECT_EQ(oracle.reach1(v, w, order), route_clear(shape, faults, v, w, order))
+        << shape.to_string() << " v=" << shape.index(v) << " w=" << shape.index(w);
+  }
+}
+
+TEST_P(OracleSweep, FloodOracleMatchesRouteWalk) {
+  const OracleSweepParam p = GetParam();
+  const MeshShape shape =
+      p.torus ? MeshShape::torus(p.widths) : MeshShape::mesh(p.widths);
+  Rng rng(p.seed ^ 0xabcdef);
+  const FaultSet faults = random_faults(shape, p, rng);
+  const FloodOracle flood(shape, faults);
+  const DimOrder order = DimOrder::ascending(shape.dim());
+  for (int trial = 0; trial < 12; ++trial) {
+    const Point v = shape.point(static_cast<NodeId>(
+        rng.below(static_cast<std::uint64_t>(shape.size()))));
+    const Bits from = flood.reach1_from(v, order);
+    const Bits to = flood.reach1_to(v, order);
+    for (NodeId w = 0; w < shape.size(); ++w) {
+      const Point wp = shape.point(w);
+      EXPECT_EQ(from.test(w), route_clear(shape, faults, v, wp, order));
+      EXPECT_EQ(to.test(w), route_clear(shape, faults, wp, v, order));
+    }
+  }
+}
+
+TEST_P(OracleSweep, NonAscendingOrderAlsoMatches) {
+  const OracleSweepParam p = GetParam();
+  const MeshShape shape =
+      p.torus ? MeshShape::torus(p.widths) : MeshShape::mesh(p.widths);
+  Rng rng(p.seed ^ 0x1234);
+  const FaultSet faults = random_faults(shape, p, rng);
+  const ReachOracle oracle(shape, faults);
+  const DimOrder order = DimOrder::descending(shape.dim());
+  for (int trial = 0; trial < 200; ++trial) {
+    const Point v = shape.point(static_cast<NodeId>(
+        rng.below(static_cast<std::uint64_t>(shape.size()))));
+    const Point w = shape.point(static_cast<NodeId>(
+        rng.below(static_cast<std::uint64_t>(shape.size()))));
+    EXPECT_EQ(oracle.reach1(v, w, order),
+              route_clear(shape, faults, v, w, order));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, OracleSweep,
+    ::testing::Values(
+        OracleSweepParam{{8, 8}, false, 4, 0, 0, 1},
+        OracleSweepParam{{8, 8}, false, 0, 5, 0, 2},
+        OracleSweepParam{{8, 8}, false, 3, 3, 3, 3},
+        OracleSweepParam{{9, 7}, false, 5, 2, 2, 4},
+        OracleSweepParam{{6, 6, 6}, false, 8, 0, 0, 5},
+        OracleSweepParam{{6, 6, 6}, false, 4, 4, 4, 6},
+        OracleSweepParam{{5, 4, 3, 3}, false, 6, 3, 0, 7},
+        OracleSweepParam{{8, 8}, true, 4, 0, 0, 8},
+        OracleSweepParam{{8, 8}, true, 3, 3, 3, 9},
+        OracleSweepParam{{7, 5}, true, 4, 2, 2, 10},
+        OracleSweepParam{{5, 5, 5}, true, 6, 3, 3, 11},
+        OracleSweepParam{{2, 2, 2, 2, 2}, false, 3, 2, 0, 12},
+        OracleSweepParam{{16, 3}, false, 6, 2, 1, 13},
+        OracleSweepParam{{3, 16}, false, 6, 2, 1, 14},
+        OracleSweepParam{{8, 8}, false, 20, 0, 0, 15},
+        OracleSweepParam{{6, 6, 6}, true, 10, 4, 4, 16},
+        OracleSweepParam{{4, 9, 5}, true, 8, 3, 3, 17},
+        OracleSweepParam{{2, 2, 2, 2, 2, 2, 2}, false, 6, 3, 3, 18}));
+
+TEST(FloodOracle, NoFaultsReachesEverything) {
+  const MeshShape m = MeshShape::mesh({5, 5});
+  const FaultSet f(m);
+  const FloodOracle flood(m, f);
+  const Bits from = flood.reach1_from(Point{2, 2}, DimOrder::ascending(2));
+  EXPECT_EQ(from.count(), m.size());
+}
+
+TEST(FloodOracle, FaultySourceReachesNothing) {
+  const MeshShape m = MeshShape::mesh({5, 5});
+  FaultSet f(m);
+  f.add_node(Point{2, 2});
+  const FloodOracle flood(m, f);
+  EXPECT_FALSE(flood.reach1_from(Point{2, 2}, DimOrder::ascending(2)).any());
+  EXPECT_FALSE(flood.reach1_to(Point{2, 2}, DimOrder::ascending(2)).any());
+}
+
+TEST(FloodOracle, TwoRoundsReachMoreThanOne) {
+  // Around a single fault, 2 rounds of XY reach everything.
+  const MeshShape m = MeshShape::mesh({8, 8});
+  FaultSet f(m);
+  f.add_node(Point{4, 0});
+  const FloodOracle flood(m, f);
+  const Bits one = flood.reach_from(Point{0, 0}, ascending_rounds(2, 1));
+  const Bits two = flood.reach_from(Point{0, 0}, ascending_rounds(2, 2));
+  EXPECT_LT(one.count(), two.count());
+  EXPECT_EQ(two.count(), m.size() - 1);  // everything but the fault
+}
+
+TEST(FloodOracle, KRoundsMonotoneInK) {
+  const MeshShape m = MeshShape::mesh({8, 8});
+  Rng rng(21);
+  const FaultSet f = FaultSet::random_nodes(m, 8, rng);
+  const FloodOracle flood(m, f);
+  Point src{0, 7};
+  if (f.node_faulty(src)) src = Point{1, 7};
+  Bits prev = flood.reach_from(src, ascending_rounds(2, 1));
+  for (int k = 2; k <= 4; ++k) {
+    Bits cur = flood.reach_from(src, ascending_rounds(2, k));
+    Bits both = prev;
+    both &= cur;
+    EXPECT_EQ(both, prev) << "k-round reachability must grow with k";
+    prev = std::move(cur);
+  }
+}
+
+}  // namespace
+}  // namespace lamb

@@ -1,0 +1,210 @@
+// Unit tests for the support module: RNG determinism and distribution
+// sanity, sampling without replacement, accumulator statistics, bitsets,
+// and environment helpers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+#include "support/bitset.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace lamb {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, UniformCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChildSeedsDiffer) {
+  Rng rng(9);
+  EXPECT_NE(rng.child_seed(0), rng.child_seed(1));
+  EXPECT_NE(rng.child_seed(1), rng.child_seed(2));
+}
+
+TEST(Rng, ChildSeedsStableAcrossCalls) {
+  Rng a(9), b(9);
+  EXPECT_EQ(a.child_seed(5), b.child_seed(5));
+}
+
+TEST(SampleWithoutReplacement, SizeAndUniqueness) {
+  Rng rng(17);
+  for (std::int64_t n : {10, 100, 1000}) {
+    for (std::int64_t k : {std::int64_t{0}, std::int64_t{1}, n / 2, n}) {
+      auto sample = sample_without_replacement(n, k, rng);
+      EXPECT_EQ(static_cast<std::int64_t>(sample.size()), k);
+      EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+      EXPECT_EQ(std::adjacent_find(sample.begin(), sample.end()), sample.end());
+      for (auto v : sample) {
+        EXPECT_GE(v, 0);
+        EXPECT_LT(v, n);
+      }
+    }
+  }
+}
+
+TEST(SampleWithoutReplacement, UniformMarginals) {
+  // Each element should appear with probability k/n.
+  Rng rng(23);
+  const std::int64_t n = 20, k = 5;
+  std::vector<int> hits(n, 0);
+  const int reps = 4000;
+  for (int r = 0; r < reps; ++r) {
+    for (auto v : sample_without_replacement(n, k, rng)) {
+      hits[static_cast<std::size_t>(v)]++;
+    }
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / reps, 0.25, 0.05);
+  }
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator acc;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 4);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 10.0);
+  EXPECT_NEAR(acc.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, SingleSampleVarianceZero) {
+  Accumulator acc;
+  acc.add(7.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.min(), 7.0);
+  EXPECT_EQ(acc.max(), 7.0);
+}
+
+TEST(Bits, SetTestReset) {
+  Bits b(130);
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 3);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 2);
+}
+
+TEST(Bits, OrAndOperations) {
+  Bits a(100), b(100);
+  a.set(3);
+  a.set(70);
+  b.set(70);
+  b.set(99);
+  Bits o = a;
+  o |= b;
+  EXPECT_EQ(o.count(), 3);
+  Bits n = a;
+  n &= b;
+  EXPECT_EQ(n.count(), 1);
+  EXPECT_TRUE(n.test(70));
+}
+
+TEST(Bits, ForEachVisitsAscending) {
+  Bits b(200);
+  const std::vector<std::int64_t> want{0, 63, 64, 127, 199};
+  for (auto i : want) b.set(i);
+  std::vector<std::int64_t> got;
+  b.for_each([&](std::int64_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(Bits, AnyAndClear) {
+  Bits b(10);
+  EXPECT_FALSE(b.any());
+  b.set(9);
+  EXPECT_TRUE(b.any());
+  b.clear();
+  EXPECT_FALSE(b.any());
+}
+
+TEST(Env, FallbackWhenUnset) {
+  ::unsetenv("LAMBMESH_TEST_UNSET");
+  EXPECT_EQ(env_long("LAMBMESH_TEST_UNSET", 5), 5);
+  EXPECT_EQ(env_double("LAMBMESH_TEST_UNSET", 1.5), 1.5);
+}
+
+TEST(Env, ParsesValues) {
+  ::setenv("LAMBMESH_TEST_VAL", "12", 1);
+  EXPECT_EQ(env_long("LAMBMESH_TEST_VAL", 5), 12);
+  ::setenv("LAMBMESH_TEST_VAL", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("LAMBMESH_TEST_VAL", 0.0), 2.5);
+  ::unsetenv("LAMBMESH_TEST_VAL");
+}
+
+TEST(Env, ScaledTrialsMultiplier) {
+  ::unsetenv("LAMBMESH_TRIALS");
+  EXPECT_EQ(scaled_trials(100), 100);
+  ::setenv("LAMBMESH_TRIALS", "2.5", 1);
+  EXPECT_EQ(scaled_trials(100), 250);
+  ::setenv("LAMBMESH_TRIALS", "0.001", 1);
+  EXPECT_EQ(scaled_trials(100), 1);  // at least one trial
+  ::unsetenv("LAMBMESH_TRIALS");
+}
+
+}  // namespace
+}  // namespace lamb

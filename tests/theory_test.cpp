@@ -1,0 +1,110 @@
+// Tests for the analytic results of paper Section 3 and the Appendix:
+// the Theorem 3.1 closed form (including the paper's n = f = 32 value of
+// 2698), the Appendix random process as a per-trial lower bound, and the
+// relationship between one-round lamb sets and the bound on small meshes
+// where the exact machinery can confirm it.
+#include <gtest/gtest.h>
+
+#include "core/lamb.hpp"
+#include "core/theory.hpp"
+#include "core/verifier.hpp"
+#include "support/rng.hpp"
+#include <algorithm>
+
+#include "support/stats.hpp"
+
+namespace lamb {
+namespace {
+
+TEST(Theorem31, PaperQuotedValue) {
+  // "if n = f = 32, the lower bound of Theorem 3.1 is 2698."
+  EXPECT_NEAR(thm31_lower_bound(32, 32), 2698.0, 1.0);
+  // Exact: 32*1024/4 - 1024*32/4 + 32768/12 - 32 = 8192 - 8192 +
+  // 2730.67 - 32 = 2698.67 -> the paper floors to 2698.
+  EXPECT_GT(thm31_lower_bound(32, 32), 2698.0);
+  EXPECT_LT(thm31_lower_bound(32, 32), 2699.0);
+}
+
+TEST(Theorem31, GrowsRoughlyLikeFNSquared) {
+  // For f << n the bound is ~ f n^2 / 4.
+  EXPECT_NEAR(thm31_lower_bound(100, 1), 100 * 100 / 4.0 - 25.0 - 1.0 + 1.0 / 12,
+              2.0);
+  EXPECT_GT(thm31_lower_bound(32, 16), thm31_lower_bound(32, 8));
+}
+
+TEST(Theorem31, ProcessSampleIsDeterministicPerSeed) {
+  Rng a(7), b(7);
+  EXPECT_EQ(thm31_process_sample(16, 16, a), thm31_process_sample(16, 16, b));
+}
+
+TEST(Theorem31, ProcessMeanDominatesClosedForm) {
+  // E|S - F2| >= the closed-form bound (the proof lower-bounds exactly
+  // this expectation). Check with a modest Monte Carlo margin.
+  const int n = 16, f = 16;
+  Rng rng(1234);
+  Accumulator acc;
+  for (int t = 0; t < 300; ++t) {
+    acc.add(static_cast<double>(thm31_process_sample(n, f, rng)));
+  }
+  EXPECT_GE(acc.mean(), thm31_lower_bound(n, f) * 0.95);
+}
+
+TEST(Theorem31, ProcessSampleWithinMeshSize) {
+  Rng rng(5);
+  for (int t = 0; t < 20; ++t) {
+    const std::int64_t s = thm31_process_sample(10, 10, rng);
+    EXPECT_GE(s, 0);
+    EXPECT_LE(s, 1000);
+  }
+}
+
+TEST(OneRound, SacrificesMatchProcessIntuitionOnSmallMesh) {
+  // On M_3(8) with 8 random faults, one-round lamb sets are large (a
+  // sizeable fraction of N), two-round lamb sets are tiny: the paper's
+  // Section 3 message.
+  const MeshShape shape = MeshShape::cube(3, 8);
+  Rng rng(99);
+  Accumulator one_round, two_round;
+  for (int t = 0; t < 5; ++t) {
+    Rng trial(rng.child_seed(static_cast<std::uint64_t>(t)));
+    const FaultSet faults = FaultSet::random_nodes(shape, 8, trial);
+    LambOptions one;
+    one.rounds = 1;
+    LambOptions two;
+    two.rounds = 2;
+    one_round.add(static_cast<double>(lamb1(shape, faults, one).size()));
+    two_round.add(static_cast<double>(lamb1(shape, faults, two).size()));
+  }
+  EXPECT_GT(one_round.mean(), 20.0 * std::max(1.0, two_round.mean()));
+  EXPECT_LT(two_round.mean(), 5.0);
+}
+
+TEST(Constructions, Prop65RequiresOddN) {
+  EXPECT_THROW(prop65_faults(MeshShape::cube(2, 8), 3, false),
+               std::invalid_argument);
+}
+
+TEST(Constructions, Prop65RequiresFWithinCap) {
+  EXPECT_THROW(prop65_faults(MeshShape::cube(2, 9), 37, false),
+               std::invalid_argument);
+}
+
+TEST(Constructions, DiagonalRejectsTooManyFaults) {
+  EXPECT_THROW(diagonal_faults(MeshShape::cube(2, 9), 5),
+               std::invalid_argument);
+}
+
+TEST(Constructions, Fig15RequiresMatchingMesh) {
+  EXPECT_THROW(adversarial_fig15(MeshShape::cube(2, 8), 2),
+               std::invalid_argument);
+  EXPECT_THROW(adversarial_fig15(MeshShape::cube(3, 9), 2),
+               std::invalid_argument);
+}
+
+TEST(Constructions, Fig15SizesFormulae) {
+  EXPECT_EQ(fig15_lamb1_size(2), 7 * 9);
+  EXPECT_EQ(fig15_optimal_size(2), 4 * 9);
+}
+
+}  // namespace
+}  // namespace lamb
