@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl01_adversarial_ratio"
+  "../bench/abl01_adversarial_ratio.pdb"
+  "CMakeFiles/abl01_adversarial_ratio.dir/abl01_adversarial_ratio.cpp.o"
+  "CMakeFiles/abl01_adversarial_ratio.dir/abl01_adversarial_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl01_adversarial_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl01_adversarial_ratio.
+# This may be replaced when dependencies are built.

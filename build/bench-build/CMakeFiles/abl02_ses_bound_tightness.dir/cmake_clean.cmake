@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl02_ses_bound_tightness"
+  "../bench/abl02_ses_bound_tightness.pdb"
+  "CMakeFiles/abl02_ses_bound_tightness.dir/abl02_ses_bound_tightness.cpp.o"
+  "CMakeFiles/abl02_ses_bound_tightness.dir/abl02_ses_bound_tightness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl02_ses_bound_tightness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl02_ses_bound_tightness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl03_np_gadget"
+  "../bench/abl03_np_gadget.pdb"
+  "CMakeFiles/abl03_np_gadget.dir/abl03_np_gadget.cpp.o"
+  "CMakeFiles/abl03_np_gadget.dir/abl03_np_gadget.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl03_np_gadget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl04_inactivation_vs_lambs"
+  "../bench/abl04_inactivation_vs_lambs.pdb"
+  "CMakeFiles/abl04_inactivation_vs_lambs.dir/abl04_inactivation_vs_lambs.cpp.o"
+  "CMakeFiles/abl04_inactivation_vs_lambs.dir/abl04_inactivation_vs_lambs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl04_inactivation_vs_lambs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

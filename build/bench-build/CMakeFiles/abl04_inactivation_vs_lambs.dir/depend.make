@@ -1,0 +1,2 @@
+# Empty dependencies file for abl04_inactivation_vs_lambs.
+# This may be replaced when dependencies are built.

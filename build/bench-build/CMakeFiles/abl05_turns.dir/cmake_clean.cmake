@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl05_turns"
+  "../bench/abl05_turns.pdb"
+  "CMakeFiles/abl05_turns.dir/abl05_turns.cpp.o"
+  "CMakeFiles/abl05_turns.dir/abl05_turns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl05_turns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

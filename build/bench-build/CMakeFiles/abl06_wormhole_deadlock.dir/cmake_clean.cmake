@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl06_wormhole_deadlock"
+  "../bench/abl06_wormhole_deadlock.pdb"
+  "CMakeFiles/abl06_wormhole_deadlock.dir/abl06_wormhole_deadlock.cpp.o"
+  "CMakeFiles/abl06_wormhole_deadlock.dir/abl06_wormhole_deadlock.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl06_wormhole_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl07_wormhole_traffic"
+  "../bench/abl07_wormhole_traffic.pdb"
+  "CMakeFiles/abl07_wormhole_traffic.dir/abl07_wormhole_traffic.cpp.o"
+  "CMakeFiles/abl07_wormhole_traffic.dir/abl07_wormhole_traffic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl07_wormhole_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

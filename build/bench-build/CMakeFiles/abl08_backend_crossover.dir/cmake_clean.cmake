@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl08_backend_crossover"
+  "../bench/abl08_backend_crossover.pdb"
+  "CMakeFiles/abl08_backend_crossover.dir/abl08_backend_crossover.cpp.o"
+  "CMakeFiles/abl08_backend_crossover.dir/abl08_backend_crossover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl08_backend_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

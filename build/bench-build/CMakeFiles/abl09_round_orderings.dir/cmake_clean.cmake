@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl09_round_orderings"
+  "../bench/abl09_round_orderings.pdb"
+  "CMakeFiles/abl09_round_orderings.dir/abl09_round_orderings.cpp.o"
+  "CMakeFiles/abl09_round_orderings.dir/abl09_round_orderings.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl09_round_orderings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

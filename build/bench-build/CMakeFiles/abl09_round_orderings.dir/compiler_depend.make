@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl09_round_orderings.
+# This may be replaced when dependencies are built.

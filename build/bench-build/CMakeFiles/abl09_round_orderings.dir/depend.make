@@ -1,0 +1,2 @@
+# Empty dependencies file for abl09_round_orderings.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl10_rounds_sweep"
+  "../bench/abl10_rounds_sweep.pdb"
+  "CMakeFiles/abl10_rounds_sweep.dir/abl10_rounds_sweep.cpp.o"
+  "CMakeFiles/abl10_rounds_sweep.dir/abl10_rounds_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl10_rounds_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

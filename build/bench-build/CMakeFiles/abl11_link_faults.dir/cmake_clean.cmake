@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl11_link_faults"
+  "../bench/abl11_link_faults.pdb"
+  "CMakeFiles/abl11_link_faults.dir/abl11_link_faults.cpp.o"
+  "CMakeFiles/abl11_link_faults.dir/abl11_link_faults.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl11_link_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

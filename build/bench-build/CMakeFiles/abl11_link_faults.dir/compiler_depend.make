@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl11_link_faults.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl12_torus_vs_mesh"
+  "../bench/abl12_torus_vs_mesh.pdb"
+  "CMakeFiles/abl12_torus_vs_mesh.dir/abl12_torus_vs_mesh.cpp.o"
+  "CMakeFiles/abl12_torus_vs_mesh.dir/abl12_torus_vs_mesh.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl12_torus_vs_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

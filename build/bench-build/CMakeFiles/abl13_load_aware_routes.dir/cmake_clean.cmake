@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl13_load_aware_routes"
+  "../bench/abl13_load_aware_routes.pdb"
+  "CMakeFiles/abl13_load_aware_routes.dir/abl13_load_aware_routes.cpp.o"
+  "CMakeFiles/abl13_load_aware_routes.dir/abl13_load_aware_routes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl13_load_aware_routes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

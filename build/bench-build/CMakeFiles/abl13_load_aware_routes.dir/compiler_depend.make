@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl13_load_aware_routes.
+# This may be replaced when dependencies are built.

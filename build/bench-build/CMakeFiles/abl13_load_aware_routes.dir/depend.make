@@ -1,0 +1,2 @@
+# Empty dependencies file for abl13_load_aware_routes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl14_collectives.cpp" "bench-build/CMakeFiles/abl14_collectives.dir/abl14_collectives.cpp.o" "gcc" "bench-build/CMakeFiles/abl14_collectives.dir/abl14_collectives.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lamb_generic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_reduction.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_expt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_manager.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_wormhole.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_reach.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl14_collectives"
+  "../bench/abl14_collectives.pdb"
+  "CMakeFiles/abl14_collectives.dir/abl14_collectives.cpp.o"
+  "CMakeFiles/abl14_collectives.dir/abl14_collectives.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl14_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

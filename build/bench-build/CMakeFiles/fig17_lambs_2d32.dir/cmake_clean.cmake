@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_lambs_2d32"
+  "../bench/fig17_lambs_2d32.pdb"
+  "CMakeFiles/fig17_lambs_2d32.dir/fig17_lambs_2d32.cpp.o"
+  "CMakeFiles/fig17_lambs_2d32.dir/fig17_lambs_2d32.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_lambs_2d32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

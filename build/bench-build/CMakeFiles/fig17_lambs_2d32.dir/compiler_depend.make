@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig17_lambs_2d32.
+# This may be replaced when dependencies are built.

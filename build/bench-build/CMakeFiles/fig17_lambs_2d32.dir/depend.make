@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_lambs_2d32.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_lambs_3d32"
+  "../bench/fig18_lambs_3d32.pdb"
+  "CMakeFiles/fig18_lambs_3d32.dir/fig18_lambs_3d32.cpp.o"
+  "CMakeFiles/fig18_lambs_3d32.dir/fig18_lambs_3d32.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_lambs_3d32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

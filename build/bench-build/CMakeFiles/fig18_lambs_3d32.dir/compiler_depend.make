@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig18_lambs_3d32.
+# This may be replaced when dependencies are built.

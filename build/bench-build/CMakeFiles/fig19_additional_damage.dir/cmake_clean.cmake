@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig19_additional_damage"
+  "../bench/fig19_additional_damage.pdb"
+  "CMakeFiles/fig19_additional_damage.dir/fig19_additional_damage.cpp.o"
+  "CMakeFiles/fig19_additional_damage.dir/fig19_additional_damage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_additional_damage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig20_lambs_2d181"
+  "../bench/fig20_lambs_2d181.pdb"
+  "CMakeFiles/fig20_lambs_2d181.dir/fig20_lambs_2d181.cpp.o"
+  "CMakeFiles/fig20_lambs_2d181.dir/fig20_lambs_2d181.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_lambs_2d181.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig20_lambs_2d181.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig21_ratio_2d"
+  "../bench/fig21_ratio_2d.pdb"
+  "CMakeFiles/fig21_ratio_2d.dir/fig21_ratio_2d.cpp.o"
+  "CMakeFiles/fig21_ratio_2d.dir/fig21_ratio_2d.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_ratio_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig22_ratio_3d"
+  "../bench/fig22_ratio_3d.pdb"
+  "CMakeFiles/fig22_ratio_3d.dir/fig22_ratio_3d.cpp.o"
+  "CMakeFiles/fig22_ratio_3d.dir/fig22_ratio_3d.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_ratio_3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

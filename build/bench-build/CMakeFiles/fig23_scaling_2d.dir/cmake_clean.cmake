@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig23_scaling_2d"
+  "../bench/fig23_scaling_2d.pdb"
+  "CMakeFiles/fig23_scaling_2d.dir/fig23_scaling_2d.cpp.o"
+  "CMakeFiles/fig23_scaling_2d.dir/fig23_scaling_2d.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_scaling_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

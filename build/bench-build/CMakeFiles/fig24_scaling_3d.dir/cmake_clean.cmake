@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig24_scaling_3d"
+  "../bench/fig24_scaling_3d.pdb"
+  "CMakeFiles/fig24_scaling_3d.dir/fig24_scaling_3d.cpp.o"
+  "CMakeFiles/fig24_scaling_3d.dir/fig24_scaling_3d.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_scaling_3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

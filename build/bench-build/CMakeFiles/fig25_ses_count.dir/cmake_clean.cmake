@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig25_ses_count"
+  "../bench/fig25_ses_count.pdb"
+  "CMakeFiles/fig25_ses_count.dir/fig25_ses_count.cpp.o"
+  "CMakeFiles/fig25_ses_count.dir/fig25_ses_count.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25_ses_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

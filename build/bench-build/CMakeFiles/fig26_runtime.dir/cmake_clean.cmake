@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig26_runtime"
+  "../bench/fig26_runtime.pdb"
+  "CMakeFiles/fig26_runtime.dir/fig26_runtime.cpp.o"
+  "CMakeFiles/fig26_runtime.dir/fig26_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig26_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

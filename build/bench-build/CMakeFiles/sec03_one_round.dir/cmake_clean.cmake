@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec03_one_round"
+  "../bench/sec03_one_round.pdb"
+  "CMakeFiles/sec03_one_round.dir/sec03_one_round.cpp.o"
+  "CMakeFiles/sec03_one_round.dir/sec03_one_round.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec03_one_round.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec03_one_round.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab01_example_matrices"
+  "../bench/tab01_example_matrices.pdb"
+  "CMakeFiles/tab01_example_matrices.dir/tab01_example_matrices.cpp.o"
+  "CMakeFiles/tab01_example_matrices.dir/tab01_example_matrices.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_example_matrices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

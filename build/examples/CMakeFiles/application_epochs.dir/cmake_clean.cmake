@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/application_epochs.dir/application_epochs.cpp.o"
+  "CMakeFiles/application_epochs.dir/application_epochs.cpp.o.d"
+  "application_epochs"
+  "application_epochs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/application_epochs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluegene_reconfig.dir/bluegene_reconfig.cpp.o"
+  "CMakeFiles/bluegene_reconfig.dir/bluegene_reconfig.cpp.o.d"
+  "bluegene_reconfig"
+  "bluegene_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluegene_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

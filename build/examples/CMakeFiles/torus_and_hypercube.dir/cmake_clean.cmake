@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torus_and_hypercube.dir/torus_and_hypercube.cpp.o"
+  "CMakeFiles/torus_and_hypercube.dir/torus_and_hypercube.cpp.o.d"
+  "torus_and_hypercube"
+  "torus_and_hypercube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torus_and_hypercube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for torus_and_hypercube.
+# This may be replaced when dependencies are built.

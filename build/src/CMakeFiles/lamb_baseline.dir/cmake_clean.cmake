@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamb_baseline.dir/baseline/fault_ring.cpp.o"
+  "CMakeFiles/lamb_baseline.dir/baseline/fault_ring.cpp.o.d"
+  "CMakeFiles/lamb_baseline.dir/baseline/patterns.cpp.o"
+  "CMakeFiles/lamb_baseline.dir/baseline/patterns.cpp.o.d"
+  "CMakeFiles/lamb_baseline.dir/baseline/regions.cpp.o"
+  "CMakeFiles/lamb_baseline.dir/baseline/regions.cpp.o.d"
+  "liblamb_baseline.a"
+  "liblamb_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamb_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamb_collective.dir/collective/schedule.cpp.o"
+  "CMakeFiles/lamb_collective.dir/collective/schedule.cpp.o.d"
+  "liblamb_collective.a"
+  "liblamb_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamb_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bit_matrix.cpp" "src/CMakeFiles/lamb_core.dir/core/bit_matrix.cpp.o" "gcc" "src/CMakeFiles/lamb_core.dir/core/bit_matrix.cpp.o.d"
+  "/root/repo/src/core/lamb1.cpp" "src/CMakeFiles/lamb_core.dir/core/lamb1.cpp.o" "gcc" "src/CMakeFiles/lamb_core.dir/core/lamb1.cpp.o.d"
+  "/root/repo/src/core/lamb2.cpp" "src/CMakeFiles/lamb_core.dir/core/lamb2.cpp.o" "gcc" "src/CMakeFiles/lamb_core.dir/core/lamb2.cpp.o.d"
+  "/root/repo/src/core/optimal.cpp" "src/CMakeFiles/lamb_core.dir/core/optimal.cpp.o" "gcc" "src/CMakeFiles/lamb_core.dir/core/optimal.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/CMakeFiles/lamb_core.dir/core/partition.cpp.o" "gcc" "src/CMakeFiles/lamb_core.dir/core/partition.cpp.o.d"
+  "/root/repo/src/core/reach_matrices.cpp" "src/CMakeFiles/lamb_core.dir/core/reach_matrices.cpp.o" "gcc" "src/CMakeFiles/lamb_core.dir/core/reach_matrices.cpp.o.d"
+  "/root/repo/src/core/theory.cpp" "src/CMakeFiles/lamb_core.dir/core/theory.cpp.o" "gcc" "src/CMakeFiles/lamb_core.dir/core/theory.cpp.o.d"
+  "/root/repo/src/core/verifier.cpp" "src/CMakeFiles/lamb_core.dir/core/verifier.cpp.o" "gcc" "src/CMakeFiles/lamb_core.dir/core/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lamb_reach.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

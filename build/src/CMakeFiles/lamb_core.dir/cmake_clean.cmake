@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamb_core.dir/core/bit_matrix.cpp.o"
+  "CMakeFiles/lamb_core.dir/core/bit_matrix.cpp.o.d"
+  "CMakeFiles/lamb_core.dir/core/lamb1.cpp.o"
+  "CMakeFiles/lamb_core.dir/core/lamb1.cpp.o.d"
+  "CMakeFiles/lamb_core.dir/core/lamb2.cpp.o"
+  "CMakeFiles/lamb_core.dir/core/lamb2.cpp.o.d"
+  "CMakeFiles/lamb_core.dir/core/optimal.cpp.o"
+  "CMakeFiles/lamb_core.dir/core/optimal.cpp.o.d"
+  "CMakeFiles/lamb_core.dir/core/partition.cpp.o"
+  "CMakeFiles/lamb_core.dir/core/partition.cpp.o.d"
+  "CMakeFiles/lamb_core.dir/core/reach_matrices.cpp.o"
+  "CMakeFiles/lamb_core.dir/core/reach_matrices.cpp.o.d"
+  "CMakeFiles/lamb_core.dir/core/theory.cpp.o"
+  "CMakeFiles/lamb_core.dir/core/theory.cpp.o.d"
+  "CMakeFiles/lamb_core.dir/core/verifier.cpp.o"
+  "CMakeFiles/lamb_core.dir/core/verifier.cpp.o.d"
+  "liblamb_core.a"
+  "liblamb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

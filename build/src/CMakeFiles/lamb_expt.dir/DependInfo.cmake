@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expt/experiments.cpp" "src/CMakeFiles/lamb_expt.dir/expt/experiments.cpp.o" "gcc" "src/CMakeFiles/lamb_expt.dir/expt/experiments.cpp.o.d"
+  "/root/repo/src/expt/table.cpp" "src/CMakeFiles/lamb_expt.dir/expt/table.cpp.o" "gcc" "src/CMakeFiles/lamb_expt.dir/expt/table.cpp.o.d"
+  "/root/repo/src/expt/trial.cpp" "src/CMakeFiles/lamb_expt.dir/expt/trial.cpp.o" "gcc" "src/CMakeFiles/lamb_expt.dir/expt/trial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lamb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_wormhole.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_reach.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

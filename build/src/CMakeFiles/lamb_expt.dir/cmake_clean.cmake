@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamb_expt.dir/expt/experiments.cpp.o"
+  "CMakeFiles/lamb_expt.dir/expt/experiments.cpp.o.d"
+  "CMakeFiles/lamb_expt.dir/expt/table.cpp.o"
+  "CMakeFiles/lamb_expt.dir/expt/table.cpp.o.d"
+  "CMakeFiles/lamb_expt.dir/expt/trial.cpp.o"
+  "CMakeFiles/lamb_expt.dir/expt/trial.cpp.o.d"
+  "liblamb_expt.a"
+  "liblamb_expt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamb_expt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

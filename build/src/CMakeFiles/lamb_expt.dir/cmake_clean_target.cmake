@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblamb_expt.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamb_generic.dir/generic/generic_solver.cpp.o"
+  "CMakeFiles/lamb_generic.dir/generic/generic_solver.cpp.o.d"
+  "liblamb_generic.a"
+  "liblamb_generic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamb_generic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

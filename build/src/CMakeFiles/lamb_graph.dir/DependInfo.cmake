@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bipartite_matching.cpp" "src/CMakeFiles/lamb_graph.dir/graph/bipartite_matching.cpp.o" "gcc" "src/CMakeFiles/lamb_graph.dir/graph/bipartite_matching.cpp.o.d"
+  "/root/repo/src/graph/bipartite_wvc.cpp" "src/CMakeFiles/lamb_graph.dir/graph/bipartite_wvc.cpp.o" "gcc" "src/CMakeFiles/lamb_graph.dir/graph/bipartite_wvc.cpp.o.d"
+  "/root/repo/src/graph/dinic.cpp" "src/CMakeFiles/lamb_graph.dir/graph/dinic.cpp.o" "gcc" "src/CMakeFiles/lamb_graph.dir/graph/dinic.cpp.o.d"
+  "/root/repo/src/graph/general_wvc.cpp" "src/CMakeFiles/lamb_graph.dir/graph/general_wvc.cpp.o" "gcc" "src/CMakeFiles/lamb_graph.dir/graph/general_wvc.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/lamb_graph.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/lamb_graph.dir/graph/graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lamb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

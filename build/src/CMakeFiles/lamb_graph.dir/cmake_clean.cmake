@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamb_graph.dir/graph/bipartite_matching.cpp.o"
+  "CMakeFiles/lamb_graph.dir/graph/bipartite_matching.cpp.o.d"
+  "CMakeFiles/lamb_graph.dir/graph/bipartite_wvc.cpp.o"
+  "CMakeFiles/lamb_graph.dir/graph/bipartite_wvc.cpp.o.d"
+  "CMakeFiles/lamb_graph.dir/graph/dinic.cpp.o"
+  "CMakeFiles/lamb_graph.dir/graph/dinic.cpp.o.d"
+  "CMakeFiles/lamb_graph.dir/graph/general_wvc.cpp.o"
+  "CMakeFiles/lamb_graph.dir/graph/general_wvc.cpp.o.d"
+  "CMakeFiles/lamb_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/lamb_graph.dir/graph/graph.cpp.o.d"
+  "liblamb_graph.a"
+  "liblamb_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamb_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/cli_args.cpp" "src/CMakeFiles/lamb_io.dir/io/cli_args.cpp.o" "gcc" "src/CMakeFiles/lamb_io.dir/io/cli_args.cpp.o.d"
+  "/root/repo/src/io/text_format.cpp" "src/CMakeFiles/lamb_io.dir/io/text_format.cpp.o" "gcc" "src/CMakeFiles/lamb_io.dir/io/text_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lamb_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

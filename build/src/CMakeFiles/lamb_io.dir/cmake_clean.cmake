@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamb_io.dir/io/cli_args.cpp.o"
+  "CMakeFiles/lamb_io.dir/io/cli_args.cpp.o.d"
+  "CMakeFiles/lamb_io.dir/io/text_format.cpp.o"
+  "CMakeFiles/lamb_io.dir/io/text_format.cpp.o.d"
+  "liblamb_io.a"
+  "liblamb_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamb_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

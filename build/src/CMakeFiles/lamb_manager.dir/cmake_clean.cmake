@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamb_manager.dir/manager/machine_manager.cpp.o"
+  "CMakeFiles/lamb_manager.dir/manager/machine_manager.cpp.o.d"
+  "liblamb_manager.a"
+  "liblamb_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamb_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

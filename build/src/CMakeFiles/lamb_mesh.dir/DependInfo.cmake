@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/fault_set.cpp" "src/CMakeFiles/lamb_mesh.dir/mesh/fault_set.cpp.o" "gcc" "src/CMakeFiles/lamb_mesh.dir/mesh/fault_set.cpp.o.d"
+  "/root/repo/src/mesh/mesh.cpp" "src/CMakeFiles/lamb_mesh.dir/mesh/mesh.cpp.o" "gcc" "src/CMakeFiles/lamb_mesh.dir/mesh/mesh.cpp.o.d"
+  "/root/repo/src/mesh/rect_set.cpp" "src/CMakeFiles/lamb_mesh.dir/mesh/rect_set.cpp.o" "gcc" "src/CMakeFiles/lamb_mesh.dir/mesh/rect_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lamb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamb_mesh.dir/mesh/fault_set.cpp.o"
+  "CMakeFiles/lamb_mesh.dir/mesh/fault_set.cpp.o.d"
+  "CMakeFiles/lamb_mesh.dir/mesh/mesh.cpp.o"
+  "CMakeFiles/lamb_mesh.dir/mesh/mesh.cpp.o.d"
+  "CMakeFiles/lamb_mesh.dir/mesh/rect_set.cpp.o"
+  "CMakeFiles/lamb_mesh.dir/mesh/rect_set.cpp.o.d"
+  "liblamb_mesh.a"
+  "liblamb_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamb_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

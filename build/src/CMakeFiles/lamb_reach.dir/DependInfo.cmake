@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reach/dim_order.cpp" "src/CMakeFiles/lamb_reach.dir/reach/dim_order.cpp.o" "gcc" "src/CMakeFiles/lamb_reach.dir/reach/dim_order.cpp.o.d"
+  "/root/repo/src/reach/flood_oracle.cpp" "src/CMakeFiles/lamb_reach.dir/reach/flood_oracle.cpp.o" "gcc" "src/CMakeFiles/lamb_reach.dir/reach/flood_oracle.cpp.o.d"
+  "/root/repo/src/reach/reach_oracle.cpp" "src/CMakeFiles/lamb_reach.dir/reach/reach_oracle.cpp.o" "gcc" "src/CMakeFiles/lamb_reach.dir/reach/reach_oracle.cpp.o.d"
+  "/root/repo/src/reach/route.cpp" "src/CMakeFiles/lamb_reach.dir/reach/route.cpp.o" "gcc" "src/CMakeFiles/lamb_reach.dir/reach/route.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lamb_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamb_reach.dir/reach/dim_order.cpp.o"
+  "CMakeFiles/lamb_reach.dir/reach/dim_order.cpp.o.d"
+  "CMakeFiles/lamb_reach.dir/reach/flood_oracle.cpp.o"
+  "CMakeFiles/lamb_reach.dir/reach/flood_oracle.cpp.o.d"
+  "CMakeFiles/lamb_reach.dir/reach/reach_oracle.cpp.o"
+  "CMakeFiles/lamb_reach.dir/reach/reach_oracle.cpp.o.d"
+  "CMakeFiles/lamb_reach.dir/reach/route.cpp.o"
+  "CMakeFiles/lamb_reach.dir/reach/route.cpp.o.d"
+  "liblamb_reach.a"
+  "liblamb_reach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamb_reach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

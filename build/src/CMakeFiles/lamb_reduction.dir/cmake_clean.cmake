@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamb_reduction.dir/reduction/vc_gadget.cpp.o"
+  "CMakeFiles/lamb_reduction.dir/reduction/vc_gadget.cpp.o.d"
+  "liblamb_reduction.a"
+  "liblamb_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamb_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

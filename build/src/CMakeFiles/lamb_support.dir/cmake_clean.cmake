@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamb_support.dir/support/env.cpp.o"
+  "CMakeFiles/lamb_support.dir/support/env.cpp.o.d"
+  "CMakeFiles/lamb_support.dir/support/rng.cpp.o"
+  "CMakeFiles/lamb_support.dir/support/rng.cpp.o.d"
+  "CMakeFiles/lamb_support.dir/support/samples.cpp.o"
+  "CMakeFiles/lamb_support.dir/support/samples.cpp.o.d"
+  "CMakeFiles/lamb_support.dir/support/stats.cpp.o"
+  "CMakeFiles/lamb_support.dir/support/stats.cpp.o.d"
+  "liblamb_support.a"
+  "liblamb_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamb_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wormhole/network.cpp" "src/CMakeFiles/lamb_wormhole.dir/wormhole/network.cpp.o" "gcc" "src/CMakeFiles/lamb_wormhole.dir/wormhole/network.cpp.o.d"
+  "/root/repo/src/wormhole/route_builder.cpp" "src/CMakeFiles/lamb_wormhole.dir/wormhole/route_builder.cpp.o" "gcc" "src/CMakeFiles/lamb_wormhole.dir/wormhole/route_builder.cpp.o.d"
+  "/root/repo/src/wormhole/route_cache.cpp" "src/CMakeFiles/lamb_wormhole.dir/wormhole/route_cache.cpp.o" "gcc" "src/CMakeFiles/lamb_wormhole.dir/wormhole/route_cache.cpp.o.d"
+  "/root/repo/src/wormhole/traffic.cpp" "src/CMakeFiles/lamb_wormhole.dir/wormhole/traffic.cpp.o" "gcc" "src/CMakeFiles/lamb_wormhole.dir/wormhole/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lamb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_reach.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lamb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamb_wormhole.dir/wormhole/network.cpp.o"
+  "CMakeFiles/lamb_wormhole.dir/wormhole/network.cpp.o.d"
+  "CMakeFiles/lamb_wormhole.dir/wormhole/route_builder.cpp.o"
+  "CMakeFiles/lamb_wormhole.dir/wormhole/route_builder.cpp.o.d"
+  "CMakeFiles/lamb_wormhole.dir/wormhole/route_cache.cpp.o"
+  "CMakeFiles/lamb_wormhole.dir/wormhole/route_cache.cpp.o.d"
+  "CMakeFiles/lamb_wormhole.dir/wormhole/traffic.cpp.o"
+  "CMakeFiles/lamb_wormhole.dir/wormhole/traffic.cpp.o.d"
+  "liblamb_wormhole.a"
+  "liblamb_wormhole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamb_wormhole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamb_test.dir/lamb_test.cpp.o"
+  "CMakeFiles/lamb_test.dir/lamb_test.cpp.o.d"
+  "lamb_test"
+  "lamb_test.pdb"
+  "lamb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/mesh_test[1]_include.cmake")
+include("/root/repo/build/tests/reach_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_test[1]_include.cmake")
+include("/root/repo/build/tests/matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/lamb_test[1]_include.cmake")
+include("/root/repo/build/tests/generic_test[1]_include.cmake")
+include("/root/repo/build/tests/theory_test[1]_include.cmake")
+include("/root/repo/build/tests/reduction_test[1]_include.cmake")
+include("/root/repo/build/tests/wormhole_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_args_test[1]_include.cmake")
+include("/root/repo/build/tests/backend_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_test[1]_include.cmake")
+include("/root/repo/build/tests/matching_test[1]_include.cmake")
+include("/root/repo/build/tests/manager_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

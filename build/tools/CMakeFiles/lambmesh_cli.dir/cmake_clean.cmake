@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lambmesh_cli.dir/lambmesh_cli.cpp.o"
+  "CMakeFiles/lambmesh_cli.dir/lambmesh_cli.cpp.o.d"
+  "lambmesh_cli"
+  "lambmesh_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lambmesh_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
