@@ -8,10 +8,12 @@
 #include "core/lamb.hpp"
 #include "core/theory.hpp"
 #include "expt/table.hpp"
+#include "obs/obs.hpp"
 
 using namespace lamb;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::init(argc, argv);
   expt::print_banner(
       "Ablation 1 (paper Figure 15)",
       "Lamb1 vs optimal on the adversarial two-fault-row family",

@@ -6,8 +6,9 @@
 #include <cstdio>
 
 #include "core/lamb.hpp"
-#include "graph/general_wvc.hpp"
 #include "expt/table.hpp"
+#include "graph/general_wvc.hpp"
+#include "obs/obs.hpp"
 #include "reduction/vc_gadget.hpp"
 #include "support/rng.hpp"
 
@@ -46,7 +47,8 @@ WeightedGraph named_graph(const char* name) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::init(argc, argv);
   expt::print_banner(
       "Ablation 3 (paper Section 9)",
       "VERTEX COVER -> (3,2)-lamb gadget round trip",

@@ -12,6 +12,7 @@
 #include "baseline/regions.hpp"
 #include "core/lamb.hpp"
 #include "expt/table.hpp"
+#include "obs/obs.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -50,7 +51,8 @@ void run_case(const MeshShape& shape, bool clustered, int trials,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::init(argc, argv);
   expt::print_banner(
       "Ablation 4 (paper Section 1 open question)",
       "lambs vs inactivated nodes for rectangular fault regions",

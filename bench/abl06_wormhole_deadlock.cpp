@@ -7,6 +7,7 @@
 
 #include "core/lamb.hpp"
 #include "expt/table.hpp"
+#include "obs/obs.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
 #include "wormhole/network.hpp"
@@ -52,7 +53,8 @@ std::vector<Message> ring_messages(const MeshShape& shape) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::init(argc, argv);
   expt::print_banner(
       "Ablation 6 (paper requirements (i)+(iii))",
       "deadlock: virtual channels per round vs shared channels",

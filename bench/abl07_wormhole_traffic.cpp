@@ -7,6 +7,7 @@
 
 #include "core/lamb.hpp"
 #include "expt/table.hpp"
+#include "obs/obs.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
 #include "wormhole/network.hpp"
@@ -14,7 +15,8 @@
 
 using namespace lamb;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::init(argc, argv);
   expt::print_banner(
       "Ablation 7 (end-to-end)",
       "wormhole latency/throughput of survivor traffic under faults",

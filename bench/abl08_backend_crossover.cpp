@@ -9,13 +9,15 @@
 
 #include "core/lamb.hpp"
 #include "expt/table.hpp"
+#include "obs/obs.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 
 using namespace lamb;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::init(argc, argv);
   expt::print_banner(
       "Ablation 8 (paper footnote 7)",
       "R^(k) backend crossover: matrix product vs per-representative flood",

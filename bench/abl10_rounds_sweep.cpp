@@ -8,6 +8,7 @@
 
 #include "core/lamb.hpp"
 #include "expt/table.hpp"
+#include "obs/obs.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -45,7 +46,8 @@ void sweep(const MeshShape& shape, std::int64_t f, int trials) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::init(argc, argv);
   expt::print_banner(
       "Ablation 10 (Sections 1 + 3)",
       "lambs vs number of rounds / virtual channels",

@@ -9,6 +9,7 @@
 
 #include "core/lamb.hpp"
 #include "expt/table.hpp"
+#include "obs/obs.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -52,7 +53,8 @@ FaultSet make_faults(const MeshShape& shape, std::int64_t f, FaultKind kind,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::init(argc, argv);
   expt::print_banner(
       "Ablation 11 (Definition 2.4, footnote 1)",
       "lamb cost of node vs link vs directed-link faults",

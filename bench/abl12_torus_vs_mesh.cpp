@@ -5,15 +5,17 @@
 // to tori, where the travel direction depends on the destination).
 #include <cstdio>
 
-#include "generic/generic_solver.hpp"
 #include "expt/table.hpp"
+#include "generic/generic_solver.hpp"
+#include "obs/obs.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 
 using namespace lamb;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::init(argc, argv);
   expt::print_banner(
       "Ablation 12 (Section 7, tori)",
       "lambs on a torus vs the same-size mesh, same fault pattern",

@@ -9,6 +9,7 @@
 
 #include "core/lamb.hpp"
 #include "expt/table.hpp"
+#include "obs/obs.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
 #include "wormhole/network.hpp"
@@ -69,7 +70,8 @@ Outcome run(const MeshShape& shape, const FaultSet& faults,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::init(argc, argv);
   expt::print_banner(
       "Ablation 13 (Section 2.1, intermediate choice)",
       "random vs load-aware tie-breaking among shortest intermediates",

@@ -10,12 +10,14 @@
 #include "collective/schedule.hpp"
 #include "core/lamb.hpp"
 #include "expt/table.hpp"
+#include "obs/obs.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
 
 using namespace lamb;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::init(argc, argv);
   expt::print_banner(
       "Ablation 14 (application collectives)",
       "broadcast / all-reduce exchange time vs fault percentage",

@@ -6,11 +6,13 @@
 // (181 vs 1024).
 #include "expt/experiments.hpp"
 #include "expt/table.hpp"
+#include "obs/obs.hpp"
 #include "support/env.hpp"
 
 using namespace lamb;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::init(argc, argv);
   expt::print_banner("Figure 20", "lambs vs fault % on the 181x181 2D mesh",
                      "M_2(181), f% in {0.5..3.0}, 1000 trials in the paper");
   const MeshShape shape = MeshShape::cube(2, 181);

@@ -4,11 +4,13 @@
 // percentages (3D bisection width n^2 tracks f more closely).
 #include "expt/experiments.hpp"
 #include "expt/table.hpp"
+#include "obs/obs.hpp"
 #include "support/env.hpp"
 
 using namespace lamb;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::init(argc, argv);
   expt::print_banner("Figure 24", "lamb % vs mesh size, 3D, 3% faults",
                      "M_3(n), n^3 ~ 2^i for i in 10..15, 1000 trials");
   const auto rows =

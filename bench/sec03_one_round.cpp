@@ -11,13 +11,15 @@
 #include "core/theory.hpp"
 #include "expt/table.hpp"
 #include "expt/trial.hpp"
+#include "obs/obs.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 
 using namespace lamb;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::init(argc, argv);
   expt::print_banner("Section 3", "one round vs two rounds of routing",
                      "M_3(32), f = 32 random node faults");
 

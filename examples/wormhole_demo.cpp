@@ -7,13 +7,15 @@
 #include <cstdio>
 
 #include "core/lamb.hpp"
+#include "obs/obs.hpp"
 #include "support/rng.hpp"
 #include "wormhole/network.hpp"
 #include "wormhole/traffic.hpp"
 
 using namespace lamb;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::init(argc, argv);
   const MeshShape shape = MeshShape::cube(3, 8);
   Rng rng(77);
   const FaultSet faults = FaultSet::random_nodes(shape, 20, rng);  // ~4%
@@ -42,14 +44,17 @@ int main() {
     }
   }
 
-  const wormhole::RouteBuilder builder(shape, faults, ascending_rounds(3, 2));
+  // Route through the memoized cache, as a running machine would: the
+  // repeated endpoint floods under uniform traffic make its hit rate a
+  // headline metric (`LAMBMESH_METRICS=stderr` prints it).
+  wormhole::RouteCache router(shape, faults, ascending_rounds(3, 2));
   wormhole::TrafficConfig tc;
   tc.pattern = wormhole::Pattern::kUniform;
   tc.num_messages = 400;
   tc.message_flits = 8;
   tc.injection_gap = 1.0;
   const auto traffic =
-      generate_traffic(shape, faults, lambs.lambs, builder, tc, rng);
+      generate_traffic(shape, faults, lambs.lambs, router, tc, rng);
   std::printf("\ntraffic: %zu messages, %lld unroutable (must be 0)\n",
               traffic.messages.size(), (long long)traffic.unroutable);
 

@@ -3,6 +3,7 @@
 #include "core/lamb.hpp"
 #include "core/lamb_internal.hpp"
 #include "graph/bipartite_wvc.hpp"
+#include "obs/obs.hpp"
 #include "support/stats.hpp"
 
 namespace lamb {
@@ -18,6 +19,8 @@ double LambResult::value(const LambOptions& opts) const {
 
 LambResult lamb1(const MeshShape& shape, const FaultSet& faults,
                  const LambOptions& options) {
+  obs::Span span("solver.lamb1", "solver");
+  obs::counter("solver.lamb1.calls").add();
   const MultiRoundOrder orders = options.resolved_orders(shape.dim());
   const std::vector<NodeId> predetermined =
       internal::checked_predetermined(faults, options);
@@ -36,6 +39,7 @@ LambResult lamb1(const MeshShape& shape, const FaultSet& faults,
   result.stats.rk_density = rk.density();
 
   Stopwatch watch;
+  obs::ScopedTimer cover_timer("solver.cover");
   // Relevant SES's: rows of R^(k) with a zero. Relevant DES's: columns
   // with a zero (complement of the all-rows AND).
   std::vector<std::int64_t> relevant_rows;
@@ -97,6 +101,8 @@ LambResult lamb1(const MeshShape& shape, const FaultSet& faults,
   }
   internal::finalize_lambs(&result.lambs, predetermined);
   result.stats.seconds_cover = watch.seconds();
+  obs::counter("solver.lambs_selected").add(result.size());
+  span.arg("lambs", static_cast<double>(result.size()));
   return result;
 }
 

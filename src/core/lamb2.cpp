@@ -4,12 +4,15 @@
 #include "core/lamb_internal.hpp"
 #include "graph/general_wvc.hpp"
 #include "graph/graph.hpp"
+#include "obs/obs.hpp"
 #include "support/stats.hpp"
 
 namespace lamb {
 
 LambResult lamb2(const MeshShape& shape, const FaultSet& faults,
                  const LambOptions& options, bool exact) {
+  obs::Span span("solver.lamb2", "solver");
+  obs::counter("solver.lamb2.calls").add();
   const MultiRoundOrder orders = options.resolved_orders(shape.dim());
   const std::vector<NodeId> predetermined =
       internal::checked_predetermined(faults, options);
@@ -28,6 +31,7 @@ LambResult lamb2(const MeshShape& shape, const FaultSet& faults,
   result.stats.rk_density = rk.density();
 
   Stopwatch watch;
+  obs::ScopedTimer cover_timer("solver.cover");
   // Rows / columns of R^(k) that contain a zero. A vertex u_{i,j} can have
   // an incident edge only when row i or column j has a zero (every SES and
   // DES is nonempty, so the "other" endpoint always exists).
@@ -89,6 +93,8 @@ LambResult lamb2(const MeshShape& shape, const FaultSet& faults,
   }
   internal::finalize_lambs(&result.lambs, predetermined);
   result.stats.seconds_cover = watch.seconds();
+  obs::counter("solver.lambs_selected").add(result.size());
+  span.arg("lambs", static_cast<double>(result.size()));
   return result;
 }
 

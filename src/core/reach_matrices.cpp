@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "reach/flood_oracle.hpp"
 #include "support/stats.hpp"
 
@@ -70,13 +71,17 @@ ReachComputation compute_reachability(const MeshShape& shape,
   }
 
   Stopwatch watch;
-  for (const DimOrder& order : distinct) {
-    out.ses.push_back(find_ses_partition(shape, faults, order));
-    out.des.push_back(find_des_partition(shape, faults, order));
+  {
+    obs::ScopedTimer partition_timer("solver.partition");
+    for (const DimOrder& order : distinct) {
+      out.ses.push_back(find_ses_partition(shape, faults, order));
+      out.des.push_back(find_des_partition(shape, faults, order));
+    }
   }
   out.seconds_partition = watch.seconds();
 
   watch.reset();
+  obs::ScopedTimer matrices_timer("solver.reach_matrices");
   if (backend == ReachBackend::kAuto) {
     // Flood wins when the per-representative matrix-product work
     // (~q^2/64 word operations) exceeds the per-representative flood

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "mesh/fault_set.hpp"
+#include "obs/obs.hpp"
 #include "support/rng.hpp"
 
 namespace lamb::expt {
@@ -15,12 +16,16 @@ TrialSummary run_lamb_trials(const MeshShape& shape, std::int64_t f,
   TrialSummary summary;
   summary.trials = trials;
   summary.f = f;
+  obs::Counter& trial_count = obs::counter("expt.trials");
+  obs::Histogram& trial_seconds = obs::histogram("expt.trial.seconds");
   Rng master(seed);
   for (int t = 0; t < trials; ++t) {
     Rng rng(master.child_seed(static_cast<std::uint64_t>(t)));
     const FaultSet faults = FaultSet::random_nodes(shape, f, rng);
     Stopwatch watch;
     const LambResult result = lamb1(shape, faults, options);
+    trial_count.add();
+    trial_seconds.observe(watch.seconds());
     summary.runtime_s.add(watch.seconds());
     summary.lambs.add(static_cast<double>(result.size()));
     summary.ses.add(static_cast<double>(result.stats.p));
@@ -46,6 +51,10 @@ TrialSummary run_lamb_trials_parallel(const MeshShape& shape, std::int64_t f,
   std::vector<TrialRecord> records(static_cast<std::size_t>(trials));
 
   // The per-trial seed derivation must match run_lamb_trials exactly.
+  // Metric handles are resolved once; workers record through the sharded
+  // counters without contending on a shared cache line.
+  obs::Counter& trial_count = obs::counter("expt.trials");
+  obs::Histogram& trial_seconds = obs::histogram("expt.trial.seconds");
   Rng master(seed);
   auto worker = [&](int begin, int end) {
     for (int t = begin; t < end; ++t) {
@@ -55,6 +64,8 @@ TrialSummary run_lamb_trials_parallel(const MeshShape& shape, std::int64_t f,
       const LambResult result = lamb1(shape, faults, options);
       TrialRecord& rec = records[static_cast<std::size_t>(t)];
       rec.seconds = watch.seconds();
+      trial_count.add();
+      trial_seconds.observe(rec.seconds);
       rec.lambs = static_cast<double>(result.size());
       rec.ses = static_cast<double>(result.stats.p);
       rec.des = static_cast<double>(result.stats.q);

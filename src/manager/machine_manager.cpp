@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "support/stats.hpp"
 
 namespace lamb::manager {
@@ -36,6 +37,7 @@ void MachineManager::degrade_node(NodeId id, double value) {
 }
 
 EpochReport MachineManager::reconfigure() {
+  obs::Span span("manager.reconfigure", "manager");
   EpochReport report;
   report.epoch = epoch() + 1;
   report.new_node_faults = faults_.num_node_faults() - seen_node_faults_;
@@ -54,6 +56,9 @@ EpochReport MachineManager::reconfigure() {
   Stopwatch watch;
   const LambResult result = lamb1(*shape_, faults_, options);
   report.solve_seconds = watch.seconds();
+  report.partition_seconds = result.stats.seconds_partition;
+  report.matrices_seconds = result.stats.seconds_matrices;
+  report.cover_seconds = result.stats.seconds_cover;
 
   report.lambs_new =
       result.size() - static_cast<std::int64_t>(options.predetermined.size());
@@ -76,6 +81,17 @@ EpochReport MachineManager::reconfigure() {
       *shape_, faults_, options_.resolved_orders(shape_->dim()));
   pending_ = false;
   history_.push_back(report);
+
+  obs::counter("manager.epochs").add();
+  obs::counter("manager.new_faults")
+      .add(report.new_node_faults + report.new_link_faults);
+  obs::gauge("manager.faults").set(static_cast<double>(report.total_faults));
+  obs::gauge("manager.lambs").set(static_cast<double>(report.lambs_total));
+  obs::gauge("manager.survivors").set(static_cast<double>(report.survivors));
+  span.arg("epoch", report.epoch);
+  span.arg("faults", static_cast<double>(report.total_faults));
+  span.arg("lambs", static_cast<double>(report.lambs_total));
+  span.arg("survivors", static_cast<double>(report.survivors));
   return report;
 }
 

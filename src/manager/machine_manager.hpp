@@ -36,6 +36,13 @@ struct EpochReport {
   std::int64_t survivors = 0;
   double survivor_value = 0.0;  // sum of survivor node values
   double solve_seconds = 0.0;
+  // Phase breakdown of solve_seconds (where did this reconfiguration go):
+  // SES/DES partitioning, reachability-matrix products, and the WVC
+  // cover. The same numbers feed the "manager.reconfigure" span, so a
+  // LAMBMESH_TRACE run shows one span tree per epoch.
+  double partition_seconds = 0.0;
+  double matrices_seconds = 0.0;
+  double cover_seconds = 0.0;
 };
 
 class MachineManager {

@@ -1,0 +1,39 @@
+// Exporters and environment bootstrap for the observability layer.
+//
+// Destinations (LAMBMESH_METRICS):
+//   stderr         aligned table on stderr at process exit
+//   json:<path>    JSON snapshot written to <path> at exit
+//   csv:<path>     CSV snapshot written to <path> at exit
+// Any other non-empty value behaves like `stderr`. LAMBMESH_TRACE=<path>
+// independently enables span tracing and writes a Chrome-trace JSON to
+// <path> at exit (open it in chrome://tracing or ui.perfetto.dev).
+//
+// The global registry/sink bootstrap themselves from these variables on
+// first use, so every binary that links the instrumented libraries honors
+// them without code changes. Binaries that additionally want a `--metrics`
+// command-line flag call init(argc, argv) at the top of main().
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace lamb::obs {
+
+// Renders every metric as an aligned table: counters (plus a derived
+// `<p>.hit_rate` line for `<p>.hit` / `<p>.miss` pairs), gauges, and
+// histograms with count/mean/min/max/p50/p95/p99.
+void print_table(const MetricsRegistry& registry, std::FILE* out);
+
+// Structured snapshots; return false when the file cannot be opened.
+bool write_json(const MetricsRegistry& registry, const std::string& path);
+bool write_csv(const MetricsRegistry& registry, const std::string& path);
+
+// Ensures the env bootstrap ran and additionally honors a
+// `--metrics[=<dest>]` argument (bare `--metrics` forces the stderr
+// table). Returns whether metrics collection is enabled.
+bool init(int argc = 0, const char* const* argv = nullptr);
+
+}  // namespace lamb::obs

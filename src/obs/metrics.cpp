@@ -1,0 +1,205 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace lamb::obs {
+
+namespace detail {
+
+void atomic_add(std::atomic<double>* a, double delta) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + delta,
+                                   std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>* a, double x) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (x < cur &&
+         !a->compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>* a, double x) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (x > cur &&
+         !a->compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+// Bootstraps implemented in export.cpp (env parsing + exit dump).
+void bootstrap_global_metrics(MetricsRegistry* reg);
+
+}  // namespace detail
+
+int Counter::shard_index() {
+  static std::atomic<int> next{0};
+  thread_local const int slot =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return slot;
+}
+
+Histogram::Histogram(std::string name, std::vector<double> bounds,
+                     const std::atomic<bool>* enabled)
+    : name_(std::move(name)),
+      enabled_(enabled),
+      bounds_(std::move(bounds)),
+      buckets_(new std::atomic<std::int64_t>[bounds_.size() + 1]),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+    buckets_[b].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::observe(double x) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  const std::size_t b = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), x) - bounds_.begin());
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(&sum_, x);
+  detail::atomic_min(&min_, x);
+  detail::atomic_max(&max_, x);
+}
+
+double Histogram::min() const {
+  return count() > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::max() const {
+  return count() > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+std::vector<std::int64_t> Histogram::bucket_counts() const {
+  std::vector<std::int64_t> out(bounds_.size() + 1);
+  for (std::size_t b = 0; b < out.size(); ++b) {
+    out[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::quantile(double q) const {
+  const std::vector<std::int64_t> counts = bucket_counts();
+  std::int64_t total = 0;
+  for (std::int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  std::int64_t cum = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const std::int64_t prev = cum;
+    cum += counts[b];
+    if (static_cast<double>(cum) < rank) continue;
+    // Interpolate inside bucket b; the open-ended buckets fall back to the
+    // observed extremes.
+    if (b >= bounds_.size()) return max();
+    const double hi = bounds_[b];
+    const double lo = b == 0 ? std::min(min(), hi) : bounds_[b - 1];
+    const double frac =
+        (rank - static_cast<double>(prev)) / static_cast<double>(counts[b]);
+    // Interpolation uses bucket bounds, which can overshoot the data; clamp
+    // to the observed range so quantiles never exceed max() or undercut min().
+    return std::clamp(lo + (hi - lo) * frac, min(), max());
+  }
+  return max();
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(std::max(0, count)));
+  double b = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::duration_seconds_bounds() {
+  return exponential_bounds(1e-6, 4.0, 15);  // 1us .. ~268s
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Intentionally leaked: the atexit dump handler may run after ordinary
+  // static destructors (registration order depends on which global the
+  // process touches first), so the registry must outlive all of them. The
+  // static pointer keeps the allocation reachable, so leak checkers stay
+  // quiet.
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    detail::bootstrap_global_metrics(r);
+    return r;
+  }();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(
+                          new Counter(std::string(name), &enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::unique_ptr<Gauge>(
+                          new Gauge(std::string(name), &enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = Histogram::duration_seconds_bounds();
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(new Histogram(
+                          std::string(name), std::move(bounds), &enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<const Counter*> MetricsRegistry::counters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Counter*> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.push_back(c.get());
+  return out;
+}
+
+std::vector<const Gauge*> MetricsRegistry::gauges() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Gauge*> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.push_back(g.get());
+  return out;
+}
+
+std::vector<const Histogram*> MetricsRegistry::histograms() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Histogram*> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.push_back(h.get());
+  return out;
+}
+
+}  // namespace lamb::obs

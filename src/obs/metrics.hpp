@@ -1,0 +1,193 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms (see docs/OBSERVABILITY.md for the metric-name catalog).
+//
+// Design constraints, in order:
+//   1. Zero overhead when disabled: every record path is one relaxed load
+//      of the owning registry's enabled flag and a predictable branch; no
+//      clocks are read and no atomics are touched.
+//   2. Contention-free recording: counters are sharded over cache-line-
+//      aligned atomics indexed by a per-thread slot, so the parallel trial
+//      workers of expt/trial.cpp and the simulator can record
+//      simultaneously without bouncing a shared line.
+//   3. Stable handles: counter(...) / gauge(...) / histogram(...) return
+//      references that stay valid for the registry's lifetime, so call
+//      sites resolve the name once and record through the handle.
+//
+// The global() registry bootstraps itself from the LAMBMESH_METRICS
+// environment variable on first use (obs/export.hpp); unit tests use
+// locally constructed registries instead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lamb::obs {
+
+class MetricsRegistry;
+
+namespace detail {
+// Lock-free min/max/add over std::atomic<double> via CAS loops.
+void atomic_add(std::atomic<double>* a, double delta);
+void atomic_min(std::atomic<double>* a, double x);
+void atomic_max(std::atomic<double>* a, double x);
+}  // namespace detail
+
+// Monotonically increasing integer metric. add() is wait-free: each thread
+// lands on a fixed shard, value() sums the shards.
+class Counter {
+ public:
+  static constexpr int kShards = 16;
+
+  void add(std::int64_t delta = 1) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    shards_[shard_index()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  std::int64_t value() const {
+    std::int64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(std::string name, const std::atomic<bool>* enabled)
+      : name_(std::move(name)), enabled_(enabled) {}
+
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> value{0};
+  };
+  static int shard_index();
+
+  std::string name_;
+  const std::atomic<bool>* enabled_;
+  Shard shards_[kShards];
+};
+
+// Last-written-value metric (survivor count, lamb count, ...).
+class Gauge {
+ public:
+  void set(double v) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+
+  void add(double delta) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    detail::atomic_add(&value_, delta);
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(std::string name, const std::atomic<bool>* enabled)
+      : name_(std::move(name)), enabled_(enabled) {}
+
+  std::string name_;
+  const std::atomic<bool>* enabled_;
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds,
+// with an implicit +infinity overflow bucket, plus exact count/sum/min/max.
+// Quantiles are estimated by linear interpolation inside the bucket.
+class Histogram {
+ public:
+  void observe(double x);
+
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const std::int64_t n = count();
+    return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+  }
+  double min() const;  // 0 when empty
+  double max() const;  // 0 when empty
+  double quantile(double q) const;
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  // bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<std::int64_t> bucket_counts() const;
+
+  // Bucket upper bounds start, start*factor, ..., start*factor^(count-1).
+  static std::vector<double> exponential_bounds(double start, double factor,
+                                                int count);
+  // The Span default: 1us .. ~1000s in x4 steps.
+  static std::vector<double> duration_seconds_bounds();
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<double> bounds,
+            const std::atomic<bool>* enabled);
+
+  std::string name_;
+  const std::atomic<bool>* enabled_;
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> buckets_;
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(bool enabled = false) : enabled_(enabled) {}
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry. First use reads LAMBMESH_METRICS and, when
+  // set, enables collection and schedules an exit dump (obs/export.hpp).
+  static MetricsRegistry& global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  // Find-or-create by name. For histograms the bucket bounds are fixed by
+  // the first caller; later callers get the existing instance. An empty
+  // bounds vector selects the duration default.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds = {});
+
+  // Name-sorted views for the exporters. Pointers stay valid for the
+  // registry's lifetime; values may keep moving while threads record.
+  std::vector<const Counter*> counters() const;
+  std::vector<const Gauge*> gauges() const;
+  std::vector<const Histogram*> histograms() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Shorthands against the global registry; handles are commonly cached in a
+// function-local static at the instrumentation site.
+inline Counter& counter(std::string_view name) {
+  return MetricsRegistry::global().counter(name);
+}
+inline Gauge& gauge(std::string_view name) {
+  return MetricsRegistry::global().gauge(name);
+}
+inline Histogram& histogram(std::string_view name,
+                            std::vector<double> bounds = {}) {
+  return MetricsRegistry::global().histogram(name, std::move(bounds));
+}
+
+}  // namespace lamb::obs

@@ -1,0 +1,8 @@
+// Umbrella header for the observability layer: metrics registry, spans /
+// trace export, and the env-driven bootstrap. Instrumented code usually
+// needs only this include.
+#pragma once
+
+#include "obs/export.hpp"  // IWYU pragma: export
+#include "obs/metrics.hpp"  // IWYU pragma: export
+#include "obs/trace.hpp"  // IWYU pragma: export

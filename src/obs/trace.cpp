@@ -1,0 +1,153 @@
+#include "obs/trace.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace lamb::obs {
+
+namespace detail {
+// Implemented in export.cpp (env parsing + exit dump).
+void bootstrap_global_trace(TraceSink* sink);
+}  // namespace detail
+
+TraceSink& TraceSink::global() {
+  // Intentionally leaked, mirroring MetricsRegistry::global(): the atexit
+  // dump may fire after static destructors run, so the sink must never be
+  // destroyed. Reachable via the static pointer, so leak checkers stay
+  // quiet.
+  static TraceSink* sink = [] {
+    auto* s = new TraceSink();
+    detail::bootstrap_global_trace(s);
+    return s;
+  }();
+  return *sink;
+}
+
+int TraceSink::thread_tid() {
+  static std::atomic<int> next{1};
+  thread_local const int tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void TraceSink::record(TraceEvent event) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void TraceSink::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+namespace {
+
+// Minimal JSON string escaping; metric/span names are code-controlled but
+// args and categories still get the safe treatment.
+void write_json_string(std::FILE* out, const std::string& s) {
+  std::fputc('"', out);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        std::fputs("\\\"", out);
+        break;
+      case '\\':
+        std::fputs("\\\\", out);
+        break;
+      case '\n':
+        std::fputs("\\n", out);
+        break;
+      case '\t':
+        std::fputs("\\t", out);
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::fprintf(out, "\\u%04x", c);
+        } else {
+          std::fputc(c, out);
+        }
+    }
+  }
+  std::fputc('"', out);
+}
+
+}  // namespace
+
+void TraceSink::write_chrome_json(std::FILE* out) const {
+  const std::vector<TraceEvent> snapshot = events();
+  std::fputs("{\"traceEvents\":[", out);
+  bool first = true;
+  for (const TraceEvent& e : snapshot) {
+    if (!first) std::fputc(',', out);
+    first = false;
+    std::fputs("\n{\"name\":", out);
+    write_json_string(out, e.name);
+    std::fputs(",\"cat\":", out);
+    write_json_string(out, e.category);
+    std::fprintf(out, ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d",
+                 e.ts_us, e.dur_us, e.tid);
+    if (!e.args.empty()) {
+      std::fputs(",\"args\":{", out);
+      bool first_arg = true;
+      for (const auto& [key, value] : e.args) {
+        if (!first_arg) std::fputc(',', out);
+        first_arg = false;
+        write_json_string(out, key);
+        std::fprintf(out, ":%.17g", value);
+      }
+      std::fputc('}', out);
+    }
+    std::fputc('}', out);
+  }
+  std::fputs("\n],\"displayTimeUnit\":\"ms\"}\n", out);
+}
+
+bool TraceSink::write_chrome_json(const std::string& path) const {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  write_chrome_json(out);
+  std::fclose(out);
+  return true;
+}
+
+Span::Span(const char* name, const char* category)
+    : name_(name), category_(category) {
+  metrics_ = MetricsRegistry::global().enabled();
+  tracing_ = TraceSink::global().enabled();
+  if (metrics_ || tracing_) start_us_ = TraceSink::global().now_us();
+}
+
+void Span::arg(const char* key, double value) {
+  if (tracing_) args_.emplace_back(key, value);
+}
+
+double Span::stop() {
+  if (finished_) return seconds_;
+  finished_ = true;
+  if (!metrics_ && !tracing_) return 0.0;
+  TraceSink& sink = TraceSink::global();
+  const double end_us = sink.now_us();
+  seconds_ = (end_us - start_us_) / 1e6;
+  if (metrics_) {
+    MetricsRegistry::global()
+        .histogram(std::string(name_) + ".seconds")
+        .observe(seconds_);
+  }
+  if (tracing_) {
+    TraceEvent event;
+    event.name = name_;
+    event.category = category_;
+    event.ts_us = start_us_;
+    event.dur_us = end_us - start_us_;
+    event.tid = TraceSink::thread_tid();
+    event.args = std::move(args_);
+    sink.record(std::move(event));
+  }
+  return seconds_;
+}
+
+}  // namespace lamb::obs

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace lamb {
 
 FloodOracle::FloodOracle(const MeshShape& shape, const FaultSet& faults)
@@ -125,6 +127,8 @@ void FloodOracle::expand_line_to(const Point& p, int j, Bits* out) const {
 }
 
 Bits FloodOracle::reach1_from(const Point& v, const DimOrder& order) const {
+  static obs::Counter& floods = obs::counter("reach.flood.forward");
+  floods.add();
   Bits cur(shape_->size());
   if (faults_->node_faulty(v)) return cur;
   cur.set(shape_->index(v));
@@ -141,6 +145,8 @@ Bits FloodOracle::reach1_from(const Point& v, const DimOrder& order) const {
 
 Bits FloodOracle::reach1_from_set(const Bits& sources,
                                   const DimOrder& order) const {
+  static obs::Counter& floods = obs::counter("reach.flood.forward_set");
+  floods.add();
   Bits cur(shape_->size());
   sources.for_each([&](NodeId id) {
     if (!faults_->node_faulty(id)) cur.set(id);
@@ -157,6 +163,8 @@ Bits FloodOracle::reach1_from_set(const Bits& sources,
 }
 
 Bits FloodOracle::reach1_to(const Point& w, const DimOrder& order) const {
+  static obs::Counter& floods = obs::counter("reach.flood.backward");
+  floods.add();
   Bits cur(shape_->size());
   if (faults_->node_faulty(w)) return cur;
   cur.set(shape_->index(w));

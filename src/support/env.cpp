@@ -24,6 +24,12 @@ double env_double(const char* name, double fallback) {
   return value;
 }
 
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return raw;
+}
+
 int scaled_trials(int base) {
   const double mult = env_double("LAMBMESH_TRIALS", 1.0);
   const double scaled = static_cast<double>(base) * (mult > 0.0 ? mult : 1.0);

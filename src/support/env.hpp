@@ -17,6 +17,10 @@ long env_long(const char* name, long fallback);
 // Returns the double value of environment variable `name`, or `fallback`.
 double env_double(const char* name, double fallback);
 
+// Returns the string value of environment variable `name`, or `fallback`
+// when unset or empty.
+std::string env_string(const char* name, const std::string& fallback);
+
 // Trial-count helper: `base` scaled by LAMBMESH_TRIALS (a percentage-like
 // multiplier; default 1.0). Result is at least 1.
 int scaled_trials(int base);

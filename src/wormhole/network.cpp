@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace lamb::wormhole {
 
 Network::Network(const MeshShape& shape, const FaultSet& faults,
@@ -52,15 +54,22 @@ bool Network::try_advance(MessageState& st, int p) {
   const Hop& hop = st.msg.route.hops[static_cast<std::size_t>(q)];
   const NodeId from = node_before_hop(st, q);
   const LinkId link = shape_->link_id(from, hop.dim, hop.dir);
-  if (link_used_[static_cast<std::size_t>(link)]) return false;
+  if (link_used_[static_cast<std::size_t>(link)]) {
+    ++stall_link_busy_;
+    return false;
+  }
   Buffer& tb = buffers_[static_cast<std::size_t>(buffer_index(from, hop))];
   if (tb.owner != m) {
     // Only the head flit may allocate a fresh virtual channel.
     if (tb.owner >= 0 || st.crossed[static_cast<std::size_t>(q)] != 0) {
+      ++stall_vc_busy_;
       return false;
     }
   }
-  if (tb.occupancy >= config_.buffer_flits) return false;
+  if (tb.occupancy >= config_.buffer_flits) {
+    ++stall_credit_;
+    return false;
+  }
 
   // Commit the move.
   if (p >= 0) {
@@ -89,6 +98,11 @@ bool Network::try_advance(MessageState& st, int p) {
 }
 
 SimResult Network::run() {
+  obs::Span span("sim.run", "wormhole");
+  // Streak lengths of motionless cycles that ended with motion again: the
+  // watchdog near-misses (a gap of deadlock_threshold trips the watchdog).
+  static obs::Histogram& stall_gaps = obs::histogram(
+      "sim.stall_gap_cycles", obs::Histogram::exponential_bounds(1, 2, 16));
   SimResult result;
   result.total_messages = static_cast<std::int64_t>(messages_.size());
   for (const MessageState& st : messages_) {
@@ -183,12 +197,20 @@ SimResult Network::run() {
         continue;
       }
     }
-    stagnant = moved_this_cycle_ ? 0 : stagnant + 1;
+    if (moved_this_cycle_) {
+      if (stagnant > 0) stall_gaps.observe(static_cast<double>(stagnant));
+      stagnant = 0;
+    } else {
+      ++stagnant;
+    }
     if (stagnant >= config_.deadlock_threshold) {
       result.deadlocked = true;
       break;
     }
   }
+  // Flush the terminal streak too — a deadlocked run's final gap (the
+  // streak that tripped the watchdog) would otherwise never be observed.
+  if (stagnant > 0) stall_gaps.observe(static_cast<double>(stagnant));
 
   result.delivered = delivered;
   result.cycles = cycle_;
@@ -199,6 +221,21 @@ SimResult Network::run() {
       cycle_ > 0 ? static_cast<double>(flits_delivered) /
                        static_cast<double>(cycle_)
                  : 0.0;
+
+  if (obs::MetricsRegistry::global().enabled()) {
+    std::int64_t flits_moved = 0;
+    for (std::int64_t flits : link_flits_) flits_moved += flits;
+    obs::counter("sim.runs").add();
+    obs::counter("sim.cycles").add(cycle_);
+    obs::counter("sim.flits_moved").add(flits_moved);
+    obs::counter("sim.messages_delivered").add(delivered);
+    obs::counter("sim.stall.link_busy").add(stall_link_busy_);
+    obs::counter("sim.stall.vc_busy").add(stall_vc_busy_);
+    obs::counter("sim.stall.credit").add(stall_credit_);
+    if (result.deadlocked) obs::counter("sim.deadlocks").add();
+  }
+  span.arg("messages", static_cast<double>(result.total_messages));
+  span.arg("cycles", static_cast<double>(cycle_));
   return result;
 }
 

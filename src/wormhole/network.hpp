@@ -109,6 +109,12 @@ class Network {
   std::vector<std::int64_t> link_flits_; // per directed link, whole run
   std::int64_t cycle_ = 0;
   bool moved_this_cycle_ = false;
+  // Blocked-advance tallies for the whole run, flushed to the metrics
+  // registry by run(): physical link already used this cycle, virtual
+  // channel owned by another worm, and credit (buffer-full) stalls.
+  std::int64_t stall_link_busy_ = 0;
+  std::int64_t stall_vc_busy_ = 0;
+  std::int64_t stall_credit_ = 0;
 };
 
 }  // namespace lamb::wormhole

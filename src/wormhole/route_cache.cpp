@@ -2,10 +2,25 @@
 
 #include <limits>
 
+#include "obs/obs.hpp"
 #include "reach/flood_oracle.hpp"
 #include "reach/route.hpp"
 
 namespace lamb::wormhole {
+
+namespace {
+
+obs::Counter& hit_counter() {
+  static obs::Counter& c = obs::counter("wormhole.route_cache.hit");
+  return c;
+}
+
+obs::Counter& miss_counter() {
+  static obs::Counter& c = obs::counter("wormhole.route_cache.miss");
+  return c;
+}
+
+}  // namespace
 
 RouteCache::RouteCache(const MeshShape& shape, const FaultSet& faults,
                        MultiRoundOrder orders)
@@ -15,6 +30,7 @@ RouteCache::RouteCache(const MeshShape& shape, const FaultSet& faults,
       fallback_(shape, faults, orders_) {}
 
 void RouteCache::reconfigure() {
+  obs::counter("wormhole.route_cache.reconfigures").add();
   forward_.clear();
   backward_.clear();
 }
@@ -23,9 +39,11 @@ const Bits& RouteCache::forward_of(NodeId src) {
   auto it = forward_.find(src);
   if (it != forward_.end()) {
     ++hits_;
+    hit_counter().add();
     return it->second;
   }
   ++misses_;
+  miss_counter().add();
   const FloodOracle flood(*shape_, *faults_);
   return forward_.emplace(src, flood.reach1_from(shape_->point(src),
                                                  orders_.front()))
@@ -36,9 +54,11 @@ const Bits& RouteCache::backward_of(NodeId dst) {
   auto it = backward_.find(dst);
   if (it != backward_.end()) {
     ++hits_;
+    hit_counter().add();
     return it->second;
   }
   ++misses_;
+  miss_counter().add();
   const FloodOracle flood(*shape_, *faults_);
   return backward_.emplace(dst, flood.reach1_to(shape_->point(dst),
                                                 orders_.back()))
@@ -47,7 +67,10 @@ const Bits& RouteCache::backward_of(NodeId dst) {
 
 std::optional<Route> RouteCache::build(NodeId src, NodeId dst, Rng& rng,
                                        NodeLoad* load) {
-  if (orders_.size() != 2) return fallback_.build(src, dst, rng);
+  if (orders_.size() != 2) {
+    obs::counter("wormhole.route_cache.fallback").add();
+    return fallback_.build(src, dst, rng);
+  }
 
   Bits both = forward_of(src);
   both &= backward_of(dst);

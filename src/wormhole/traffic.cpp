@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 namespace lamb::wormhole {
 
@@ -17,12 +18,14 @@ NodeId bit_reverse_in_range(NodeId id, NodeId size) {
   return rev % size;
 }
 
-}  // namespace
+using RouteFn =
+    std::function<std::optional<Route>(NodeId src, NodeId dst, Rng& rng)>;
 
-TrafficResult generate_traffic(const MeshShape& shape, const FaultSet& faults,
-                               const std::vector<NodeId>& lambs,
-                               const RouteBuilder& builder,
-                               const TrafficConfig& config, Rng& rng) {
+TrafficResult generate_traffic_impl(const MeshShape& shape,
+                                    const FaultSet& faults,
+                                    const std::vector<NodeId>& lambs,
+                                    const RouteFn& route_of,
+                                    const TrafficConfig& config, Rng& rng) {
   std::vector<char> excluded(static_cast<std::size_t>(shape.size()), 0);
   for (NodeId id : lambs) excluded[static_cast<std::size_t>(id)] = 1;
   std::vector<NodeId> survivors;
@@ -73,7 +76,7 @@ TrafficResult generate_traffic(const MeshShape& shape, const FaultSet& faults,
     }
     if (dst == src) continue;
 
-    auto route = builder.build(src, dst, rng);
+    auto route = route_of(src, dst, rng);
     if (!route) {
       ++out.unroutable;
       continue;
@@ -87,6 +90,32 @@ TrafficResult generate_traffic(const MeshShape& shape, const FaultSet& faults,
     out.messages.push_back(std::move(msg));
   }
   return out;
+}
+
+}  // namespace
+
+TrafficResult generate_traffic(const MeshShape& shape, const FaultSet& faults,
+                               const std::vector<NodeId>& lambs,
+                               const RouteBuilder& builder,
+                               const TrafficConfig& config, Rng& rng) {
+  return generate_traffic_impl(
+      shape, faults, lambs,
+      [&builder](NodeId src, NodeId dst, Rng& r) {
+        return builder.build(src, dst, r);
+      },
+      config, rng);
+}
+
+TrafficResult generate_traffic(const MeshShape& shape, const FaultSet& faults,
+                               const std::vector<NodeId>& lambs,
+                               RouteCache& cache, const TrafficConfig& config,
+                               Rng& rng, NodeLoad* load) {
+  return generate_traffic_impl(
+      shape, faults, lambs,
+      [&cache, load](NodeId src, NodeId dst, Rng& r) {
+        return cache.build(src, dst, r, load);
+      },
+      config, rng);
 }
 
 }  // namespace lamb::wormhole

@@ -14,6 +14,7 @@
 #include "support/rng.hpp"
 #include "wormhole/network.hpp"
 #include "wormhole/route_builder.hpp"
+#include "wormhole/route_cache.hpp"
 
 namespace lamb::wormhole {
 
@@ -45,5 +46,13 @@ TrafficResult generate_traffic(const MeshShape& shape, const FaultSet& faults,
                                const std::vector<NodeId>& lambs,
                                const RouteBuilder& builder,
                                const TrafficConfig& config, Rng& rng);
+
+// As above, but routes through a RouteCache (memoized endpoint floods,
+// optionally load-aware intermediates) — the configuration a running
+// machine would use between reconfigurations.
+TrafficResult generate_traffic(const MeshShape& shape, const FaultSet& faults,
+                               const std::vector<NodeId>& lambs,
+                               RouteCache& cache, const TrafficConfig& config,
+                               Rng& rng, NodeLoad* load = nullptr);
 
 }  // namespace lamb::wormhole

@@ -1,0 +1,312 @@
+// Tests for the observability layer (src/obs): counter / gauge /
+// histogram semantics, exact concurrent sums through the sharded
+// counters, zero recording in disabled mode, exporter output, and
+// Chrome-trace JSON with correctly nested spans.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace lamb::obs {
+namespace {
+
+TEST(Counter, AddAndValue) {
+  MetricsRegistry reg(/*enabled=*/true);
+  Counter& c = reg.counter("test.counter");
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  EXPECT_EQ(c.name(), "test.counter");
+  // Same name resolves to the same metric.
+  reg.counter("test.counter").add();
+  EXPECT_EQ(c.value(), 43);
+}
+
+TEST(Counter, DisabledRecordsNothing) {
+  MetricsRegistry reg(/*enabled=*/false);
+  Counter& c = reg.counter("test.disabled");
+  c.add();
+  c.add(100);
+  EXPECT_EQ(c.value(), 0);
+  // Flipping the switch makes the same handle live.
+  reg.set_enabled(true);
+  c.add(7);
+  EXPECT_EQ(c.value(), 7);
+  reg.set_enabled(false);
+  c.add(7);
+  EXPECT_EQ(c.value(), 7);
+}
+
+TEST(Counter, ConcurrentIncrementsSumExactly) {
+  MetricsRegistry reg(/*enabled=*/true);
+  Counter& c = reg.counter("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(kThreads) * kPerThread);
+}
+
+TEST(Gauge, SetAndAdd) {
+  MetricsRegistry reg(/*enabled=*/true);
+  Gauge& g = reg.gauge("test.gauge");
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.5);
+  EXPECT_EQ(g.value(), 3.5);
+  g.add(1.5);
+  EXPECT_EQ(g.value(), 5.0);
+  reg.set_enabled(false);
+  g.set(99.0);
+  EXPECT_EQ(g.value(), 5.0);
+}
+
+TEST(Histogram, BucketSemantics) {
+  MetricsRegistry reg(/*enabled=*/true);
+  Histogram& h = reg.histogram("test.hist", {1.0, 2.0, 4.0});
+  for (double x : {0.5, 1.5, 3.0, 10.0}) h.observe(x);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.75);
+  const std::vector<std::int64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 1);
+  // An observation equal to a bound lands in that bound's bucket
+  // (inclusive upper bounds).
+  h.observe(2.0);
+  EXPECT_EQ(h.bucket_counts()[1], 2);
+}
+
+TEST(Histogram, QuantilesAreMonotoneAndBounded) {
+  MetricsRegistry reg(/*enabled=*/true);
+  Histogram& h =
+      reg.histogram("test.quant", Histogram::exponential_bounds(1, 2, 10));
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i % 100));
+  double prev = 0.0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << "quantile not monotone at q=" << q;
+    EXPECT_LE(v, h.max());
+    prev = v;
+  }
+  EXPECT_EQ(h.quantile(0.0), h.min() >= 0 ? h.quantile(0.0) : 0.0);
+}
+
+TEST(Histogram, DisabledRecordsNothing) {
+  MetricsRegistry reg(/*enabled=*/false);
+  Histogram& h = reg.histogram("test.hist.off", {1.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, ConcurrentObservationsCountExactly) {
+  MetricsRegistry reg(/*enabled=*/true);
+  Histogram& h = reg.histogram("test.hist.mt", {0.5});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.observe(t % 2 == 0 ? 0.25 : 1.0);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  const std::int64_t total = static_cast<std::int64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(h.count(), total);
+  const std::vector<std::int64_t> counts = h.bucket_counts();
+  EXPECT_EQ(counts[0], total / 2);
+  EXPECT_EQ(counts[1], total / 2);
+}
+
+TEST(Histogram, ExponentialBounds) {
+  const std::vector<double> b = Histogram::exponential_bounds(1.0, 2.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[1], 2.0);
+  EXPECT_DOUBLE_EQ(b[2], 4.0);
+  EXPECT_DOUBLE_EQ(b[3], 8.0);
+}
+
+// Captures print_table output via open_memstream (POSIX).
+std::string render_table(const MetricsRegistry& reg) {
+  char* buffer = nullptr;
+  std::size_t size = 0;
+  std::FILE* mem = open_memstream(&buffer, &size);
+  print_table(reg, mem);
+  std::fclose(mem);
+  std::string out(buffer, size);
+  std::free(buffer);
+  return out;
+}
+
+TEST(Export, TableContainsMetricsAndDerivedHitRate) {
+  MetricsRegistry reg(/*enabled=*/true);
+  reg.counter("cache.hit").add(3);
+  reg.counter("cache.miss").add(1);
+  reg.gauge("machine.survivors").set(996.0);
+  reg.histogram("phase.seconds", {0.1, 1.0}).observe(0.05);
+  const std::string table = render_table(reg);
+  EXPECT_NE(table.find("cache.hit"), std::string::npos);
+  EXPECT_NE(table.find("cache.hit_rate"), std::string::npos);
+  EXPECT_NE(table.find("0.7500"), std::string::npos);
+  EXPECT_NE(table.find("machine.survivors"), std::string::npos);
+  EXPECT_NE(table.find("phase.seconds"), std::string::npos);
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "r");
+  EXPECT_NE(in, nullptr);
+  std::string out;
+  char chunk[4096];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), in)) > 0) {
+    out.append(chunk, n);
+  }
+  std::fclose(in);
+  return out;
+}
+
+TEST(Export, JsonAndCsvSnapshots) {
+  MetricsRegistry reg(/*enabled=*/true);
+  reg.counter("a.count").add(5);
+  reg.gauge("b.gauge").set(2.5);
+  reg.histogram("c.hist", {1.0}).observe(0.5);
+  const std::string json_path = ::testing::TempDir() + "obs_test_metrics.json";
+  const std::string csv_path = ::testing::TempDir() + "obs_test_metrics.csv";
+  ASSERT_TRUE(write_json(reg, json_path));
+  ASSERT_TRUE(write_csv(reg, csv_path));
+
+  const std::string json = read_file(json_path);
+  EXPECT_NE(json.find("\"a.count\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"b.gauge\": 2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"c.hist\""), std::string::npos);
+  // Balanced braces/brackets (single-byte sanity parse).
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+
+  const std::string csv = read_file(csv_path);
+  EXPECT_NE(csv.find("kind,name,value"), std::string::npos);
+  EXPECT_NE(csv.find("counter,a.count,5"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,c.hist"), std::string::npos);
+  std::remove(json_path.c_str());
+  std::remove(csv_path.c_str());
+}
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  MetricsRegistry::global().set_enabled(false);
+  TraceSink::global().set_enabled(false);
+  TraceSink::global().clear();
+  {
+    Span span("test.noop");
+    span.arg("x", 1.0);
+  }
+  EXPECT_TRUE(TraceSink::global().events().empty());
+}
+
+TEST(Trace, SpansNestAndFeedHistograms) {
+  MetricsRegistry::global().set_enabled(true);
+  TraceSink::global().set_enabled(true);
+  TraceSink::global().clear();
+  {
+    Span outer("test.outer");
+    {
+      Span inner("test.inner");
+      inner.arg("depth", 2.0);
+    }
+  }
+  MetricsRegistry::global().set_enabled(false);
+  TraceSink::global().set_enabled(false);
+
+  const std::vector<TraceEvent> events = TraceSink::global().events();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner finishes (and records) first.
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_EQ(inner.name, "test.inner");
+  EXPECT_EQ(outer.name, "test.outer");
+  EXPECT_EQ(inner.tid, outer.tid);
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us + 1e-3);
+  ASSERT_EQ(inner.args.size(), 1u);
+  EXPECT_EQ(inner.args[0].first, "depth");
+
+  // Both spans observed their duration into "<name>.seconds".
+  EXPECT_GE(
+      MetricsRegistry::global().histogram("test.outer.seconds").count(), 1);
+  EXPECT_GE(
+      MetricsRegistry::global().histogram("test.inner.seconds").count(), 1);
+}
+
+TEST(Trace, ChromeJsonIsWellFormed) {
+  MetricsRegistry::global().set_enabled(false);
+  TraceSink::global().set_enabled(true);
+  TraceSink::global().clear();
+  {
+    Span outer("json.outer", "testcat");
+    outer.arg("epoch", 3.0);
+    Span inner("json.inner");
+  }
+  TraceSink::global().set_enabled(false);
+
+  const std::string path = ::testing::TempDir() + "obs_test_trace.json";
+  ASSERT_TRUE(TraceSink::global().write_chrome_json(path));
+  const std::string json = read_file(path);
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"name\":\"json.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"json.inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"testcat\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"epoch\":3}"), std::string::npos);
+  int braces = 0, brackets = 0;
+  for (const char c : json) {
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  std::remove(path.c_str());
+}
+
+TEST(Init, MetricsFlagEnablesCollection) {
+  // init() with --metrics=json:<path> must switch the global registry on.
+  const std::string dest =
+      "--metrics=json:" + ::testing::TempDir() + "obs_test_exit.json";
+  const char* argv[] = {"prog", dest.c_str()};
+  EXPECT_TRUE(init(2, argv));
+  EXPECT_TRUE(MetricsRegistry::global().enabled());
+  // Leave the registry recording; the atexit dump writes to TempDir.
+}
+
+}  // namespace
+}  // namespace lamb::obs
