@@ -12,6 +12,7 @@
 #include "baseline/regions.hpp"
 #include "core/lamb.hpp"
 #include "expt/table.hpp"
+#include "io/cli_args.hpp"
 #include "obs/obs.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
@@ -53,6 +54,7 @@ void run_case(const MeshShape& shape, bool clustered, int trials,
 
 int main(int argc, char** argv) {
   obs::init(argc, argv);
+  io::init_threads(argc, argv);
   expt::print_banner(
       "Ablation 4 (paper Section 1 open question)",
       "lambs vs inactivated nodes for rectangular fault regions",

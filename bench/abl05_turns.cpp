@@ -19,6 +19,7 @@
 #include "baseline/regions.hpp"
 #include "core/lamb.hpp"
 #include "expt/table.hpp"
+#include "io/cli_args.hpp"
 #include "obs/obs.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
@@ -45,6 +46,7 @@ std::vector<NodeId> survivors_of(const MeshShape& shape, const FaultSet& faults,
 
 int main(int argc, char** argv) {
   obs::init(argc, argv);
+  io::init_threads(argc, argv);
   expt::print_banner(
       "Ablation 5 (paper Section 1, turns)",
       "fault-ring routing turns vs lamb-route turns",

@@ -7,6 +7,7 @@
 
 #include "core/lamb.hpp"
 #include "expt/table.hpp"
+#include "io/cli_args.hpp"
 #include "obs/obs.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
@@ -55,6 +56,7 @@ std::vector<Message> ring_messages(const MeshShape& shape) {
 
 int main(int argc, char** argv) {
   obs::init(argc, argv);
+  io::init_threads(argc, argv);
   expt::print_banner(
       "Ablation 6 (paper requirements (i)+(iii))",
       "deadlock: virtual channels per round vs shared channels",

@@ -7,6 +7,7 @@
 
 #include "core/lamb.hpp"
 #include "expt/table.hpp"
+#include "io/cli_args.hpp"
 #include "obs/obs.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
@@ -17,6 +18,7 @@ using namespace lamb;
 
 int main(int argc, char** argv) {
   obs::init(argc, argv);
+  io::init_threads(argc, argv);
   expt::print_banner(
       "Ablation 7 (end-to-end)",
       "wormhole latency/throughput of survivor traffic under faults",

@@ -8,6 +8,7 @@
 
 #include "core/lamb.hpp"
 #include "expt/table.hpp"
+#include "io/cli_args.hpp"
 #include "obs/obs.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
@@ -48,6 +49,7 @@ void sweep(const MeshShape& shape, std::int64_t f, int trials) {
 
 int main(int argc, char** argv) {
   obs::init(argc, argv);
+  io::init_threads(argc, argv);
   expt::print_banner(
       "Ablation 10 (Sections 1 + 3)",
       "lambs vs number of rounds / virtual channels",

@@ -7,6 +7,7 @@
 
 #include "expt/table.hpp"
 #include "generic/generic_solver.hpp"
+#include "io/cli_args.hpp"
 #include "obs/obs.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
@@ -16,6 +17,7 @@ using namespace lamb;
 
 int main(int argc, char** argv) {
   obs::init(argc, argv);
+  io::init_threads(argc, argv);
   expt::print_banner(
       "Ablation 12 (Section 7, tori)",
       "lambs on a torus vs the same-size mesh, same fault pattern",

@@ -9,6 +9,7 @@
 
 #include "core/lamb.hpp"
 #include "expt/table.hpp"
+#include "io/cli_args.hpp"
 #include "obs/obs.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
@@ -72,6 +73,7 @@ Outcome run(const MeshShape& shape, const FaultSet& faults,
 
 int main(int argc, char** argv) {
   obs::init(argc, argv);
+  io::init_threads(argc, argv);
   expt::print_banner(
       "Ablation 13 (Section 2.1, intermediate choice)",
       "random vs load-aware tie-breaking among shortest intermediates",

@@ -10,6 +10,7 @@
 #include "collective/schedule.hpp"
 #include "core/lamb.hpp"
 #include "expt/table.hpp"
+#include "io/cli_args.hpp"
 #include "obs/obs.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
@@ -18,6 +19,7 @@ using namespace lamb;
 
 int main(int argc, char** argv) {
   obs::init(argc, argv);
+  io::init_threads(argc, argv);
   expt::print_banner(
       "Ablation 14 (application collectives)",
       "broadcast / all-reduce exchange time vs fault percentage",

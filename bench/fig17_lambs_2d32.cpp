@@ -4,6 +4,7 @@
 // = 0.937% of the 1024 nodes; additional damage 9.59/31 = 30.9%.
 #include "expt/experiments.hpp"
 #include "expt/table.hpp"
+#include "io/cli_args.hpp"
 #include "obs/obs.hpp"
 #include "support/env.hpp"
 
@@ -11,6 +12,7 @@ using namespace lamb;
 
 int main(int argc, char** argv) {
   obs::init(argc, argv);
+  io::init_threads(argc, argv);
   expt::print_banner("Figure 17", "lambs vs fault % on the 32x32 2D mesh",
                      "M_2(32), f% in {0.5..3.0}, 1000 trials in the paper");
   const MeshShape shape = MeshShape::cube(2, 32);

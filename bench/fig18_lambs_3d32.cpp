@@ -5,6 +5,7 @@
 // 67.6/983 = 6.88%. The abstract quotes "less than 68 lambs".
 #include "expt/experiments.hpp"
 #include "expt/table.hpp"
+#include "io/cli_args.hpp"
 #include "obs/obs.hpp"
 #include "support/env.hpp"
 
@@ -12,6 +13,7 @@ using namespace lamb;
 
 int main(int argc, char** argv) {
   obs::init(argc, argv);
+  io::init_threads(argc, argv);
   expt::print_banner("Figure 18", "lambs vs fault % on the 32^3 3D mesh",
                      "M_3(32), f% in {0.5..3.0}, 1000 trials in the paper");
   const MeshShape shape = MeshShape::cube(3, 32);

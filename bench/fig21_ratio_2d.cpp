@@ -6,6 +6,7 @@
 
 #include "expt/experiments.hpp"
 #include "expt/table.hpp"
+#include "io/cli_args.hpp"
 #include "obs/obs.hpp"
 #include "support/env.hpp"
 
@@ -13,6 +14,7 @@ using namespace lamb;
 
 int main(int argc, char** argv) {
   obs::init(argc, argv);
+  io::init_threads(argc, argv);
   expt::print_banner(
       "Figure 21", "lamb % vs faults / bisection-width ratio, 2D",
       "M_2(n) for n in {32,64,128}, ratio in {0.5..3.0}, 1000 trials");

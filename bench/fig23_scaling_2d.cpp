@@ -5,6 +5,7 @@
 // bisection width grows only like n.
 #include "expt/experiments.hpp"
 #include "expt/table.hpp"
+#include "io/cli_args.hpp"
 #include "obs/obs.hpp"
 #include "support/env.hpp"
 
@@ -12,6 +13,7 @@ using namespace lamb;
 
 int main(int argc, char** argv) {
   obs::init(argc, argv);
+  io::init_threads(argc, argv);
   expt::print_banner("Figure 23", "lamb % vs mesh size, 2D, 3% faults",
                      "M_2(n), n^2 ~ 2^i for i in 10..15, 1000 trials");
   const auto rows =

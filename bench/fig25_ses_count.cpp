@@ -10,6 +10,7 @@
 #include "core/partition.hpp"
 #include "expt/table.hpp"
 #include "expt/trial.hpp"
+#include "io/cli_args.hpp"
 #include "obs/obs.hpp"
 #include "support/env.hpp"
 
@@ -17,6 +18,7 @@ using namespace lamb;
 
 int main(int argc, char** argv) {
   obs::init(argc, argv);
+  io::init_threads(argc, argv);
   expt::print_banner("Figure 25", "SES count vs fault % on the 32^3 mesh",
                      "M_3(32), f% in {0.5..3.0}, 1000 trials in the paper");
   const MeshShape shape = MeshShape::cube(3, 32);

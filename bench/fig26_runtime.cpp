@@ -12,6 +12,7 @@
 
 #include "core/lamb.hpp"
 #include "expt/table.hpp"
+#include "io/cli_args.hpp"
 #include "obs/obs.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
@@ -55,6 +56,7 @@ void sweep(const MeshShape& shape, int trials) {
 
 int main(int argc, char** argv) {
   obs::init(argc, argv);
+  io::init_threads(argc, argv);
   expt::print_banner(
       "Figure 26", "average lamb-algorithm running time vs fault %",
       "M_3(32) and M_2(181); paper used a 133 MHz IBM 7248 (AIX), absolute "

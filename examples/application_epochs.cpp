@@ -7,13 +7,15 @@
 #include <cstdio>
 
 #include "collective/schedule.hpp"
+#include "io/cli_args.hpp"
 #include "manager/machine_manager.hpp"
 #include "support/rng.hpp"
 #include "wormhole/route_builder.hpp"
 
 using namespace lamb;
 
-int main() {
+int main(int argc, char** argv) {
+  io::init_threads(argc, argv);
   manager::MachineManager mgr(MeshShape::cube(3, 10));  // 1000 nodes
   Rng rng(20020416);
   mgr.reconfigure();  // epoch 1: pristine machine

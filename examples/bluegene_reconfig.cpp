@@ -13,12 +13,14 @@
 #include <cstdio>
 
 #include "core/lamb.hpp"
+#include "io/cli_args.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 
 using namespace lamb;
 
-int main() {
+int main(int argc, char** argv) {
+  io::init_threads(argc, argv);
   const MeshShape shape = MeshShape::cube(3, 16);
   Rng rng(424242);
   FaultSet faults(shape);

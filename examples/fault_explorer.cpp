@@ -12,6 +12,7 @@
 
 #include "core/lamb.hpp"
 #include "core/reach_matrices.hpp"
+#include "io/cli_args.hpp"
 #include "io/text_format.hpp"
 
 using namespace lamb;
@@ -72,6 +73,7 @@ void draw_lambs(const MeshShape& shape, const FaultSet& faults,
 }  // namespace
 
 int main(int argc, char** argv) {
+  io::init_threads(argc, argv);
   io::Document doc;
   if (argc > 1) {
     doc = io::parse_file(argv[1]);

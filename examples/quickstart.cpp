@@ -12,12 +12,14 @@
 
 #include "core/lamb.hpp"
 #include "core/verifier.hpp"
+#include "io/cli_args.hpp"
 #include "support/rng.hpp"
 #include "wormhole/route_builder.hpp"
 
 using namespace lamb;
 
-int main() {
+int main(int argc, char** argv) {
+  io::init_threads(argc, argv);
   // A 16x16 mesh with 8 random node faults (~3%).
   const MeshShape shape = MeshShape::cube(2, 16);
   Rng rng(2002);

@@ -16,11 +16,13 @@
 #include "core/lamb.hpp"
 #include "core/verifier.hpp"
 #include "generic/generic_solver.hpp"
+#include "io/cli_args.hpp"
 #include "support/rng.hpp"
 
 using namespace lamb;
 
-int main() {
+int main(int argc, char** argv) {
+  io::init_threads(argc, argv);
   // --- Hypercube ---
   {
     const MeshShape cube = MeshShape::hypercube(6);  // 64 nodes

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "core/lamb.hpp"
+#include "io/cli_args.hpp"
 #include "obs/obs.hpp"
 #include "support/rng.hpp"
 #include "wormhole/network.hpp"
@@ -16,6 +17,7 @@ using namespace lamb;
 
 int main(int argc, char** argv) {
   obs::init(argc, argv);
+  io::init_threads(argc, argv);
   const MeshShape shape = MeshShape::cube(3, 8);
   Rng rng(77);
   const FaultSet faults = FaultSet::random_nodes(shape, 20, rng);  // ~4%

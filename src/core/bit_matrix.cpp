@@ -1,9 +1,27 @@
 #include "core/bit_matrix.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 
+#include "support/parallel.hpp"
+
 namespace lamb {
+
+namespace {
+
+// Left factors below this density use the unblocked set-bit kernel: with
+// so few bits per k-block, blocking only re-traverses the output rows.
+constexpr double kSparseLeftDensity = 0.05;
+// k-block width in left-operand words: 4 words = 256 right-operand rows
+// per block, i.e. a 32 KiB strip of a 2048-column right factor — L1/L2
+// resident while a whole band of output rows is updated against it.
+constexpr std::int64_t kBlockWords = 4;
+// Minimum rows * output-words before row bands go to the pool; smaller
+// products (the paper's p,q are often < 100) stay on the calling thread.
+constexpr std::int64_t kParallelWorkWords = std::int64_t{1} << 14;
+
+}  // namespace
 
 BitMatrix::BitMatrix(std::int64_t rows, std::int64_t cols)
     : rows_(rows),
@@ -47,26 +65,72 @@ Bits BitMatrix::column_all() const {
   return acc;
 }
 
-BitMatrix BitMatrix::multiply(const BitMatrix& a, const BitMatrix& b) {
+void BitMatrix::product(const BitMatrix& a, const BitMatrix& b, BitMatrix* out,
+                        bool accumulate) {
   assert(a.cols_ == b.rows_);
-  BitMatrix out(a.rows_, b.cols_);
-  const std::int64_t out_words = out.words_per_row_;
-  for (std::int64_t i = 0; i < a.rows_; ++i) {
-    std::uint64_t* out_row = &out.data_[static_cast<std::size_t>(i * out_words)];
-    const std::uint64_t* a_row =
-        &a.data_[static_cast<std::size_t>(i * a.words_per_row_)];
-    for (std::int64_t wi = 0; wi < a.words_per_row_; ++wi) {
-      std::uint64_t w = a_row[wi];
-      while (w != 0) {
-        const std::int64_t k = wi * 64 + std::countr_zero(w);
-        w &= w - 1;
-        const std::uint64_t* b_row =
-            &b.data_[static_cast<std::size_t>(k * b.words_per_row_)];
-        for (std::int64_t wo = 0; wo < out_words; ++wo) out_row[wo] |= b_row[wo];
+  if (out->rows_ != a.rows_ || out->cols_ != b.cols_) {
+    *out = BitMatrix(a.rows_, b.cols_);
+  } else if (!accumulate) {
+    std::fill(out->data_.begin(), out->data_.end(), 0);
+  }
+  if (a.rows_ == 0 || a.cols_ == 0 || b.cols_ == 0) return;
+
+  const std::int64_t out_words = out->words_per_row_;
+  const std::int64_t a_words = a.words_per_row_;
+  const std::int64_t b_words = b.words_per_row_;
+  const double density =
+      static_cast<double>(a.count_ones()) /
+      static_cast<double>(a.rows_ * a.cols_);
+  const bool sparse_left = density < kSparseLeftDensity;
+
+  auto band = [&](std::int64_t r0, std::int64_t r1) {
+    // Disjoint output rows per band: safe to run bands concurrently.
+    const std::int64_t kb_step = sparse_left ? a_words : kBlockWords;
+    for (std::int64_t kb = 0; kb < a_words; kb += kb_step) {
+      const std::int64_t kb_end = std::min(a_words, kb + kb_step);
+      for (std::int64_t i = r0; i < r1; ++i) {
+        std::uint64_t* out_row =
+            &out->data_[static_cast<std::size_t>(i * out_words)];
+        const std::uint64_t* a_row =
+            &a.data_[static_cast<std::size_t>(i * a_words)];
+        for (std::int64_t wi = kb; wi < kb_end; ++wi) {
+          std::uint64_t w = a_row[wi];
+          while (w != 0) {
+            const std::int64_t k = wi * 64 + std::countr_zero(w);
+            w &= w - 1;
+            const std::uint64_t* b_row =
+                &b.data_[static_cast<std::size_t>(k * b_words)];
+            for (std::int64_t wo = 0; wo < out_words; ++wo) {
+              out_row[wo] |= b_row[wo];
+            }
+          }
+        }
       }
     }
+  };
+
+  if (a.rows_ * out_words >= kParallelWorkWords) {
+    par::parallel_for(0, a.rows_, 0, band);
+  } else {
+    band(0, a.rows_);
   }
+}
+
+BitMatrix BitMatrix::multiply(const BitMatrix& a, const BitMatrix& b) {
+  BitMatrix out;
+  product(a, b, &out, /*accumulate=*/false);
   return out;
+}
+
+void BitMatrix::multiply_into(const BitMatrix& a, const BitMatrix& b,
+                              BitMatrix* out) {
+  product(a, b, out, /*accumulate=*/false);
+}
+
+void BitMatrix::multiply_accumulate(const BitMatrix& a, const BitMatrix& b,
+                                    BitMatrix* out) {
+  assert(out->rows_ == a.rows_ && out->cols_ == b.cols_);
+  product(a, b, out, /*accumulate=*/true);
 }
 
 }  // namespace lamb

@@ -1,10 +1,18 @@
-// Dense Boolean matrices over 64-bit words with a sparsity-aware product,
-// implementing the matrix machinery of paper Sections 5 and 6.2:
-// R^(k) = R1 I1 R2 I2 ... R_k. The product kernel iterates the set bits of
-// the left operand's rows and ORs whole rows of the right operand, so a
-// sparse left factor (the paper measured intersection-matrix density
-// ~0.01) costs proportionally less while dense factors still run at full
-// word parallelism (the paper used 32-bit words; we use 64).
+// Dense Boolean matrices over 64-bit words with a sparsity-adaptive,
+// cache-blocked product, implementing the matrix machinery of paper
+// Sections 5 and 6.2: R^(k) = R1 I1 R2 I2 ... R_k.
+//
+// The product kernel iterates the set bits of the left operand's rows and
+// ORs whole rows of the right operand, so a sparse left factor (the paper
+// measured intersection-matrix density ~0.01) costs proportionally less
+// while dense factors still run at full word parallelism (the paper used
+// 32-bit words; we use 64). For dense left factors the k loop is blocked
+// so a strip of right-operand rows stays cache-resident while every
+// output row in a band is updated; bands of output rows run on the
+// par::parallel_for pool. multiply_into / multiply_accumulate reuse the
+// caller's output storage, which lets the R1 I1 R2 ... chain in
+// reach_matrices.cpp ping-pong two buffers instead of allocating one
+// fresh matrix per product.
 #pragma once
 
 #include <cstdint>
@@ -45,10 +53,20 @@ class BitMatrix {
 
   // Boolean product: out(i,j) = OR_k a(i,k) AND b(k,j).
   static BitMatrix multiply(const BitMatrix& a, const BitMatrix& b);
+  // out = a * b, reusing out's storage when its shape already matches
+  // (a.rows x b.cols) — the steady state of the product chain.
+  static void multiply_into(const BitMatrix& a, const BitMatrix& b,
+                            BitMatrix* out);
+  // out |= a * b. `out` must already be a.rows x b.cols.
+  static void multiply_accumulate(const BitMatrix& a, const BitMatrix& b,
+                                  BitMatrix* out);
 
   friend bool operator==(const BitMatrix&, const BitMatrix&) = default;
 
  private:
+  static void product(const BitMatrix& a, const BitMatrix& b, BitMatrix* out,
+                      bool accumulate);
+
   std::uint64_t& word(std::int64_t i, std::int64_t j) {
     return data_[static_cast<std::size_t>(i * words_per_row_ + (j >> 6))];
   }

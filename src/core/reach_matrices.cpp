@@ -5,6 +5,7 @@
 
 #include "obs/obs.hpp"
 #include "reach/flood_oracle.hpp"
+#include "support/parallel.hpp"
 #include "support/stats.hpp"
 
 namespace lamb {
@@ -17,14 +18,18 @@ BitMatrix one_round_reach_matrix(const ReachOracle& oracle,
   std::vector<Point> des_reps;
   des_reps.reserve(static_cast<std::size_t>(des.size()));
   for (std::int64_t j = 0; j < des.size(); ++j) des_reps.push_back(des.rep(j));
-  for (std::int64_t i = 0; i < ses.size(); ++i) {
-    const Point v = ses.rep(i);
-    for (std::int64_t j = 0; j < des.size(); ++j) {
-      if (oracle.reach1(v, des_reps[static_cast<std::size_t>(j)], order)) {
-        r.set(i, j);
+  // Row bands over SES representatives; each band writes disjoint rows of
+  // r, so the result is identical at any thread count.
+  par::parallel_for(0, ses.size(), 0, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const Point v = ses.rep(i);
+      for (std::int64_t j = 0; j < des.size(); ++j) {
+        if (oracle.reach1(v, des_reps[static_cast<std::size_t>(j)], order)) {
+          r.set(i, j);
+        }
       }
     }
-  }
+  });
   return r;
 }
 
@@ -103,12 +108,16 @@ ReachComputation compute_reachability(const MeshShape& shape,
       des_reps[static_cast<std::size_t>(j)] = shape.index(last.rep(j));
     }
     BitMatrix rk(first.size(), last.size());
-    for (std::int64_t i = 0; i < first.size(); ++i) {
-      const Bits rows = flood.reach_from(first.rep(i), orders);
-      for (std::int64_t j = 0; j < last.size(); ++j) {
-        if (rows.test(des_reps[static_cast<std::size_t>(j)])) rk.set(i, j);
+    // One k-round flood per SES representative; representatives are
+    // independent and each fills its own row of rk.
+    par::parallel_for(0, first.size(), 1, [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const Bits rows = flood.reach_from(first.rep(i), orders);
+        for (std::int64_t j = 0; j < last.size(); ++j) {
+          if (rows.test(des_reps[static_cast<std::size_t>(j)])) rk.set(i, j);
+        }
       }
-    }
+    });
     out.rk = std::move(rk);
     out.seconds_matrices = watch.seconds();
     return out;
@@ -121,8 +130,12 @@ ReachComputation compute_reachability(const MeshShape& shape,
   }
 
   // Product R1 I1 R2 ... I_{k-1} R_k. Intersection matrices are cached per
-  // (prev_ordering, next_ordering) pair.
+  // (prev_ordering, next_ordering) pair. acc and scratch ping-pong, so
+  // after the shapes stabilize (round 2 onward with repeated orderings)
+  // each product reuses the buffer freed by the one before it instead of
+  // allocating.
   BitMatrix acc = r[static_cast<std::size_t>(out.round_part[0])];
+  BitMatrix scratch;
   std::vector<std::vector<BitMatrix>> icache(
       distinct.size(), std::vector<BitMatrix>(distinct.size()));
   for (int t = 1; t < k; ++t) {
@@ -134,8 +147,10 @@ ReachComputation compute_reachability(const MeshShape& shape,
       inter = intersection_matrix(out.des[static_cast<std::size_t>(prev)],
                                   out.ses[static_cast<std::size_t>(next)]);
     }
-    acc = BitMatrix::multiply(acc, inter);
-    acc = BitMatrix::multiply(acc, r[static_cast<std::size_t>(next)]);
+    BitMatrix::multiply_into(acc, inter, &scratch);
+    std::swap(acc, scratch);
+    BitMatrix::multiply_into(acc, r[static_cast<std::size_t>(next)], &scratch);
+    std::swap(acc, scratch);
   }
   out.rk = std::move(acc);
   out.seconds_matrices = watch.seconds();

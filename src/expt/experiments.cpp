@@ -1,5 +1,6 @@
 #include "expt/experiments.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "expt/table.hpp"
@@ -53,9 +54,14 @@ std::vector<SweepRow> ratio_sweep(int dim, Coord n,
 Coord width_for_size(int dim, int exp) {
   const double target = std::pow(2.0, exp);
   const Coord base = static_cast<Coord>(std::floor(std::pow(target, 1.0 / dim)));
-  Coord best = base;
-  double best_err = std::abs(std::pow(base, dim) - target);
-  for (Coord cand = base + 1; cand <= base + 1; ++cand) {
+  // Search a window around the real root: base±1 guards against pow()
+  // rounding the root either way across platforms, base+2 completes the
+  // bracket when the root lands just under an integer.
+  const Coord lo = std::max<Coord>(1, base - 1);
+  const Coord hi = std::max<Coord>(lo, base + 2);
+  Coord best = lo;
+  double best_err = std::abs(std::pow(lo, dim) - target);
+  for (Coord cand = lo + 1; cand <= hi; ++cand) {
     const double err = std::abs(std::pow(cand, dim) - target);
     if (err < best_err) {
       best = cand;

@@ -6,59 +6,43 @@
 
 #include "mesh/fault_set.hpp"
 #include "obs/obs.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 
 namespace lamb::expt {
 
-TrialSummary run_lamb_trials(const MeshShape& shape, std::int64_t f,
-                             int trials, std::uint64_t seed,
-                             const LambOptions& options) {
-  TrialSummary summary;
-  summary.trials = trials;
-  summary.f = f;
-  obs::Counter& trial_count = obs::counter("expt.trials");
-  obs::Histogram& trial_seconds = obs::histogram("expt.trial.seconds");
-  Rng master(seed);
-  for (int t = 0; t < trials; ++t) {
-    Rng rng(master.child_seed(static_cast<std::uint64_t>(t)));
-    const FaultSet faults = FaultSet::random_nodes(shape, f, rng);
-    Stopwatch watch;
-    const LambResult result = lamb1(shape, faults, options);
-    trial_count.add();
-    trial_seconds.observe(watch.seconds());
-    summary.runtime_s.add(watch.seconds());
-    summary.lambs.add(static_cast<double>(result.size()));
-    summary.ses.add(static_cast<double>(result.stats.p));
-    summary.des.add(static_cast<double>(result.stats.q));
-    summary.cover_weight.add(result.stats.cover_weight);
-    if (result.size() > 0) ++summary.trials_needing_lambs;
-  }
-  return summary;
-}
+namespace {
 
-TrialSummary run_lamb_trials_parallel(const MeshShape& shape, std::int64_t f,
-                                      int trials, std::uint64_t seed,
-                                      const LambOptions& options,
-                                      int threads) {
-  if (threads <= 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = std::min(threads, std::max(1, trials));
-
+// Shared engine for both runners. Trials land in a records vector indexed
+// by trial number and are aggregated in trial order afterwards, and every
+// trial's RNG is seeded from (seed, trial_index) alone, so all summary
+// statistics are bit-identical at any thread count or grain; only the
+// wall-clock in runtime_s varies.
+TrialSummary run_trials(const MeshShape& shape, std::int64_t f, int trials,
+                        std::uint64_t seed, const LambOptions& options,
+                        std::int64_t grain) {
   struct TrialRecord {
     double lambs = 0, ses = 0, des = 0, cover = 0, seconds = 0;
   };
   std::vector<TrialRecord> records(static_cast<std::size_t>(trials));
 
-  // The per-trial seed derivation must match run_lamb_trials exactly.
+  // Per-trial seeds are derived up front (seed, trial_index) -> splitmix,
+  // exactly as the historical serial loop did, so fixed seeds keep
+  // producing the published figures.
+  Rng master(seed);
+  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    seeds[static_cast<std::size_t>(t)] =
+        master.child_seed(static_cast<std::uint64_t>(t));
+  }
+
   // Metric handles are resolved once; workers record through the sharded
   // counters without contending on a shared cache line.
   obs::Counter& trial_count = obs::counter("expt.trials");
   obs::Histogram& trial_seconds = obs::histogram("expt.trial.seconds");
-  Rng master(seed);
-  auto worker = [&](int begin, int end) {
-    for (int t = begin; t < end; ++t) {
-      Rng rng(master.child_seed(static_cast<std::uint64_t>(t)));
+  par::parallel_for(0, trials, grain, [&](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) {
+      Rng rng(seeds[static_cast<std::size_t>(t)]);
       const FaultSet faults = FaultSet::random_nodes(shape, f, rng);
       Stopwatch watch;
       const LambResult result = lamb1(shape, faults, options);
@@ -71,19 +55,8 @@ TrialSummary run_lamb_trials_parallel(const MeshShape& shape, std::int64_t f,
       rec.des = static_cast<double>(result.stats.q);
       rec.cover = result.stats.cover_weight;
     }
-  };
+  });
 
-  std::vector<std::thread> pool;
-  const int per_thread = (trials + threads - 1) / threads;
-  for (int w = 0; w < threads; ++w) {
-    const int begin = w * per_thread;
-    const int end = std::min(trials, begin + per_thread);
-    if (begin >= end) break;
-    pool.emplace_back(worker, begin, end);
-  }
-  for (std::thread& t : pool) t.join();
-
-  // Aggregate in trial order for bit-identical statistics.
   TrialSummary summary;
   summary.trials = trials;
   summary.f = f;
@@ -96,6 +69,31 @@ TrialSummary run_lamb_trials_parallel(const MeshShape& shape, std::int64_t f,
     if (rec.lambs > 0) ++summary.trials_needing_lambs;
   }
   return summary;
+}
+
+}  // namespace
+
+TrialSummary run_lamb_trials(const MeshShape& shape, std::int64_t f,
+                             int trials, std::uint64_t seed,
+                             const LambOptions& options) {
+  // Grain 1: every trial is a schedulable task, which load-balances the
+  // heavy-tailed lamb1 runtimes across the pool.
+  return run_trials(shape, f, trials, seed, options, 1);
+}
+
+TrialSummary run_lamb_trials_parallel(const MeshShape& shape, std::int64_t f,
+                                      int trials, std::uint64_t seed,
+                                      const LambOptions& options,
+                                      int threads) {
+  if (threads <= 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, std::max(1, trials));
+  // The historical contract: trials statically partitioned into at most
+  // `threads` consecutive blocks. One block per chunk reproduces that
+  // schedule on the shared pool.
+  const std::int64_t grain = (trials + threads - 1) / threads;
+  return run_trials(shape, f, trials, seed, options, grain);
 }
 
 }  // namespace lamb::expt

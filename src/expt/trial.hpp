@@ -1,7 +1,10 @@
 // Monte-Carlo trial runner for the paper's Section 8 simulations: repeat
 // `trials` times { draw f random node faults, run Lamb1, record lamb-set
-// size, partition sizes, and running time }. Per-trial seeds derive from
-// one base seed, so every figure is reproducible bit-for-bit.
+// size, partition sizes, and running time }. Trials run concurrently on
+// the support/parallel.hpp pool (LAMBMESH_THREADS / --threads; 1 = exact
+// serial). Per-trial seeds derive from (base seed, trial index) and
+// statistics aggregate in trial order, so every figure is reproducible
+// bit-for-bit at any thread count.
 #pragma once
 
 #include <cstdint>
@@ -27,12 +30,13 @@ TrialSummary run_lamb_trials(const MeshShape& shape, std::int64_t f,
                              int trials, std::uint64_t seed,
                              const LambOptions& options = {});
 
-// Multithreaded variant: trials are statically partitioned over
-// `threads` workers (hardware_concurrency when 0). Per-trial seeds are
-// derived exactly as in the serial runner and results are aggregated in
-// trial order, so every statistic except the wall-clock runtime_s is
-// bit-identical to run_lamb_trials' regardless of thread count —
-// determinism is not traded for speed.
+// Variant with an explicit static partition: trials are split into at
+// most `threads` consecutive blocks (hardware_concurrency when 0), each
+// block one pool task. Per-trial seeds are derived exactly as in
+// run_lamb_trials and results are aggregated in trial order, so every
+// statistic except the wall-clock runtime_s is bit-identical to
+// run_lamb_trials' regardless of thread count — determinism is not
+// traded for speed.
 TrialSummary run_lamb_trials_parallel(const MeshShape& shape, std::int64_t f,
                                       int trials, std::uint64_t seed,
                                       const LambOptions& options = {},

@@ -1,6 +1,11 @@
 #include "io/cli_args.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "support/parallel.hpp"
 
 namespace lamb::io {
 
@@ -62,6 +67,39 @@ double CliArgs::get_double(const std::string& key, double fallback) const {
   } catch (const std::exception&) {
     throw ArgError("--" + key + " expects a number, got '" + it->second + "'");
   }
+}
+
+int init_threads(int argc, const char* const* argv) {
+  std::string value;
+  bool found = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: missing value for --threads\n");
+        std::exit(2);
+      }
+      value = argv[i + 1];
+      found = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      value = std::string(arg.substr(10));
+      found = true;
+    }
+  }
+  if (!found) return -1;
+  int n = 0;
+  try {
+    std::size_t consumed = 0;
+    n = std::stoi(value, &consumed);
+    if (consumed != value.size() || n < 0) throw std::invalid_argument("");
+  } catch (const std::exception&) {
+    std::fprintf(stderr,
+                 "error: --threads expects a non-negative integer, got '%s'\n",
+                 value.c_str());
+    std::exit(2);
+  }
+  par::set_threads(n);
+  return n;
 }
 
 void CliArgs::require_known(const std::vector<std::string>& known) const {

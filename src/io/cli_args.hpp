@@ -37,4 +37,12 @@ class CliArgs {
   std::map<std::string, std::string> options_;
 };
 
+// Scans a raw argv for `--threads <n>` / `--threads=<n>` and, when
+// present, sizes the process-wide par:: pool accordingly (n = 0 restores
+// the LAMBMESH_THREADS / hardware_concurrency default). Used by the
+// bench/example binaries, whose remaining flags are parsed elsewhere
+// (obs::init and friends ignore the flag). Returns the parsed value, or
+// -1 when absent. Prints an error and exits(2) on a malformed count.
+int init_threads(int argc, const char* const* argv);
+
 }  // namespace lamb::io

@@ -1,8 +1,10 @@
 #include "reach/flood_oracle.hpp"
 
+#include <mutex>
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "support/parallel.hpp"
 
 namespace lamb {
 
@@ -20,7 +22,53 @@ bool travels_positive(const MeshShape& shape, int j, Coord a, Coord b) {
   return fwd <= n - fwd;
 }
 
+// Dense frontiers (at least this many set bits) are worth fanning out
+// over the pool; each expanded line costs O(n), so small frontiers are
+// cheaper on one thread than the per-band bitset allocations.
+constexpr std::int64_t kParallelFrontierBits = 512;
+
 }  // namespace
+
+Bits FloodOracle::expand_dimension(const Bits& frontier, int j,
+                                   bool forward) const {
+  Bits next(shape_->size());
+  const bool fan_out = par::threads() > 1 && !par::in_parallel_region() &&
+                       frontier.count() >= kParallelFrontierBits;
+  if (!fan_out) {
+    frontier.for_each([&](NodeId id) {
+      if (forward) {
+        expand_line_from(shape_->point(id), j, &next);
+      } else {
+        expand_line_to(shape_->point(id), j, &next);
+      }
+    });
+    return next;
+  }
+  // Band the frontier by word index; each band expands into a private
+  // bitset and OR-merges it. OR is commutative and associative, so the
+  // merged result does not depend on band completion order.
+  const std::int64_t nwords =
+      static_cast<std::int64_t>(frontier.words().size());
+  std::mutex merge_mu;
+  par::parallel_for(0, nwords, 0, [&](std::int64_t w0, std::int64_t w1) {
+    Bits local(shape_->size());
+    for (std::int64_t wi = w0; wi < w1; ++wi) {
+      std::uint64_t w = frontier.words()[static_cast<std::size_t>(wi)];
+      while (w != 0) {
+        const NodeId id = wi * 64 + std::countr_zero(w);
+        w &= w - 1;
+        if (forward) {
+          expand_line_from(shape_->point(id), j, &local);
+        } else {
+          expand_line_to(shape_->point(id), j, &local);
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lk(merge_mu);
+    next |= local;
+  });
+  return next;
+}
 
 void FloodOracle::expand_line_from(const Point& p, int j, Bits* out) const {
   const Coord n = shape_->width(j);
@@ -133,12 +181,7 @@ Bits FloodOracle::reach1_from(const Point& v, const DimOrder& order) const {
   if (faults_->node_faulty(v)) return cur;
   cur.set(shape_->index(v));
   for (int t = 0; t < order.dim(); ++t) {
-    const int j = order.at(t);
-    Bits next(shape_->size());
-    cur.for_each([&](NodeId id) {
-      expand_line_from(shape_->point(id), j, &next);
-    });
-    cur = std::move(next);
+    cur = expand_dimension(cur, order.at(t), /*forward=*/true);
   }
   return cur;
 }
@@ -152,12 +195,7 @@ Bits FloodOracle::reach1_from_set(const Bits& sources,
     if (!faults_->node_faulty(id)) cur.set(id);
   });
   for (int t = 0; t < order.dim(); ++t) {
-    const int j = order.at(t);
-    Bits next(shape_->size());
-    cur.for_each([&](NodeId id) {
-      expand_line_from(shape_->point(id), j, &next);
-    });
-    cur = std::move(next);
+    cur = expand_dimension(cur, order.at(t), /*forward=*/true);
   }
   return cur;
 }
@@ -169,12 +207,7 @@ Bits FloodOracle::reach1_to(const Point& w, const DimOrder& order) const {
   if (faults_->node_faulty(w)) return cur;
   cur.set(shape_->index(w));
   for (int t = order.dim() - 1; t >= 0; --t) {
-    const int j = order.at(t);
-    Bits next(shape_->size());
-    cur.for_each([&](NodeId id) {
-      expand_line_to(shape_->point(id), j, &next);
-    });
-    cur = std::move(next);
+    cur = expand_dimension(cur, order.at(t), /*forward=*/false);
   }
   return cur;
 }

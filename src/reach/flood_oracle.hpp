@@ -38,6 +38,12 @@ class FloodOracle {
   // Backward expansion: every coordinate a such that travel a -> p[j] is
   // fault-free.
   void expand_line_to(const Point& p, int j, Bits* out) const;
+  // One per-dimension step of a flood: expands every member of `frontier`
+  // along dimension j (forward or backward) and returns the union. Dense
+  // frontiers fan out over the par::parallel_for pool, each band OR-merging
+  // a private bitset — bitwise OR commutes, so the result is identical at
+  // any thread count.
+  Bits expand_dimension(const Bits& frontier, int j, bool forward) const;
 
   const MeshShape* shape_;
   const FaultSet* faults_;

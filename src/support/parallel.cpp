@@ -1,0 +1,252 @@
+#include "support/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "support/env.hpp"
+
+namespace lamb::par {
+
+namespace {
+
+thread_local bool tls_in_chunk = false;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// One parallel_for invocation. Workers and the caller claim chunks by
+// advancing `next`; the job is complete when `completed` reaches
+// `total_chunks`. The shared_ptr in the queue keeps the job alive until
+// the last worker lets go of it.
+struct Job {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t grain = 1;
+  std::int64_t total_chunks = 0;
+  const std::function<void(std::int64_t, std::int64_t)>* chunk = nullptr;
+  std::atomic<std::int64_t> next{0};
+  std::atomic<std::int64_t> completed{0};
+  std::mutex mu;
+  std::condition_variable done;
+  std::exception_ptr error;  // first chunk failure, guarded by mu
+};
+
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  int width() {
+    std::lock_guard<std::mutex> lk(config_mu_);
+    return width_;
+  }
+
+  void resize(int n) {
+    std::lock_guard<std::mutex> lk(config_mu_);
+    const int want = n > 0 ? n : default_width();
+    if (want == width_) return;
+    stop_workers();
+    width_ = want;
+    start_workers();
+    threads_gauge_.set(static_cast<double>(width_));
+  }
+
+  void run(std::int64_t begin, std::int64_t end, std::int64_t grain,
+           const std::function<void(std::int64_t, std::int64_t)>& chunk) {
+    if (end <= begin) return;
+    const std::int64_t n = end - begin;
+    int pool_width;
+    {
+      std::lock_guard<std::mutex> lk(config_mu_);
+      pool_width = width_;
+    }
+    if (grain <= 0) {
+      grain = std::max<std::int64_t>(
+          1, n / (static_cast<std::int64_t>(pool_width) * 4));
+    }
+    // Serial fallback: one-thread pool, nested call, or a range that fits
+    // a single chunk. Runs inline with no synchronization at all.
+    if (pool_width <= 1 || tls_in_chunk || n <= grain) {
+      chunk(begin, end);
+      return;
+    }
+
+    auto job = std::make_shared<Job>();
+    job->begin = begin;
+    job->end = end;
+    job->grain = grain;
+    job->total_chunks = (n + grain - 1) / grain;
+    job->chunk = &chunk;
+    job->next.store(begin, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      queue_.push_back(job);
+      queue_depth_.set(static_cast<double>(queue_.size()));
+    }
+    queue_cv_.notify_all();
+    jobs_.add();
+
+    execute_chunks(*job);  // the caller is a worker too
+
+    {
+      std::unique_lock<std::mutex> lk(job->mu);
+      job->done.wait(lk, [&] {
+        return job->completed.load(std::memory_order_acquire) ==
+               job->total_chunks;
+      });
+    }
+    {
+      // Eagerly drop the drained job so later jobs reach the front.
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (*it == job) {
+          queue_.erase(it);
+          break;
+        }
+      }
+      queue_depth_.set(static_cast<double>(queue_.size()));
+    }
+    if (job->error) std::rethrow_exception(job->error);
+  }
+
+ private:
+  Pool()
+      : tasks_(obs::counter("parallel.tasks")),
+        jobs_(obs::counter("parallel.jobs")),
+        threads_gauge_(obs::gauge("parallel.pool.threads")),
+        queue_depth_(obs::gauge("parallel.queue.depth")),
+        busy_seconds_(obs::gauge("parallel.busy_seconds")),
+        idle_seconds_(obs::gauge("parallel.idle_seconds")) {
+    width_ = default_width();
+    start_workers();
+    threads_gauge_.set(static_cast<double>(width_));
+  }
+
+  ~Pool() {
+    std::lock_guard<std::mutex> lk(config_mu_);
+    stop_workers();
+  }
+
+  static int default_width() {
+    const long env = env_long("LAMBMESH_THREADS", 0);
+    if (env > 0) return static_cast<int>(env);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+  }
+
+  // Both called with config_mu_ held.
+  void start_workers() {
+    stop_ = false;
+    for (int w = 0; w < width_ - 1; ++w) {
+      workers_.emplace_back([this] { worker_main(); });
+    }
+  }
+
+  void stop_workers() {
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      stop_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    workers_.clear();
+  }
+
+  void worker_main() {
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lk(queue_mu_);
+        const bool timed = obs::MetricsRegistry::global().enabled();
+        const auto t0 = std::chrono::steady_clock::now();
+        queue_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+        if (timed) idle_seconds_.add(seconds_since(t0));
+        if (queue_.empty()) {
+          if (stop_) return;
+          continue;
+        }
+        job = queue_.front();
+      }
+      execute_chunks(*job);
+      {
+        // The job's chunks are all claimed; unlink it if still queued.
+        std::lock_guard<std::mutex> lk(queue_mu_);
+        if (!queue_.empty() && queue_.front() == job) {
+          queue_.pop_front();
+          queue_depth_.set(static_cast<double>(queue_.size()));
+        }
+      }
+    }
+  }
+
+  void execute_chunks(Job& job) {
+    const bool timed = obs::MetricsRegistry::global().enabled();
+    for (;;) {
+      const std::int64_t b =
+          job.next.fetch_add(job.grain, std::memory_order_relaxed);
+      if (b >= job.end) return;
+      const std::int64_t e = std::min(job.end, b + job.grain);
+      std::chrono::steady_clock::time_point t0;
+      if (timed) t0 = std::chrono::steady_clock::now();
+      const bool prev = tls_in_chunk;
+      tls_in_chunk = true;
+      try {
+        (*job.chunk)(b, e);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(job.mu);
+        if (!job.error) job.error = std::current_exception();
+      }
+      tls_in_chunk = prev;
+      tasks_.add();
+      if (timed) busy_seconds_.add(seconds_since(t0));
+      if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          job.total_chunks) {
+        { std::lock_guard<std::mutex> lk(job.mu); }
+        job.done.notify_all();
+      }
+    }
+  }
+
+  obs::Counter& tasks_;
+  obs::Counter& jobs_;
+  obs::Gauge& threads_gauge_;
+  obs::Gauge& queue_depth_;
+  obs::Gauge& busy_seconds_;
+  obs::Gauge& idle_seconds_;
+
+  std::mutex config_mu_;  // guards width_ / workers_ reconfiguration
+  int width_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+int threads() { return Pool::instance().width(); }
+
+void set_threads(int n) { Pool::instance().resize(n); }
+
+bool in_parallel_region() { return tls_in_chunk; }
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& chunk) {
+  Pool::instance().run(begin, end, grain, chunk);
+}
+
+}  // namespace lamb::par

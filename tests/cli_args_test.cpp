@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "io/cli_args.hpp"
+#include "support/parallel.hpp"
 
 namespace lamb {
 namespace {
@@ -68,6 +69,31 @@ TEST(CliArgs, ArgcArgvOverload) {
   const CliArgs args = CliArgs::parse(4, argv);
   EXPECT_EQ(args.command(), "verify");
   EXPECT_EQ(args.get("input"), "a.lamb");
+}
+
+TEST(InitThreads, ParsesBothSpellingsAndConfiguresPool) {
+  const char* space[] = {"prog", "--threads", "3"};
+  EXPECT_EQ(io::init_threads(3, space), 3);
+  EXPECT_EQ(par::threads(), 3);
+  const char* equals[] = {"prog", "--threads=2"};
+  EXPECT_EQ(io::init_threads(2, equals), 2);
+  EXPECT_EQ(par::threads(), 2);
+  const char* absent[] = {"prog", "--seed", "7"};
+  EXPECT_EQ(io::init_threads(3, absent), -1);
+  EXPECT_EQ(par::threads(), 2);  // untouched when the flag is absent
+  par::set_threads(0);
+}
+
+TEST(InitThreadsDeathTest, RejectsMalformedCounts) {
+  const char* bad[] = {"prog", "--threads", "x"};
+  EXPECT_EXIT(io::init_threads(3, bad), ::testing::ExitedWithCode(2),
+              "non-negative integer");
+  const char* negative[] = {"prog", "--threads=-2"};
+  EXPECT_EXIT(io::init_threads(2, negative), ::testing::ExitedWithCode(2),
+              "non-negative integer");
+  const char* missing[] = {"prog", "--threads"};
+  EXPECT_EXIT(io::init_threads(2, missing), ::testing::ExitedWithCode(2),
+              "missing value");
 }
 
 }  // namespace

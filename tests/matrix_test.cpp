@@ -9,6 +9,7 @@
 
 #include "core/bit_matrix.hpp"
 #include "core/reach_matrices.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 
 namespace lamb {
@@ -85,6 +86,80 @@ TEST(BitMatrix, MultiplyMatchesNaiveOnRandomMatrices) {
   }
 }
 
+BitMatrix random_matrix(std::int64_t rows, std::int64_t cols, double density,
+                        Rng& rng) {
+  BitMatrix m(rows, cols);
+  for (std::int64_t i = 0; i < rows; ++i) {
+    for (std::int64_t j = 0; j < cols; ++j) {
+      if (rng.bernoulli(density)) m.set(i, j);
+    }
+  }
+  return m;
+}
+
+TEST(BitMatrix, MultiplyPropertyAcrossShapesAndDensities) {
+  // Covers both kernel paths (sparse-left gather below 5% density, blocked
+  // dense above) and the word-boundary edge cases: widths 1, 63, 64, 65,
+  // 127, 128 and a couple of deliberately skewed shapes.
+  const std::int64_t shapes[][3] = {{1, 1, 1},    {1, 64, 1},   {63, 65, 64},
+                                    {64, 64, 64}, {65, 127, 33}, {128, 1, 190},
+                                    {7, 128, 65}};
+  Rng rng(2026);
+  for (const auto& s : shapes) {
+    for (const double density : {0.0, 0.01, 0.2, 0.6, 0.97}) {
+      const BitMatrix a = random_matrix(s[0], s[1], density, rng);
+      const BitMatrix b = random_matrix(s[1], s[2], density, rng);
+      EXPECT_EQ(BitMatrix::multiply(a, b), naive_multiply(a, b))
+          << s[0] << "x" << s[1] << "x" << s[2] << " @ " << density;
+    }
+  }
+}
+
+TEST(BitMatrix, MultiplyEmptyMatrices) {
+  // Zero-row, zero-column, and zero-inner-dimension products are all legal
+  // and yield all-zero results of the induced shape.
+  const BitMatrix a0(0, 5), b(5, 3);
+  EXPECT_EQ(BitMatrix::multiply(a0, b), BitMatrix(0, 3));
+  const BitMatrix a(4, 5), b0(5, 0);
+  EXPECT_EQ(BitMatrix::multiply(a, b0), BitMatrix(4, 0));
+  BitMatrix inner_a(4, 0), inner_b(0, 3);
+  EXPECT_EQ(BitMatrix::multiply(inner_a, inner_b), BitMatrix(4, 3));
+}
+
+TEST(BitMatrix, MultiplyIntoReusesStorage) {
+  Rng rng(99);
+  const BitMatrix a = random_matrix(70, 40, 0.3, rng);
+  const BitMatrix b = random_matrix(40, 90, 0.3, rng);
+  const BitMatrix want = naive_multiply(a, b);
+  BitMatrix out;
+  BitMatrix::multiply_into(a, b, &out);
+  EXPECT_EQ(out, want);
+  // Same-shape reuse: stale bits from the previous product must not leak.
+  BitMatrix::multiply_into(a, b, &out);
+  EXPECT_EQ(out, want);
+  // Shape change reshapes the output.
+  const BitMatrix c = random_matrix(90, 20, 0.3, rng);
+  BitMatrix::multiply_into(b, c, &out);
+  EXPECT_EQ(out, naive_multiply(b, c));
+}
+
+TEST(BitMatrix, MultiplyAccumulateOrsIntoExistingBits) {
+  Rng rng(123);
+  const BitMatrix a = random_matrix(33, 65, 0.2, rng);
+  const BitMatrix b = random_matrix(65, 50, 0.2, rng);
+  BitMatrix out(33, 50);
+  out.set(0, 0);
+  out.set(32, 49);
+  BitMatrix::multiply_accumulate(a, b, &out);
+  const BitMatrix product = naive_multiply(a, b);
+  for (std::int64_t i = 0; i < 33; ++i) {
+    for (std::int64_t j = 0; j < 50; ++j) {
+      const bool preset = (i == 0 && j == 0) || (i == 32 && j == 49);
+      EXPECT_EQ(out.get(i, j), preset || product.get(i, j));
+    }
+  }
+}
+
 TEST(BitMatrix, MultiplyIdentityIsNoop) {
   BitMatrix a(5, 5), id(5, 5);
   Rng rng(3);
@@ -96,6 +171,21 @@ TEST(BitMatrix, MultiplyIdentityIsNoop) {
   }
   EXPECT_EQ(BitMatrix::multiply(a, id), a);
   EXPECT_EQ(BitMatrix::multiply(id, a), a);
+}
+
+TEST(BitMatrix, MultiplyIdenticalAcrossThreadCounts) {
+  // Large enough (rows x out_words >= 2^14) that the kernel splits into
+  // parallel row bands; the result must not depend on the pool width.
+  Rng rng(7);
+  const BitMatrix a = random_matrix(1024, 300, 0.1, rng);
+  const BitMatrix b = random_matrix(300, 1024, 0.1, rng);
+  par::set_threads(1);
+  const BitMatrix serial = BitMatrix::multiply(a, b);
+  for (int threads : {2, 8}) {
+    par::set_threads(threads);
+    EXPECT_EQ(BitMatrix::multiply(a, b), serial) << threads << " threads";
+  }
+  par::set_threads(0);
 }
 
 // --- Tables 1 and 2 --------------------------------------------------------

@@ -30,6 +30,7 @@
 #include "generic/generic_solver.hpp"
 #include "io/text_format.hpp"
 #include "support/env.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "support/samples.hpp"
 #include "wormhole/network.hpp"
@@ -59,6 +60,8 @@ using Args = io::CliArgs;
                "            [--flits F] [--vcs V] [--buffers B] [--seed S]\n"
                "            [--pattern uniform|transpose|bitrev|hotspot]\n"
                "\n"
+               "Every command also accepts --threads N (solver thread\n"
+               "pool; 0 = LAMBMESH_THREADS / hardware default, 1 = serial).\n"
                "Geometries: 32x32x32 (mesh), 8x8t (torus).\n");
   std::exit(2);
 }
@@ -241,7 +244,10 @@ int main(int argc, char** argv) {
     args = Args::parse(argc, argv);
     args.require_known({"geometry", "input", "output", "random-faults",
                         "seed", "rounds", "solver", "messages", "flits",
-                        "vcs", "buffers", "pattern"});
+                        "vcs", "buffers", "pattern", "threads"});
+    if (args.has("threads")) {
+      par::set_threads(static_cast<int>(args.get_long("threads", 0)));
+    }
   } catch (const io::ArgError& e) {
     usage(e.what());
   }
