@@ -56,6 +56,7 @@ std::vector<Message> ring_messages(const MeshShape& shape) {
 
 int main(int argc, char** argv) {
   obs::init(argc, argv);
+  obs::telemetry_init(argc, argv);
   io::init_threads(argc, argv);
   expt::print_banner(
       "Ablation 6 (paper requirements (i)+(iii))",
@@ -73,6 +74,7 @@ int main(int argc, char** argv) {
       config.vcs_per_link = vcs;
       config.buffer_flits = buffers;
       config.deadlock_threshold = 500;
+      config.telemetry = obs::default_telemetry();
       wormhole::Network net(shape, faults, config);
       for (const Message& m : ring_messages(shape)) net.submit(m);
       const auto result = net.run();
@@ -107,6 +109,7 @@ int main(int argc, char** argv) {
       config.vcs_per_link = vcs;
       config.buffer_flits = 2;
       config.deadlock_threshold = 500;
+      config.telemetry = obs::default_telemetry();
       wormhole::Network net(big, bigf, config);
       for (const Message& m : traffic.messages) net.submit(m);
       const auto result = net.run();

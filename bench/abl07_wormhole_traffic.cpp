@@ -18,6 +18,7 @@ using namespace lamb;
 
 int main(int argc, char** argv) {
   obs::init(argc, argv);
+  obs::telemetry_init(argc, argv);
   io::init_threads(argc, argv);
   expt::print_banner(
       "Ablation 7 (end-to-end)",
@@ -26,8 +27,8 @@ int main(int argc, char** argv) {
 
   const MeshShape shape = MeshShape::cube(3, 8);
   expt::TableWriter table({"fault%", "pattern", "lambs", "unroutable",
-                           "delivered", "avg_lat", "p_max_lat", "thruput",
-                           "max_turns"},
+                           "delivered", "avg_lat", "p50_lat", "p95_lat",
+                           "p99_lat", "thruput", "max_turns"},
                           11);
   table.print_header();
   for (double pct : {0.0, 1.0, 3.0, 6.0}) {
@@ -52,6 +53,7 @@ int main(int argc, char** argv) {
       wormhole::SimConfig config;
       config.vcs_per_link = 2;
       config.buffer_flits = 4;
+      config.telemetry = obs::default_telemetry();
       wormhole::Network net(shape, faults, config);
       for (const auto& m : traffic.messages) net.submit(m);
       const auto result = net.run();
@@ -61,7 +63,9 @@ int main(int argc, char** argv) {
            expt::TableWriter::integer(traffic.unroutable),
            expt::TableWriter::integer(result.delivered),
            expt::TableWriter::num(result.latency.mean(), 1),
-           expt::TableWriter::num(result.latency.max(), 0),
+           expt::TableWriter::num(result.latency_samples.quantile(0.50), 0),
+           expt::TableWriter::num(result.latency_samples.quantile(0.95), 0),
+           expt::TableWriter::num(result.latency_samples.quantile(0.99), 0),
            expt::TableWriter::num(result.flit_throughput, 2),
            expt::TableWriter::integer((std::int64_t)result.turns.max())});
     }

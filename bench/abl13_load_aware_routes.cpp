@@ -45,7 +45,9 @@ Outcome run(const MeshShape& shape, const FaultSet& faults,
   wormhole::NodeLoad load(shape);
   const NodeId hotspot = survivors[survivors.size() / 2];
 
-  wormhole::Network net(shape, faults, wormhole::SimConfig{});
+  wormhole::SimConfig sim_config;
+  sim_config.telemetry = obs::default_telemetry();
+  wormhole::Network net(shape, faults, sim_config);
   const std::int64_t messages = scaled_trials(400);
   std::int64_t id = 0;
   for (std::int64_t i = 0; i < messages; ++i) {
@@ -63,6 +65,9 @@ Outcome run(const MeshShape& shape, const FaultSet& faults,
     msg.inject_cycle = i;
     net.submit(std::move(msg));
   }
+  // Ship the per-node route-construction load with the telemetry dump so
+  // the load-aware/random difference is plottable per node.
+  if (auto* telemetry = net.telemetry()) telemetry->set_route_load(load.counts);
   const auto result = net.run();
   return Outcome{result.latency.mean(), result.latency_samples.quantile(0.99),
                  result.link_load.max(),
@@ -73,6 +78,7 @@ Outcome run(const MeshShape& shape, const FaultSet& faults,
 
 int main(int argc, char** argv) {
   obs::init(argc, argv);
+  obs::telemetry_init(argc, argv);
   io::init_threads(argc, argv);
   expt::print_banner(
       "Ablation 13 (Section 2.1, intermediate choice)",

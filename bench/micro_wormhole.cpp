@@ -1,0 +1,130 @@
+// Wormhole-simulator microbenchmark: the abl07 workload (M_3(8), 2-round
+// XYZ, 2 VCs, uniform survivor traffic) timed with telemetry disabled and
+// enabled, to track simulator throughput over time and hold the
+// "zero-cost when disabled" claim to a number. With --json PATH the
+// results are written as a JSON document (see BENCH_wormhole.json).
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/lamb.hpp"
+#include "io/cli_args.hpp"
+#include "obs/obs.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "wormhole/network.hpp"
+#include "wormhole/traffic.hpp"
+
+using namespace lamb;
+
+namespace {
+
+struct Result {
+  std::string mode;
+  double seconds = 0.0;       // per run, best of reps
+  double cycles_per_s = 0.0;  // simulated cycles per wall second
+  std::int64_t cycles = 0;
+  std::int64_t delivered = 0;
+};
+
+Result time_sim(const char* mode, const MeshShape& shape,
+                const FaultSet& faults,
+                const std::vector<wormhole::Message>& messages,
+                const obs::TelemetryConfig& telemetry, int reps) {
+  Result res;
+  res.mode = mode;
+  res.seconds = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    wormhole::SimConfig config;
+    config.vcs_per_link = 2;
+    config.buffer_flits = 4;
+    config.telemetry = telemetry;
+    wormhole::Network net(shape, faults, config);
+    for (const auto& m : messages) net.submit(m);
+    Stopwatch watch;
+    const auto result = net.run();
+    const double s = watch.seconds();
+    if (res.seconds < 0 || s < res.seconds) res.seconds = s;
+    res.cycles = result.cycles;
+    res.delivered = result.delivered;
+  }
+  res.cycles_per_s =
+      res.seconds > 0 ? static_cast<double>(res.cycles) / res.seconds : 0.0;
+  return res;
+}
+
+void write_json(const std::string& path, const std::vector<Result>& results,
+                double overhead_pct) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"micro_wormhole\",\n"
+      << "  \"workload\": \"abl07 uniform, M_3(8), 2 rounds, 2 VCs, "
+         "8-flit messages\",\n"
+      << "  \"telemetry_on_overhead_pct\": " << overhead_pct << ",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    out << "    {\"mode\": \"" << r.mode << "\", \"seconds\": " << r.seconds
+        << ", \"cycles\": " << r.cycles
+        << ", \"cycles_per_s\": " << r.cycles_per_s
+        << ", \"delivered\": " << r.delivered << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::init(argc, argv);
+  io::init_threads(argc, argv);
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") json_path = argv[i + 1];
+  }
+
+  const MeshShape shape = MeshShape::cube(3, 8);
+  Rng rng(default_seed());
+  const FaultSet faults =
+      FaultSet::random_nodes(shape, shape.size() * 3 / 100, rng);
+  const LambResult lambs = lamb1(shape, faults, {});
+  const wormhole::RouteBuilder builder(shape, faults, ascending_rounds(3, 2));
+  wormhole::TrafficConfig tc;
+  tc.num_messages = scaled_trials(2000);
+  tc.message_flits = 8;
+  tc.injection_gap = 1.0;
+  const auto traffic =
+      generate_traffic(shape, faults, lambs.lambs, builder, tc, rng);
+  const int reps = 3;
+
+  std::printf("micro_wormhole: %zu messages, best of %d runs each\n\n",
+              traffic.messages.size(), reps);
+  std::vector<Result> results;
+
+  obs::TelemetryConfig off;  // disabled: the one-null-check configuration
+  results.push_back(
+      time_sim("telemetry_off", shape, faults, traffic.messages, off, reps));
+
+  obs::TelemetryConfig on;
+  on.enabled = true;  // sampling + lifecycle + watchdog, no dump I/O
+  results.push_back(
+      time_sim("telemetry_on", shape, faults, traffic.messages, on, reps));
+
+  const double overhead_pct =
+      results[0].seconds > 0
+          ? (results[1].seconds / results[0].seconds - 1.0) * 100.0
+          : 0.0;
+  for (const Result& r : results) {
+    std::printf("  %-14s %9.4f s  %12.0f cycles/s  (%lld cycles, %lld "
+                "delivered)\n",
+                r.mode.c_str(), r.seconds, r.cycles_per_s,
+                static_cast<long long>(r.cycles),
+                static_cast<long long>(r.delivered));
+  }
+  std::printf("\n  telemetry-on overhead: %+.1f%%\n", overhead_pct);
+
+  if (!json_path.empty()) write_json(json_path, results, overhead_pct);
+  return 0;
+}

@@ -22,7 +22,8 @@ int main(int argc, char** argv) {
 
   std::printf(
       "bulk-synchronous application on %s across fault epochs\n"
-      "epoch | faults | lambs | survivors | allreduce cycles | solve ms\n",
+      "epoch | faults | lambs | survivors | allreduce cycles | solve ms | "
+      "routes | hot load\n",
       mgr.shape().to_string().c_str());
 
   for (int epoch = 1; epoch <= 6; ++epoch) {
@@ -51,11 +52,25 @@ int main(int argc, char** argv) {
       std::printf("FATAL: collective failed at epoch %d\n", epoch);
       return 1;
     }
-    std::printf("%5d | %6lld | %5lld | %9lld | %16lld | %8.1f\n", epoch,
-                (long long)report.total_faults, (long long)report.lambs_total,
-                (long long)report.survivors,
+
+    // Point-to-point phase: halo exchanges between random survivor pairs
+    // through the manager's vended (load-aware) routes. The per-node load
+    // is closed out into the NEXT epoch's report — the `routes`/`hot load`
+    // columns therefore describe the previous epoch's traffic.
+    for (int i = 0; i < 200; ++i) {
+      const NodeId src =
+          survivors[rng.below((std::uint64_t)survivors.size())];
+      const NodeId dst =
+          survivors[rng.below((std::uint64_t)survivors.size())];
+      if (src != dst) mgr.route(src, dst, rng);
+    }
+
+    std::printf("%5d | %6lld | %5lld | %9lld | %16lld | %8.1f | %6lld | %8d\n",
+                epoch, (long long)report.total_faults,
+                (long long)report.lambs_total, (long long)report.survivors,
                 (long long)result.completion_cycles,
-                report.solve_seconds * 1e3);
+                report.solve_seconds * 1e3, (long long)report.routes_vended,
+                report.route_load_max);
   }
   std::printf(
       "\nThe machine degrades gracefully: each epoch trades a handful of\n"

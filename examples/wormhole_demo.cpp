@@ -17,6 +17,7 @@ using namespace lamb;
 
 int main(int argc, char** argv) {
   obs::init(argc, argv);
+  obs::telemetry_init(argc, argv);
   io::init_threads(argc, argv);
   const MeshShape shape = MeshShape::cube(3, 8);
   Rng rng(77);
@@ -50,33 +51,30 @@ int main(int argc, char** argv) {
   // repeated endpoint floods under uniform traffic make its hit rate a
   // headline metric (`LAMBMESH_METRICS=stderr` prints it).
   wormhole::RouteCache router(shape, faults, ascending_rounds(3, 2));
+  wormhole::NodeLoad load(shape);
   wormhole::TrafficConfig tc;
   tc.pattern = wormhole::Pattern::kUniform;
   tc.num_messages = 400;
   tc.message_flits = 8;
   tc.injection_gap = 1.0;
   const auto traffic =
-      generate_traffic(shape, faults, lambs.lambs, router, tc, rng);
-  std::printf("\ntraffic: %zu messages, %lld unroutable (must be 0)\n",
-              traffic.messages.size(), (long long)traffic.unroutable);
+      generate_traffic(shape, faults, lambs.lambs, router, tc, rng, &load);
+  std::printf("\ntraffic: %s (unroutable must be 0)\n",
+              traffic.summary().c_str());
 
   wormhole::SimConfig config;
   config.vcs_per_link = 2;   // one per round: deadlock-free by design
   config.buffer_flits = 4;
+  config.telemetry = obs::default_telemetry();
   wormhole::Network net(shape, faults, config);
+  if (auto* telemetry = net.telemetry()) telemetry->set_route_load(load.counts);
   for (const auto& m : traffic.messages) net.submit(m);
   const auto result = net.run();
 
-  std::printf("delivered %lld/%lld in %lld cycles (deadlock: %s)\n",
-              (long long)result.delivered, (long long)result.total_messages,
-              (long long)result.cycles, result.deadlocked ? "YES" : "no");
-  std::printf("latency  avg %.1f  min %.0f  max %.0f cycles\n",
-              result.latency.mean(), result.latency.min(),
-              result.latency.max());
+  std::printf("%s", result.summary().c_str());
   std::printf("hops     avg %.1f  max %.0f\n", result.hops.mean(),
               result.hops.max());
   std::printf("turns    avg %.1f  max %.0f (bound for 3D, 2 rounds: 5)\n",
               result.turns.mean(), result.turns.max());
-  std::printf("throughput %.2f flits/cycle\n", result.flit_throughput);
   return 0;
 }

@@ -9,7 +9,8 @@
 
 namespace lamb::io {
 
-CliArgs CliArgs::parse(const std::vector<std::string>& argv) {
+CliArgs CliArgs::parse(const std::vector<std::string>& argv,
+                       const std::vector<std::string>& flags) {
   CliArgs args;
   if (argv.empty()) throw ArgError("missing command");
   args.command_ = argv[0];
@@ -22,18 +23,24 @@ CliArgs CliArgs::parse(const std::vector<std::string>& argv) {
       throw ArgError("unexpected positional argument '" + token + "'");
     }
     if (token.size() == 2) throw ArgError("bare '--' is not an option");
+    const std::string key = token.substr(2);
+    if (std::find(flags.begin(), flags.end(), key) != flags.end()) {
+      args.options_[key] = "1";
+      continue;
+    }
     if (i + 1 >= argv.size()) {
       throw ArgError("missing value for " + token);
     }
-    args.options_[token.substr(2)] = argv[++i];
+    args.options_[key] = argv[++i];
   }
   return args;
 }
 
-CliArgs CliArgs::parse(int argc, const char* const* argv) {
+CliArgs CliArgs::parse(int argc, const char* const* argv,
+                       const std::vector<std::string>& flags) {
   std::vector<std::string> tokens;
   for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
-  return parse(tokens);
+  return parse(tokens, flags);
 }
 
 std::string CliArgs::get(const std::string& key,

@@ -18,8 +18,12 @@ class CliArgs {
  public:
   // Parses {command, options}; throws ArgError on malformed input
   // (missing command, positional arguments, --flag without a value).
-  static CliArgs parse(const std::vector<std::string>& argv);
-  static CliArgs parse(int argc, const char* const* argv);
+  // Options named in `flags` are value-less booleans: they never consume
+  // the next token and are stored as "1" (has() / get() see them).
+  static CliArgs parse(const std::vector<std::string>& argv,
+                       const std::vector<std::string>& flags = {});
+  static CliArgs parse(int argc, const char* const* argv,
+                       const std::vector<std::string>& flags = {});
 
   const std::string& command() const { return command_; }
   bool has(const std::string& key) const { return options_.count(key) > 0; }

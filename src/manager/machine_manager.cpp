@@ -12,7 +12,8 @@ MachineManager::MachineManager(const MeshShape& shape, LambOptions options)
     : shape_(std::make_unique<MeshShape>(shape)),
       options_(std::move(options)),
       values_(static_cast<std::size_t>(shape.size()), 1.0),
-      faults_(*shape_) {
+      faults_(*shape_),
+      load_(*shape_) {
   if (!options_.predetermined.empty()) {
     throw std::invalid_argument(
         "MachineManager manages predetermined lambs itself");
@@ -40,6 +41,13 @@ EpochReport MachineManager::reconfigure() {
   obs::Span span("manager.reconfigure", "manager");
   EpochReport report;
   report.epoch = epoch() + 1;
+  // Close out the route-load telemetry of the epoch that ends here.
+  report.routes_vended = routes_vended_;
+  report.route_load_max = load_.max();
+  report.route_load_mean = load_.mean_nonzero();
+  report.route_load_hottest = load_.hottest();
+  load_.reset();
+  routes_vended_ = 0;
   report.new_node_faults = faults_.num_node_faults() - seen_node_faults_;
   report.new_link_faults = faults_.num_link_faults() - seen_link_faults_;
   seen_node_faults_ = faults_.num_node_faults();
@@ -88,6 +96,9 @@ EpochReport MachineManager::reconfigure() {
   obs::gauge("manager.faults").set(static_cast<double>(report.total_faults));
   obs::gauge("manager.lambs").set(static_cast<double>(report.lambs_total));
   obs::gauge("manager.survivors").set(static_cast<double>(report.survivors));
+  obs::gauge("manager.route_load.max")
+      .set(static_cast<double>(report.route_load_max));
+  obs::gauge("manager.route_load.mean").set(report.route_load_mean);
   span.arg("epoch", report.epoch);
   span.arg("faults", static_cast<double>(report.total_faults));
   span.arg("lambs", static_cast<double>(report.lambs_total));
@@ -120,7 +131,9 @@ std::vector<NodeId> MachineManager::survivors() const {
 std::optional<wormhole::Route> MachineManager::route(NodeId src, NodeId dst,
                                                      Rng& rng) {
   require_configured();
-  return routes_->build(src, dst, rng);
+  auto route = routes_->build(src, dst, rng, &load_);
+  if (route) ++routes_vended_;
+  return route;
 }
 
 }  // namespace lamb::manager

@@ -43,6 +43,13 @@ struct EpochReport {
   double partition_seconds = 0.0;
   double matrices_seconds = 0.0;
   double cover_seconds = 0.0;
+  // Route-load telemetry for the epoch this reconfiguration CLOSES: how
+  // many routes were vended since the previous reconfigure and how
+  // concentrated they were (zeroes for the first epoch).
+  std::int64_t routes_vended = 0;
+  std::int32_t route_load_max = 0;
+  double route_load_mean = 0.0;  // over nodes that carried any route
+  NodeId route_load_hottest = -1;
 };
 
 class MachineManager {
@@ -86,8 +93,13 @@ class MachineManager {
   bool is_survivor(NodeId id) const;
   std::vector<NodeId> survivors() const;
   // k-round route between survivors; nullopt is impossible for survivor
-  // pairs by the lamb guarantee (and is verified in tests).
+  // pairs by the lamb guarantee (and is verified in tests). Every vended
+  // route charges the per-node load counters (load-aware tie-breaking).
   std::optional<wormhole::Route> route(NodeId src, NodeId dst, Rng& rng);
+
+  // Per-node load of routes vended since the last reconfigure; feed the
+  // counts to obs::Telemetry::set_route_load for dump export.
+  const wormhole::NodeLoad& route_load() const { return load_; }
 
  private:
   void require_configured() const;
@@ -99,6 +111,8 @@ class MachineManager {
   std::vector<NodeId> lambs_;  // sorted
   std::vector<EpochReport> history_;
   std::unique_ptr<wormhole::RouteCache> routes_;
+  wormhole::NodeLoad load_;
+  std::int64_t routes_vended_ = 0;
   std::int64_t seen_node_faults_ = 0;  // totals at the last reconfigure
   std::int64_t seen_link_faults_ = 0;
   bool pending_ = true;  // epoch 0 must be established by reconfigure()

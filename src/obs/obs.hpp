@@ -5,4 +5,5 @@
 
 #include "obs/export.hpp"  // IWYU pragma: export
 #include "obs/metrics.hpp"  // IWYU pragma: export
+#include "obs/telemetry.hpp"  // IWYU pragma: export
 #include "obs/trace.hpp"  // IWYU pragma: export

@@ -1,0 +1,559 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+
+#include "support/env.hpp"
+
+namespace lamb::obs {
+
+namespace {
+
+std::uint16_t sat16(std::int64_t v) {
+  return static_cast<std::uint16_t>(std::clamp<std::int64_t>(v, 0, 0xFFFF));
+}
+
+std::uint8_t sat8(std::int64_t v) {
+  return static_cast<std::uint8_t>(std::clamp<std::int64_t>(v, 0, 0xFF));
+}
+
+// The bootstrapped process default, mutated by telemetry_init().
+TelemetryConfig& mutable_default() {
+  static TelemetryConfig config = [] {
+    TelemetryConfig c;
+    const std::string dest = env_string("LAMBMESH_TELEMETRY", "");
+    if (!dest.empty()) {
+      c.enabled = true;
+      c.dump = dest;
+    }
+    c.sample_every =
+        std::max<long>(1, env_long("LAMBMESH_TELEMETRY_SAMPLE", 64));
+    c.ring_windows = static_cast<int>(
+        std::max<long>(1, env_long("LAMBMESH_TELEMETRY_RING", 256)));
+    c.watchdog = env_long("LAMBMESH_TELEMETRY_WATCHDOG", 1) != 0;
+    return c;
+  }();
+  return config;
+}
+
+}  // namespace
+
+const char* msg_event_name(MsgEvent kind) {
+  switch (kind) {
+    case MsgEvent::kInject:
+      return "inject";
+    case MsgEvent::kAcquire:
+      return "acquire";
+    case MsgEvent::kRoundSwitch:
+      return "round_switch";
+    case MsgEvent::kRelease:
+      return "release";
+    case MsgEvent::kEject:
+      return "eject";
+  }
+  return "?";
+}
+
+// --- Ring-buffered series --------------------------------------------------
+
+struct Telemetry::Series {
+  LinkId link = 0;
+  int vc = 0;
+  NodeId from = 0;
+  int dim = 0;
+  int dir = +1;
+  std::int64_t total = 0;         // flits over the whole run
+  std::int64_t window_flits = 0;  // accumulating, current window
+  std::int64_t first_window = 0;  // window index of ring[head]
+  std::size_t head = 0;           // oldest entry once the ring is full
+  std::vector<ChannelSample> ring;
+
+  void push(ChannelSample sample, int cap) {
+    if (static_cast<int>(ring.size()) < cap) {
+      ring.push_back(sample);
+    } else {
+      ring[head] = sample;
+      head = (head + 1) % ring.size();
+      ++first_window;
+    }
+  }
+};
+
+struct Telemetry::NodeSeries {
+  NodeId node = 0;
+  std::int64_t injected_total = 0;
+  std::int64_t ejected_total = 0;
+  std::int64_t window_injected = 0;
+  std::int64_t window_ejected = 0;
+  std::int64_t first_window = 0;
+  std::size_t head = 0;
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> ring;
+
+  void push(std::uint16_t inj, std::uint16_t ej, int cap) {
+    if (static_cast<int>(ring.size()) < cap) {
+      ring.emplace_back(inj, ej);
+    } else {
+      ring[head] = {inj, ej};
+      head = (head + 1) % ring.size();
+      ++first_window;
+    }
+  }
+};
+
+Telemetry::Telemetry(const MeshShape& shape, int vcs_per_link,
+                     TelemetryConfig config)
+    : shape_(shape), vcs_(std::max(1, vcs_per_link)), config_(std::move(config)) {
+  config_.sample_every = std::max<std::int64_t>(1, config_.sample_every);
+  config_.ring_windows = std::max(1, config_.ring_windows);
+  // link_id() indexes the dense (node, dim, dir) space, which is larger
+  // than num_links() on non-wrapping meshes (boundary ids stay unused).
+  channels_.resize(
+      static_cast<std::size_t>(shape_.size() * shape_.dim() * 2 * vcs_));
+  nodes_.resize(static_cast<std::size_t>(shape_.size()));
+}
+
+Telemetry::~Telemetry() = default;
+
+Telemetry::Series& Telemetry::series_at(LinkId link, int vc) {
+  const std::int64_t slot = link * vcs_ + vc;
+  auto& entry = channels_[static_cast<std::size_t>(slot)];
+  if (!entry) {
+    entry = std::make_unique<Series>();
+    entry->link = link;
+    entry->vc = vc;
+    // link_id = (from * dim + j) * 2 + (Pos ? 1 : 0); invert it.
+    entry->from = link / (2 * shape_.dim());
+    entry->dim = static_cast<int>((link / 2) % shape_.dim());
+    entry->dir = (link & 1) != 0 ? +1 : -1;
+    entry->first_window = windows_done_;
+    active_.push_back(slot);
+  }
+  return *entry;
+}
+
+Telemetry::NodeSeries& Telemetry::node_series_at(NodeId node) {
+  auto& entry = nodes_[static_cast<std::size_t>(node)];
+  if (!entry) {
+    entry = std::make_unique<NodeSeries>();
+    entry->node = node;
+    entry->first_window = windows_done_;
+    active_nodes_.push_back(node);
+  }
+  return *entry;
+}
+
+void Telemetry::on_flit(NodeId from, LinkId link, int vc) {
+  Series& s = series_at(link, vc);
+  s.from = from;
+  ++s.total;
+  ++s.window_flits;
+}
+
+void Telemetry::on_inject_flit(NodeId src) {
+  NodeSeries& s = node_series_at(src);
+  ++s.injected_total;
+  ++s.window_injected;
+}
+
+void Telemetry::on_eject_flit(NodeId dst) {
+  NodeSeries& s = node_series_at(dst);
+  ++s.ejected_total;
+  ++s.window_ejected;
+}
+
+void Telemetry::on_event(MsgEvent kind, std::int64_t msg, std::int64_t cycle,
+                         LinkId link, int vc) {
+  if (!config_.lifecycle) return;
+  if (static_cast<std::int64_t>(events_.size()) >= config_.max_events) {
+    ++events_dropped_;
+    return;
+  }
+  events_.push_back(LifecycleEvent{msg, cycle, kind, link, vc});
+}
+
+void Telemetry::on_delivered(const LatencyRecord& record) {
+  latencies_.push_back(record);
+}
+
+void Telemetry::set_stall_report(StallReport report) {
+  stall_report_ = std::make_unique<StallReport>(std::move(report));
+}
+
+void Telemetry::set_route_load(std::vector<std::int32_t> counts) {
+  route_load_ = std::move(counts);
+}
+
+void Telemetry::end_window(std::int64_t cycle,
+                           const std::function<int(LinkId, int)>& occupancy,
+                           bool final) {
+  std::int64_t target = cycle / config_.sample_every;
+  if (final && cycle % config_.sample_every != 0) ++target;
+  if (target <= windows_done_) return;
+  const std::int64_t n = target - windows_done_;
+  // Flits accumulated since the last flush belong to the earliest pending
+  // window; padding windows (the simulator fast-forwarded through idle
+  // time) carry no traffic, and occupancy is unchanged while nothing
+  // moves, so one probe per series covers every pending window.
+  for (const std::int64_t slot : active_) {
+    Series& s = *channels_[static_cast<std::size_t>(slot)];
+    const std::uint8_t occ = sat8(occupancy ? occupancy(s.link, s.vc) : 0);
+    s.push(ChannelSample{sat16(s.window_flits), occ}, config_.ring_windows);
+    for (std::int64_t w = 1; w < n; ++w) {
+      s.push(ChannelSample{0, occ}, config_.ring_windows);
+    }
+    s.window_flits = 0;
+  }
+  for (const NodeId node : active_nodes_) {
+    NodeSeries& s = *nodes_[static_cast<std::size_t>(node)];
+    s.push(sat16(s.window_injected), sat16(s.window_ejected),
+           config_.ring_windows);
+    for (std::int64_t w = 1; w < n; ++w) s.push(0, 0, config_.ring_windows);
+    s.window_injected = 0;
+    s.window_ejected = 0;
+  }
+  windows_done_ = target;
+}
+
+std::int64_t Telemetry::total_channel_flits() const {
+  std::int64_t total = 0;
+  for (const std::int64_t slot : active_) {
+    total += channels_[static_cast<std::size_t>(slot)]->total;
+  }
+  return total;
+}
+
+bool Telemetry::channel_series(LinkId link, int vc, std::int64_t* first_window,
+                               std::vector<ChannelSample>* out) const {
+  const std::int64_t slot = link * vcs_ + vc;
+  if (slot < 0 || slot >= static_cast<std::int64_t>(channels_.size()) ||
+      !channels_[static_cast<std::size_t>(slot)]) {
+    return false;
+  }
+  const Series& s = *channels_[static_cast<std::size_t>(slot)];
+  if (first_window != nullptr) *first_window = s.first_window;
+  if (out != nullptr) {
+    out->clear();
+    out->reserve(s.ring.size());
+    for (std::size_t i = 0; i < s.ring.size(); ++i) {
+      out->push_back(s.ring[(s.head + i) % s.ring.size()]);
+    }
+  }
+  return true;
+}
+
+// --- Stall report rendering ------------------------------------------------
+
+namespace {
+
+std::string point_string(const MeshShape& shape, NodeId id) {
+  const Point p = shape.point(id);
+  std::ostringstream os;
+  os << "(";
+  for (int j = 0; j < shape.dim(); ++j) {
+    if (j > 0) os << ",";
+    os << p[j];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace
+
+std::string StallReport::render(const MeshShape& shape) const {
+  std::ostringstream os;
+  os << "== lambmesh stall watchdog: no flit advanced for " << stalled_cycles
+     << " cycles at cycle " << cycle << " ==\n";
+  if (has_cycle()) {
+    os << "wait-for CYCLE (deadlock): msg ";
+    for (const std::int64_t m : cycle_msgs) os << m << " -> ";
+    os << cycle_msgs.front() << "\n";
+  } else {
+    os << "no wait-for cycle found (stall, not a deadlock)\n";
+  }
+  // Blocked-message lists grouped by the node the head is stuck at.
+  std::vector<const WaitEdge*> sorted;
+  sorted.reserve(edges.size());
+  for (const WaitEdge& e : edges) sorted.push_back(&e);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const WaitEdge* a, const WaitEdge* b) {
+                     return a->at < b->at;
+                   });
+  NodeId last = -1;
+  for (const WaitEdge* e : sorted) {
+    if (e->at != last) {
+      os << "blocked at node " << point_string(shape, e->at) << ":\n";
+      last = e->at;
+    }
+    os << "  msg " << e->waiter << " waits on link " << e->link << " vc "
+       << e->vc << " (" << e->reason << ")";
+    if (e->holder >= 0) os << " held by msg " << e->holder;
+    if (e->on_cycle) os << "  [CYCLE]";
+    os << "\n";
+  }
+  if (waiting_injection > 0) {
+    os << "messages awaiting injection or dependency: " << waiting_injection
+       << "\n";
+  }
+  return os.str();
+}
+
+// --- Export ----------------------------------------------------------------
+
+bool Telemetry::write_csv(const std::string& path, std::int64_t cycles) const {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  std::fprintf(out, "# lambmesh telemetry v1\n");
+  std::fprintf(out, "meta,shape,%s\n", shape_.to_string().c_str());
+  std::fprintf(out, "meta,dims,");
+  for (int j = 0; j < shape_.dim(); ++j) {
+    std::fprintf(out, "%s%d", j > 0 ? "x" : "", shape_.width(j));
+  }
+  std::fprintf(out, "\nmeta,vcs,%d\n", vcs_);
+  std::fprintf(out, "meta,sample_every,%lld\n",
+               static_cast<long long>(config_.sample_every));
+  std::fprintf(out, "meta,ring_windows,%d\n", config_.ring_windows);
+  std::fprintf(out, "meta,cycles,%lld\n", static_cast<long long>(cycles));
+  std::fprintf(out, "meta,windows,%lld\n",
+               static_cast<long long>(windows_done_));
+  std::fprintf(out, "meta,events_dropped,%lld\n",
+               static_cast<long long>(events_dropped_));
+  std::fprintf(out, "meta,deadlock,%d\n",
+               stall_report_ != nullptr && stall_report_->has_cycle() ? 1 : 0);
+
+  // channel_total,link,node,dim,dir,vc,total — exact whole-run flit
+  // counts (the windowed rows below may have been ring-truncated).
+  for (const std::int64_t slot : active_) {
+    const Series& s = *channels_[static_cast<std::size_t>(slot)];
+    std::fprintf(out, "channel_total,%lld,%lld,%d,%+d,%d,%lld\n",
+                 static_cast<long long>(s.link),
+                 static_cast<long long>(s.from), s.dim, s.dir, s.vc,
+                 static_cast<long long>(s.total));
+  }
+  // channel,link,node,dim,dir,vc,window,flits,occupancy
+  for (const std::int64_t slot : active_) {
+    const Series& s = *channels_[static_cast<std::size_t>(slot)];
+    for (std::size_t i = 0; i < s.ring.size(); ++i) {
+      const ChannelSample& smp = s.ring[(s.head + i) % s.ring.size()];
+      std::fprintf(out, "channel,%lld,%lld,%d,%+d,%d,%lld,%u,%u\n",
+                   static_cast<long long>(s.link),
+                   static_cast<long long>(s.from), s.dim, s.dir, s.vc,
+                   static_cast<long long>(s.first_window +
+                                          static_cast<std::int64_t>(i)),
+                   smp.flits, smp.occupancy);
+    }
+  }
+  // node,id,window,injected,ejected
+  for (const NodeId node : active_nodes_) {
+    const NodeSeries& s = *nodes_[static_cast<std::size_t>(node)];
+    for (std::size_t i = 0; i < s.ring.size(); ++i) {
+      const auto& smp = s.ring[(s.head + i) % s.ring.size()];
+      std::fprintf(out, "node,%lld,%lld,%u,%u\n",
+                   static_cast<long long>(s.node),
+                   static_cast<long long>(s.first_window +
+                                          static_cast<std::int64_t>(i)),
+                   smp.first, smp.second);
+    }
+  }
+  // latency,msg,inject,start,finish,queue,transit,stall
+  for (const LatencyRecord& r : latencies_) {
+    std::fprintf(out, "latency,%lld,%lld,%lld,%lld,%lld,%lld,%lld\n",
+                 static_cast<long long>(r.msg),
+                 static_cast<long long>(r.inject),
+                 static_cast<long long>(r.start),
+                 static_cast<long long>(r.finish),
+                 static_cast<long long>(r.queue_cycles()),
+                 static_cast<long long>(r.transit_cycles()),
+                 static_cast<long long>(r.stall_cycles()));
+  }
+  // event,msg,cycle,kind,link,vc
+  for (const LifecycleEvent& e : events_) {
+    std::fprintf(out, "event,%lld,%lld,%s,%lld,%d\n",
+                 static_cast<long long>(e.msg),
+                 static_cast<long long>(e.cycle), msg_event_name(e.kind),
+                 static_cast<long long>(e.link), e.vc);
+  }
+  // route_load,node,count
+  for (std::size_t id = 0; id < route_load_.size(); ++id) {
+    if (route_load_[id] == 0) continue;
+    std::fprintf(out, "route_load,%zu,%d\n", id, route_load_[id]);
+  }
+  if (stall_report_ != nullptr) {
+    std::fprintf(out, "meta,stall_cycle,%lld\n",
+                 static_cast<long long>(stall_report_->cycle));
+    for (const WaitEdge& e : stall_report_->edges) {
+      std::fprintf(out, "stall_edge,%lld,%lld,%lld,%d,%lld,%s,%d\n",
+                   static_cast<long long>(e.waiter),
+                   static_cast<long long>(e.holder),
+                   static_cast<long long>(e.link), e.vc,
+                   static_cast<long long>(e.at), e.reason,
+                   e.on_cycle ? 1 : 0);
+    }
+  }
+  std::fclose(out);
+  return true;
+}
+
+bool Telemetry::write_json(const std::string& path, std::int64_t cycles) const {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  std::fprintf(out, "{\n  \"shape\": \"%s\",\n  \"dims\": [",
+               shape_.to_string().c_str());
+  for (int j = 0; j < shape_.dim(); ++j) {
+    std::fprintf(out, "%s%d", j > 0 ? ", " : "", shape_.width(j));
+  }
+  std::fprintf(out,
+               "],\n  \"vcs\": %d,\n  \"sample_every\": %lld,\n"
+               "  \"cycles\": %lld,\n  \"windows\": %lld,\n",
+               vcs_, static_cast<long long>(config_.sample_every),
+               static_cast<long long>(cycles),
+               static_cast<long long>(windows_done_));
+  std::fputs("  \"channels\": [", out);
+  bool first = true;
+  for (const std::int64_t slot : active_) {
+    const Series& s = *channels_[static_cast<std::size_t>(slot)];
+    std::fprintf(out,
+                 "%s\n    {\"link\": %lld, \"node\": %lld, \"dim\": %d, "
+                 "\"dir\": %d, \"vc\": %d, \"total_flits\": %lld, "
+                 "\"first_window\": %lld, \"flits\": [",
+                 first ? "" : ",", static_cast<long long>(s.link),
+                 static_cast<long long>(s.from), s.dim, s.dir, s.vc,
+                 static_cast<long long>(s.total),
+                 static_cast<long long>(s.first_window));
+    first = false;
+    for (std::size_t i = 0; i < s.ring.size(); ++i) {
+      std::fprintf(out, "%s%u", i > 0 ? "," : "",
+                   s.ring[(s.head + i) % s.ring.size()].flits);
+    }
+    std::fputs("], \"occupancy\": [", out);
+    for (std::size_t i = 0; i < s.ring.size(); ++i) {
+      std::fprintf(out, "%s%u", i > 0 ? "," : "",
+                   s.ring[(s.head + i) % s.ring.size()].occupancy);
+    }
+    std::fputs("]}", out);
+  }
+  std::fputs("\n  ],\n  \"nodes\": [", out);
+  first = true;
+  for (const NodeId node : active_nodes_) {
+    const NodeSeries& s = *nodes_[static_cast<std::size_t>(node)];
+    std::fprintf(out,
+                 "%s\n    {\"node\": %lld, \"injected\": %lld, "
+                 "\"ejected\": %lld, \"first_window\": %lld}",
+                 first ? "" : ",", static_cast<long long>(s.node),
+                 static_cast<long long>(s.injected_total),
+                 static_cast<long long>(s.ejected_total),
+                 static_cast<long long>(s.first_window));
+    first = false;
+  }
+  std::fputs("\n  ],\n  \"latency\": [", out);
+  first = true;
+  for (const LatencyRecord& r : latencies_) {
+    std::fprintf(out,
+                 "%s\n    {\"msg\": %lld, \"queue\": %lld, \"transit\": %lld, "
+                 "\"stall\": %lld}",
+                 first ? "" : ",", static_cast<long long>(r.msg),
+                 static_cast<long long>(r.queue_cycles()),
+                 static_cast<long long>(r.transit_cycles()),
+                 static_cast<long long>(r.stall_cycles()));
+    first = false;
+  }
+  std::fputs("\n  ],\n  \"events\": [", out);
+  first = true;
+  for (const LifecycleEvent& e : events_) {
+    std::fprintf(out,
+                 "%s\n    {\"msg\": %lld, \"cycle\": %lld, \"kind\": \"%s\", "
+                 "\"link\": %lld, \"vc\": %d}",
+                 first ? "" : ",", static_cast<long long>(e.msg),
+                 static_cast<long long>(e.cycle), msg_event_name(e.kind),
+                 static_cast<long long>(e.link), e.vc);
+    first = false;
+  }
+  std::fputs("\n  ],\n  \"route_load\": [", out);
+  first = true;
+  for (std::size_t id = 0; id < route_load_.size(); ++id) {
+    if (route_load_[id] == 0) continue;
+    std::fprintf(out, "%s\n    {\"node\": %zu, \"count\": %d}",
+                 first ? "" : ",", id, route_load_[id]);
+    first = false;
+  }
+  if (stall_report_ != nullptr) {
+    std::fprintf(out,
+                 "\n  ],\n  \"stall\": {\"cycle\": %lld, \"stalled_cycles\": "
+                 "%lld, \"deadlock\": %s, \"cycle_msgs\": [",
+                 static_cast<long long>(stall_report_->cycle),
+                 static_cast<long long>(stall_report_->stalled_cycles),
+                 stall_report_->has_cycle() ? "true" : "false");
+    first = true;
+    for (const std::int64_t m : stall_report_->cycle_msgs) {
+      std::fprintf(out, "%s%lld", first ? "" : ", ",
+                   static_cast<long long>(m));
+      first = false;
+    }
+    std::fputs("], \"edges\": [", out);
+    first = true;
+    for (const WaitEdge& e : stall_report_->edges) {
+      std::fprintf(out,
+                   "%s\n    {\"waiter\": %lld, \"holder\": %lld, \"link\": "
+                   "%lld, \"vc\": %d, \"at\": %lld, \"reason\": \"%s\", "
+                   "\"on_cycle\": %s}",
+                   first ? "" : ",", static_cast<long long>(e.waiter),
+                   static_cast<long long>(e.holder),
+                   static_cast<long long>(e.link), e.vc,
+                   static_cast<long long>(e.at), e.reason,
+                   e.on_cycle ? "true" : "false");
+      first = false;
+    }
+    std::fputs("]}\n}\n", out);
+  } else {
+    std::fputs("\n  ]\n}\n", out);
+  }
+  std::fclose(out);
+  return true;
+}
+
+bool Telemetry::write(std::int64_t cycles, std::int64_t run) const {
+  if (config_.dump.empty()) return false;
+  std::string dest = config_.dump;
+  bool csv = false;
+  if (dest.rfind("csv:", 0) == 0) {
+    csv = true;
+    dest = dest.substr(4);
+  } else if (dest.rfind("json:", 0) == 0) {
+    dest = dest.substr(5);
+  }
+  const std::string path = telemetry_run_path(dest, run);
+  return csv ? write_csv(path, cycles) : write_json(path, cycles);
+}
+
+// --- Process-level plumbing ------------------------------------------------
+
+TelemetryConfig default_telemetry() { return mutable_default(); }
+
+bool telemetry_init(int argc, const char* const* argv) {
+  TelemetryConfig& config = mutable_default();
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--telemetry") {
+      config.enabled = true;
+      if (config.dump.empty()) config.dump = "csv:telemetry.csv";
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      config.enabled = true;
+      std::string dest(arg.substr(12));
+      config.dump = dest.empty() ? "csv:telemetry.csv" : std::move(dest);
+    }
+  }
+  return config.enabled;
+}
+
+std::string telemetry_run_path(const std::string& dest, std::int64_t run) {
+  return run == 0 ? dest : dest + "." + std::to_string(run);
+}
+
+std::int64_t telemetry_next_run() {
+  static std::atomic<std::int64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace lamb::obs

@@ -1,0 +1,230 @@
+// Flit-level network telemetry for the wormhole simulator: windowed
+// time-series sampling per virtual channel, message lifecycle events,
+// latency decomposition records, and the stall-watchdog report types.
+//
+// Where obs/metrics.hpp answers "how much, over the whole run", this
+// layer answers "where in the mesh and when in simulated time": every
+// `sample_every` cycles the simulator closes a window, and each
+// (directed link, virtual channel) that has carried traffic gets one
+// ring-buffered sample of flit-traversals and buffer occupancy. Ring
+// capacity bounds memory — long runs keep the most recent
+// `ring_windows` windows per series.
+//
+// The whole tier is opt-in per Network via SimConfig::telemetry and
+// costs nothing when disabled (the simulator guards every hook with one
+// null-pointer check). `LAMBMESH_TELEMETRY` / `--telemetry[=<dest>]`
+// follow the LAMBMESH_METRICS plumbing (see docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace lamb::obs {
+
+struct TelemetryConfig {
+  bool enabled = false;
+  std::int64_t sample_every = 64;  // cycles per sampling window
+  int ring_windows = 256;          // windows retained per series
+  bool lifecycle = true;           // record per-message events in the dump
+  bool watchdog = true;            // wait-for snapshot when flits stop moving
+  // Motionless cycles before the watchdog fires; 0 means "at the
+  // simulator's deadlock threshold" (the snapshot is taken just before
+  // the run is declared dead).
+  std::int64_t watchdog_cycles = 0;
+  // Cap on retained lifecycle events (drops record a counter, never fail).
+  std::int64_t max_events = 1 << 20;
+  // Dump destination: "" (none), "csv:<path>", "json:<path>", or a bare
+  // path (JSON). With several Network::run()s per process, run r > 0
+  // appends ".r" to the path so every dump survives.
+  std::string dump;
+};
+
+// One retained sampling window of a channel series.
+struct ChannelSample {
+  std::uint16_t flits = 0;     // flit-traversals during the window
+  std::uint8_t occupancy = 0;  // buffer occupancy at the window boundary
+};
+
+// Message lifecycle event kinds. kAcquire fires when a head flit
+// allocates a fresh virtual channel, kRoundSwitch additionally when that
+// channel starts a new routing round (hop.vc changed), kRelease when the
+// tail drains a channel.
+enum class MsgEvent : std::uint8_t {
+  kInject,
+  kAcquire,
+  kRoundSwitch,
+  kRelease,
+  kEject,
+};
+
+const char* msg_event_name(MsgEvent kind);
+
+struct LifecycleEvent {
+  std::int64_t msg = 0;
+  std::int64_t cycle = 0;
+  MsgEvent kind = MsgEvent::kInject;
+  LinkId link = -1;  // -1 for inject/eject
+  int vc = -1;
+};
+
+// End-to-end latency decomposition of one delivered message:
+//   queue   = start - inject        (waiting at the source for the head)
+//   transit = hops + flits - 1      (ideal pipelined time)
+//   stall   = (finish - inject) - queue - transit  (everything blocked)
+struct LatencyRecord {
+  std::int64_t msg = 0;
+  std::int64_t inject = 0;  // requested injection cycle
+  std::int64_t start = 0;   // first flit left the source
+  std::int64_t finish = 0;  // tail ejected
+  std::int32_t hops = 0;
+  std::int32_t flits = 0;
+
+  std::int64_t queue_cycles() const { return start - inject; }
+  // hops == 0 (src == dst) delivers without touching the network.
+  std::int64_t transit_cycles() const {
+    return hops == 0 ? 0 : hops + flits - 1;
+  }
+  std::int64_t stall_cycles() const {
+    return (finish - inject) - queue_cycles() - transit_cycles();
+  }
+};
+
+// One edge of the channel wait-for graph: `waiter`'s head flit cannot
+// advance onto (link, vc) because `holder` occupies it (ownership or
+// credit). holder == -1 marks a transient non-ownership block.
+struct WaitEdge {
+  std::int64_t waiter = -1;  // message id
+  std::int64_t holder = -1;  // message id, or -1
+  LinkId link = -1;
+  int vc = -1;
+  NodeId at = -1;  // node where the waiter's head sits
+  const char* reason = "";  // "vc_busy" | "credit" | "link_busy"
+  bool on_cycle = false;
+};
+
+// Watchdog snapshot: taken when no flit has advanced for the configured
+// number of cycles while traffic is still in flight. If the wait-for
+// graph contains a cycle, the run is provably deadlocked (the paper's
+// requirement (iii) violated); `cycle_msgs` lists its members.
+struct StallReport {
+  std::int64_t cycle = 0;           // simulated cycle of the snapshot
+  std::int64_t stalled_cycles = 0;  // length of the motionless streak
+  std::int64_t waiting_injection = 0;  // messages not yet started
+  std::vector<WaitEdge> edges;
+  std::vector<std::int64_t> cycle_msgs;  // wait-for cycle members (may be empty)
+
+  bool has_cycle() const { return !cycle_msgs.empty(); }
+  // Human-readable dump: per-node blocked lists and the cycle, if any.
+  std::string render(const MeshShape& shape) const;
+};
+
+// Per-Network telemetry collector. All recording hooks are O(1)
+// amortized and never throw; the owning simulator is expected to call
+// them only when telemetry is enabled, and to close windows via
+// end_window(). Not thread-safe — one collector per (single-threaded)
+// simulation, matching wormhole::Network.
+class Telemetry {
+ public:
+  Telemetry(const MeshShape& shape, int vcs_per_link, TelemetryConfig config);
+  ~Telemetry();  // out-of-line: Series/NodeSeries are private to the .cpp
+
+  const TelemetryConfig& config() const { return config_; }
+  const MeshShape& shape() const { return shape_; }
+
+  // --- Recording hooks -----------------------------------------------
+  // A flit traversed (link, vc) out of node `from` this cycle.
+  void on_flit(NodeId from, LinkId link, int vc);
+  // A flit left its source queue / was ejected at its destination.
+  void on_inject_flit(NodeId src);
+  void on_eject_flit(NodeId dst);
+  void on_event(MsgEvent kind, std::int64_t msg, std::int64_t cycle,
+                LinkId link = -1, int vc = -1);
+  void on_delivered(const LatencyRecord& record);
+  void set_stall_report(StallReport report);
+  // Per-node route-construction load (RouteCache/NodeLoad counts), so
+  // lamb-induced load concentration is plottable from the same dump.
+  void set_route_load(std::vector<std::int32_t> counts);
+
+  // Closes every window up to cycle / sample_every (plus the trailing
+  // partial window when `final` is set). `occupancy(link, vc)` returns
+  // the current buffer occupancy of a channel; it is consulted once per
+  // active series per call.
+  void end_window(std::int64_t cycle,
+                  const std::function<int(LinkId, int)>& occupancy,
+                  bool final = false);
+
+  // --- Introspection (tests, exporters) ------------------------------
+  std::int64_t windows() const { return windows_done_; }
+  std::int64_t total_channel_flits() const;  // sums every series
+  std::int64_t events_recorded() const {
+    return static_cast<std::int64_t>(events_.size());
+  }
+  std::int64_t events_dropped() const { return events_dropped_; }
+  const std::vector<LatencyRecord>& latencies() const { return latencies_; }
+  const StallReport* stall_report() const { return stall_report_.get(); }
+
+  // Oldest-first unrolled samples of one channel's ring, with the window
+  // index of the first entry. Returns false when the channel never
+  // carried a flit (no series was allocated).
+  bool channel_series(LinkId link, int vc, std::int64_t* first_window,
+                      std::vector<ChannelSample>* out) const;
+
+  // --- Export ---------------------------------------------------------
+  // Writes to config().dump (resolving csv:/json: prefixes); `run`
+  // uniquifies the path for repeated runs in one process. Returns false
+  // when the file cannot be opened (or no dump is configured).
+  bool write(std::int64_t cycles, std::int64_t run) const;
+  bool write_csv(const std::string& path, std::int64_t cycles) const;
+  bool write_json(const std::string& path, std::int64_t cycles) const;
+
+ private:
+  struct Series;
+  struct NodeSeries;
+
+  Series& series_at(LinkId link, int vc);
+  NodeSeries& node_series_at(NodeId node);
+
+  MeshShape shape_;
+  int vcs_ = 1;
+  TelemetryConfig config_;
+  std::int64_t windows_done_ = 0;
+
+  // (link * vcs + vc) -> series, allocated on first flit; active_ lists
+  // the allocated slots so window flushes touch only live channels.
+  std::vector<std::unique_ptr<Series>> channels_;
+  std::vector<std::int64_t> active_;
+  std::vector<std::unique_ptr<NodeSeries>> nodes_;
+  std::vector<NodeId> active_nodes_;
+
+  std::vector<LifecycleEvent> events_;
+  std::int64_t events_dropped_ = 0;
+  std::vector<LatencyRecord> latencies_;
+  std::unique_ptr<StallReport> stall_report_;
+  std::vector<std::int32_t> route_load_;
+};
+
+// Process-default telemetry configuration, bootstrapped once from the
+// environment: LAMBMESH_TELEMETRY (dump destination, enables the tier),
+// LAMBMESH_TELEMETRY_SAMPLE (window size, cycles), LAMBMESH_TELEMETRY_RING
+// (windows retained), LAMBMESH_TELEMETRY_WATCHDOG (0 disables). Benches
+// copy this into SimConfig::telemetry.
+TelemetryConfig default_telemetry();
+
+// Honors --telemetry[=<dest>] (bare flag defaults to csv:telemetry.csv)
+// on top of the environment bootstrap, mirroring obs::init for metrics.
+// Returns whether telemetry is enabled.
+bool telemetry_init(int argc = 0, const char* const* argv = nullptr);
+
+// Dump path for the `run`-th dumping Network of this process: the base
+// destination path for run 0, "<path>.<run>" afterwards.
+std::string telemetry_run_path(const std::string& dest, std::int64_t run);
+// Process-wide dump counter, incremented per dumping run.
+std::int64_t telemetry_next_run();
+
+}  // namespace lamb::obs

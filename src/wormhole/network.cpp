@@ -1,15 +1,36 @@
 #include "wormhole/network.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <functional>
+#include <sstream>
 #include <stdexcept>
 
 #include "obs/obs.hpp"
 
 namespace lamb::wormhole {
 
+std::string SimResult::summary() const {
+  std::ostringstream os;
+  os << "delivered " << delivered << "/" << total_messages << " in " << cycles
+     << " cycles";
+  if (deadlocked) os << " [DEADLOCK]";
+  os << ", throughput " << flit_throughput << " flits/cycle\n";
+  if (latency_samples.count() > 0) {
+    os << "latency p50 " << latency_samples.quantile(0.50) << " p95 "
+       << latency_samples.quantile(0.95) << " p99 "
+       << latency_samples.quantile(0.99) << " (mean " << latency.mean()
+       << ", max " << latency.max() << ")\n";
+    os << "decomposition: queue mean " << queue_cycles.mean()
+       << ", stall mean " << stall_cycles.mean() << " cycles\n";
+  }
+  return os.str();
+}
+
 Network::Network(const MeshShape& shape, const FaultSet& faults,
                  SimConfig config)
-    : shape_(&shape), faults_(&faults), config_(config) {
+    : shape_(&shape), faults_(&faults), config_(std::move(config)) {
   if (config_.vcs_per_link < 1 || config_.buffer_flits < 1) {
     throw std::invalid_argument("Network: vcs_per_link and buffer_flits >= 1");
   }
@@ -17,6 +38,10 @@ Network::Network(const MeshShape& shape, const FaultSet& faults,
   buffers_.resize(static_cast<std::size_t>(num_links * config_.vcs_per_link));
   link_used_.assign(static_cast<std::size_t>(num_links), 0);
   link_flits_.assign(static_cast<std::size_t>(num_links), 0);
+  if (config_.telemetry.enabled) {
+    telemetry_ = std::make_unique<obs::Telemetry>(
+        shape, config_.vcs_per_link, config_.telemetry);
+  }
 }
 
 void Network::submit(Message message) {
@@ -72,10 +97,13 @@ bool Network::try_advance(MessageState& st, int p) {
   }
 
   // Commit the move.
+  const bool acquired = tb.owner != m;  // head allocating a fresh channel
+  std::int64_t released_buffer = -1;
   if (p >= 0) {
     const Hop& prev = st.msg.route.hops[static_cast<std::size_t>(p)];
     const NodeId prev_from = node_before_hop(st, p);
-    Buffer& sb = buffers_[static_cast<std::size_t>(buffer_index(prev_from, prev))];
+    const std::int64_t prev_index = buffer_index(prev_from, prev);
+    Buffer& sb = buffers_[static_cast<std::size_t>(prev_index)];
     --sb.occupancy;
     ++sb.passed;
     --st.count_at[static_cast<std::size_t>(p)];
@@ -83,9 +111,11 @@ bool Network::try_advance(MessageState& st, int p) {
       assert(sb.occupancy == 0);
       sb.owner = -1;  // tail released the channel
       sb.passed = 0;
+      released_buffer = prev_index;
     }
   } else {
     --st.flits_at_source;
+    if (st.start_cycle < 0) st.start_cycle = cycle_;
   }
   tb.owner = m;
   ++tb.occupancy;
@@ -94,7 +124,53 @@ bool Network::try_advance(MessageState& st, int p) {
   link_used_[static_cast<std::size_t>(link)] = 1;
   ++link_flits_[static_cast<std::size_t>(link)];
   moved_this_cycle_ = true;
+  if (telemetry_) {
+    const int vc = hop.vc % config_.vcs_per_link;
+    telemetry_->on_flit(from, link, vc);
+    if (p < 0) {
+      telemetry_->on_inject_flit(st.msg.route.src);
+      if (cycle_ == st.start_cycle && st.flits_at_source ==
+          st.msg.length_flits - 1) {
+        telemetry_->on_event(obs::MsgEvent::kInject, st.msg.id, cycle_);
+      }
+    }
+    if (acquired) {
+      telemetry_->on_event(obs::MsgEvent::kAcquire, st.msg.id, cycle_, link,
+                           vc);
+      if (q > 0 &&
+          st.msg.route.hops[static_cast<std::size_t>(q - 1)].vc != hop.vc) {
+        telemetry_->on_event(obs::MsgEvent::kRoundSwitch, st.msg.id, cycle_,
+                             link, vc);
+      }
+    }
+    if (released_buffer >= 0) {
+      telemetry_->on_event(obs::MsgEvent::kRelease, st.msg.id, cycle_,
+                           released_buffer / config_.vcs_per_link,
+                           static_cast<int>(released_buffer %
+                                            config_.vcs_per_link));
+    }
+  }
   return true;
+}
+
+void Network::record_delivery(const MessageState& st, SimResult* result) {
+  const double lat =
+      static_cast<double>(st.finish_cycle - st.msg.inject_cycle);
+  result->latency.add(lat);
+  result->latency_samples.add(lat);
+  obs::LatencyRecord record;
+  record.msg = st.msg.id;
+  record.inject = st.msg.inject_cycle;
+  record.start = st.start_cycle >= 0 ? st.start_cycle : st.finish_cycle;
+  record.finish = st.finish_cycle;
+  record.hops = static_cast<std::int32_t>(st.msg.route.hops.size());
+  record.flits = st.msg.length_flits;
+  result->queue_cycles.add(static_cast<double>(record.queue_cycles()));
+  result->stall_cycles.add(static_cast<double>(record.stall_cycles()));
+  if (telemetry_) {
+    telemetry_->on_event(obs::MsgEvent::kEject, st.msg.id, st.finish_cycle);
+    telemetry_->on_delivered(record);
+  }
 }
 
 SimResult Network::run() {
@@ -109,6 +185,25 @@ SimResult Network::run() {
     result.hops.add(static_cast<double>(st.msg.route.length()));
     result.turns.add(static_cast<double>(st.msg.route.turns()));
   }
+
+  // Window-flush closure for the telemetry series; built once, consulted
+  // only when telemetry is live.
+  std::function<int(LinkId, int)> occupancy_of;
+  if (telemetry_) {
+    occupancy_of = [this](LinkId link, int vc) {
+      return buffers_[static_cast<std::size_t>(
+                          link * config_.vcs_per_link + vc)].occupancy;
+    };
+  }
+  // The watchdog fires once per run, `watchdog_cycles` motionless cycles
+  // into a streak (default: just before the deadlock threshold trips).
+  const std::int64_t watchdog_at =
+      telemetry_ && config_.telemetry.watchdog
+          ? (config_.telemetry.watchdog_cycles > 0
+                 ? config_.telemetry.watchdog_cycles
+                 : config_.deadlock_threshold)
+          : config_.max_cycles + 1;
+  bool watchdog_fired = false;
 
   std::int64_t delivered = 0;
   std::int64_t flits_delivered = 0;
@@ -132,10 +227,13 @@ SimResult Network::run() {
 
       if (h == 0) {  // src == dst: deliver immediately
         st.ejected = st.msg.length_flits;
+        st.start_cycle = cycle_;
         st.finish_cycle = cycle_;
         flits_delivered += st.msg.length_flits;
         ++delivered;
         moved_this_cycle_ = true;
+        // Not recorded in the latency stats: the message never touched
+        // the network (matches the pre-telemetry accounting).
         continue;
       }
 
@@ -148,19 +246,29 @@ SimResult Network::run() {
         --b.occupancy;
         ++b.passed;
         --st.count_at[static_cast<std::size_t>(h - 1)];
+        bool released = false;
         if (b.passed == st.msg.length_flits) {
           b.owner = -1;
           b.passed = 0;
+          released = true;
         }
         ++st.ejected;
         ++flits_delivered;
         moved_this_cycle_ = true;
+        if (telemetry_) {
+          telemetry_->on_eject_flit(st.msg.route.dst);
+          if (released) {
+            const std::int64_t index = buffer_index(from, last);
+            telemetry_->on_event(obs::MsgEvent::kRelease, st.msg.id, cycle_,
+                                 index / config_.vcs_per_link,
+                                 static_cast<int>(index %
+                                                  config_.vcs_per_link));
+          }
+        }
         if (st.done()) {
           st.finish_cycle = cycle_;
           ++delivered;
-          const double lat = static_cast<double>(cycle_ - st.msg.inject_cycle);
-          result.latency.add(lat);
-          result.latency_samples.add(lat);
+          record_delivery(st, &result);
           continue;
         }
       }
@@ -203,6 +311,17 @@ SimResult Network::run() {
     } else {
       ++stagnant;
     }
+    if (telemetry_) {
+      telemetry_->end_window(cycle_, occupancy_of);
+      if (stagnant >= watchdog_at && !watchdog_fired) {
+        watchdog_fired = true;
+        obs::StallReport report = build_stall_report(stagnant);
+        std::fputs(report.render(*shape_).c_str(), stderr);
+        result.stall_report =
+            std::make_shared<const obs::StallReport>(report);
+        telemetry_->set_stall_report(std::move(report));
+      }
+    }
     if (stagnant >= config_.deadlock_threshold) {
       result.deadlocked = true;
       break;
@@ -216,18 +335,45 @@ SimResult Network::run() {
   result.cycles = cycle_;
   for (std::int64_t flits : link_flits_) {
     if (flits > 0) result.link_load.add(static_cast<double>(flits));
+    result.flits_moved += flits;
   }
   result.flit_throughput =
       cycle_ > 0 ? static_cast<double>(flits_delivered) /
                        static_cast<double>(cycle_)
                  : 0.0;
 
+  if (telemetry_) {
+    telemetry_->end_window(cycle_, occupancy_of, /*final=*/true);
+    if (!config_.telemetry.dump.empty()) {
+      telemetry_->write(cycle_, obs::telemetry_next_run());
+    }
+  }
+
   if (obs::MetricsRegistry::global().enabled()) {
-    std::int64_t flits_moved = 0;
-    for (std::int64_t flits : link_flits_) flits_moved += flits;
+    static obs::Histogram& lat_total = obs::histogram(
+        "sim.latency.total_cycles",
+        obs::Histogram::exponential_bounds(1, 2, 20));
+    static obs::Histogram& lat_queue = obs::histogram(
+        "sim.latency.queue_cycles",
+        obs::Histogram::exponential_bounds(1, 2, 20));
+    static obs::Histogram& lat_stall = obs::histogram(
+        "sim.latency.stall_cycles",
+        obs::Histogram::exponential_bounds(1, 2, 20));
+    for (const MessageState& st : messages_) {
+      if (st.finish_cycle < 0 || st.msg.route.hops.empty()) continue;
+      lat_total.observe(
+          static_cast<double>(st.finish_cycle - st.msg.inject_cycle));
+      lat_queue.observe(
+          static_cast<double>(st.start_cycle - st.msg.inject_cycle));
+      const std::int64_t transit =
+          static_cast<std::int64_t>(st.msg.route.hops.size()) +
+          st.msg.length_flits - 1;
+      lat_stall.observe(
+          static_cast<double>(st.finish_cycle - st.start_cycle - transit));
+    }
     obs::counter("sim.runs").add();
     obs::counter("sim.cycles").add(cycle_);
-    obs::counter("sim.flits_moved").add(flits_moved);
+    obs::counter("sim.flits_moved").add(result.flits_moved);
     obs::counter("sim.messages_delivered").add(delivered);
     obs::counter("sim.stall.link_busy").add(stall_link_busy_);
     obs::counter("sim.stall.vc_busy").add(stall_vc_busy_);
@@ -237,6 +383,94 @@ SimResult Network::run() {
   span.arg("messages", static_cast<double>(result.total_messages));
   span.arg("cycles", static_cast<double>(cycle_));
   return result;
+}
+
+obs::StallReport Network::build_stall_report(std::int64_t stagnant) const {
+  obs::StallReport report;
+  report.cycle = cycle_;
+  report.stalled_cycles = stagnant;
+  const std::int64_t n = static_cast<std::int64_t>(messages_.size());
+  // Wait-for graph over message indices. Each blocked message waits on at
+  // most one channel, so the graph is functional and any cycle is simple.
+  std::vector<std::int64_t> waits_on(static_cast<std::size_t>(n), -1);
+  std::vector<std::int64_t> edge_at(static_cast<std::size_t>(n), -1);
+  for (std::int64_t m = 0; m < n; ++m) {
+    const MessageState& st = messages_[static_cast<std::size_t>(m)];
+    if (st.done()) continue;
+    if (st.msg.inject_cycle > cycle_ ||
+        (st.msg.after >= 0 &&
+         !messages_[static_cast<std::size_t>(st.msg.after)].done())) {
+      ++report.waiting_injection;
+      continue;
+    }
+    const int h = static_cast<int>(st.msg.route.hops.size());
+    if (h == 0) continue;
+    int head = -1;  // furthest occupied position; -1: all flits at source
+    for (int p = h - 1; p >= 0; --p) {
+      if (st.count_at[static_cast<std::size_t>(p)] > 0) {
+        head = p;
+        break;
+      }
+    }
+    // Heads in the final buffer eject unconditionally and so never block.
+    if (head == h - 1) continue;
+    if (head < 0 && st.flits_at_source == 0) continue;
+    const int q = head + 1;  // the hop the head cannot take
+    const Hop& hop = st.msg.route.hops[static_cast<std::size_t>(q)];
+    const NodeId from = node_before_hop(st, q);
+    const Buffer& tb =
+        buffers_[static_cast<std::size_t>(buffer_index(from, hop))];
+    obs::WaitEdge edge;
+    edge.waiter = st.msg.id;
+    edge.link = shape_->link_id(from, hop.dim, hop.dir);
+    edge.vc = hop.vc % config_.vcs_per_link;
+    edge.at = from;
+    if (tb.owner != m &&
+        (tb.owner >= 0 || st.crossed[static_cast<std::size_t>(q)] != 0)) {
+      edge.reason = "vc_busy";
+    } else if (tb.occupancy >= config_.buffer_flits) {
+      edge.reason = "credit";
+    } else {
+      // Only transiently blocked (the physical link was taken this
+      // cycle); cannot be the standing cause of a stall.
+      edge.reason = "link_busy";
+    }
+    if (tb.owner >= 0) {
+      edge.holder = messages_[static_cast<std::size_t>(tb.owner)].msg.id;
+      if (tb.owner != m) waits_on[static_cast<std::size_t>(m)] = tb.owner;
+    }
+    edge_at[static_cast<std::size_t>(m)] =
+        static_cast<std::int64_t>(report.edges.size());
+    report.edges.push_back(edge);
+  }
+
+  // Find one wait-for cycle (0: unseen, 1: on current walk, 2: done).
+  std::vector<char> state(static_cast<std::size_t>(n), 0);
+  std::vector<std::int64_t> cycle_members;
+  for (std::int64_t m = 0; m < n && cycle_members.empty(); ++m) {
+    if (state[static_cast<std::size_t>(m)] != 0) continue;
+    std::vector<std::int64_t> path;
+    std::int64_t cur = m;
+    while (cur >= 0 && state[static_cast<std::size_t>(cur)] == 0) {
+      state[static_cast<std::size_t>(cur)] = 1;
+      path.push_back(cur);
+      cur = waits_on[static_cast<std::size_t>(cur)];
+    }
+    if (cur >= 0 && state[static_cast<std::size_t>(cur)] == 1) {
+      const auto it = std::find(path.begin(), path.end(), cur);
+      cycle_members.assign(it, path.end());
+    }
+    for (const std::int64_t v : path) state[static_cast<std::size_t>(v)] = 2;
+  }
+  for (const std::int64_t v : cycle_members) {
+    report.cycle_msgs.push_back(
+        messages_[static_cast<std::size_t>(v)].msg.id);
+    if (edge_at[static_cast<std::size_t>(v)] >= 0) {
+      report.edges[static_cast<std::size_t>(
+                       edge_at[static_cast<std::size_t>(v)])].on_cycle = true;
+    }
+  }
+  return report;
 }
 
 }  // namespace lamb::wormhole

@@ -19,10 +19,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "mesh/fault_set.hpp"
 #include "mesh/mesh.hpp"
+#include "obs/telemetry.hpp"
 #include "support/samples.hpp"
 #include "support/stats.hpp"
 #include "wormhole/route_builder.hpp"
@@ -34,6 +37,11 @@ struct SimConfig {
   int buffer_flits = 4;       // per virtual channel
   int deadlock_threshold = 1000;
   std::int64_t max_cycles = 1'000'000;
+  // Flit-level telemetry (time series, lifecycle events, watchdog). The
+  // default is disabled and the simulator pays nothing for it; copy
+  // obs::default_telemetry() here to honor LAMBMESH_TELEMETRY /
+  // --telemetry.
+  obs::TelemetryConfig telemetry;
 };
 
 struct Message {
@@ -60,8 +68,19 @@ struct SimResult {
   // Link load: flit-traversals per directed physical link over the run
   // (only links that carried traffic are counted).
   Accumulator link_load;
+  std::int64_t flits_moved = 0;  // flit-traversals over every link
+  // Latency decomposition over delivered messages (cycles): time queued
+  // at the source before the head departed, and time lost to blocking
+  // beyond the ideal pipelined transit of hops + flits - 1.
+  Accumulator queue_cycles;
+  Accumulator stall_cycles;
+  // Watchdog snapshot, when the telemetry watchdog fired (else null).
+  std::shared_ptr<const obs::StallReport> stall_report;
 
   bool all_delivered() const { return delivered == total_messages; }
+  // Multi-line human-readable report: delivery, p50/p95/p99 latency, and
+  // the queue/stall decomposition.
+  std::string summary() const;
 };
 
 class Network {
@@ -73,6 +92,11 @@ class Network {
 
   // Runs until everything is delivered, deadlock, or max_cycles.
   SimResult run();
+
+  // Non-null iff config.telemetry.enabled: callers attach route-load
+  // counts before run() and introspect the collected series after.
+  obs::Telemetry* telemetry() { return telemetry_.get(); }
+  const obs::Telemetry* telemetry() const { return telemetry_.get(); }
 
  private:
   struct Buffer {
@@ -89,6 +113,7 @@ class Network {
     std::vector<std::int64_t> crossed;  // flits that have traversed hop p
     int flits_at_source = 0;
     std::int64_t ejected = 0;
+    std::int64_t start_cycle = -1;   // first flit left the source queue
     std::int64_t finish_cycle = -1;
     bool started = false;
 
@@ -99,6 +124,10 @@ class Network {
   // Attempts to move one flit of message m from position p to p+1.
   bool try_advance(MessageState& st, int p);
   NodeId node_before_hop(const MessageState& st, int p) const;
+  // Channel wait-for snapshot of the current (stalled) state, with any
+  // wait-for cycle identified.
+  obs::StallReport build_stall_report(std::int64_t stagnant) const;
+  void record_delivery(const MessageState& st, SimResult* result);
 
   const MeshShape* shape_;
   const FaultSet* faults_;
@@ -109,6 +138,9 @@ class Network {
   std::vector<std::int64_t> link_flits_; // per directed link, whole run
   std::int64_t cycle_ = 0;
   bool moved_this_cycle_ = false;
+  // Telemetry collector, allocated only when config_.telemetry.enabled;
+  // every hook in the hot path hides behind one null check.
+  std::unique_ptr<obs::Telemetry> telemetry_;
   // Blocked-advance tallies for the whole run, flushed to the metrics
   // registry by run(): physical link already used this cycle, virtual
   // channel owned by another worm, and credit (buffer-full) stalls.

@@ -1,5 +1,6 @@
 #include "wormhole/route_cache.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "obs/obs.hpp"
@@ -21,6 +22,44 @@ obs::Counter& miss_counter() {
 }
 
 }  // namespace
+
+std::int64_t NodeLoad::total() const {
+  std::int64_t sum = 0;
+  for (const std::int32_t c : counts) sum += c;
+  return sum;
+}
+
+std::int32_t NodeLoad::max() const {
+  std::int32_t best = 0;
+  for (const std::int32_t c : counts) best = std::max(best, c);
+  return best;
+}
+
+double NodeLoad::mean_nonzero() const {
+  std::int64_t sum = 0;
+  std::int64_t n = 0;
+  for (const std::int32_t c : counts) {
+    if (c > 0) {
+      sum += c;
+      ++n;
+    }
+  }
+  return n > 0 ? static_cast<double>(sum) / static_cast<double>(n) : 0.0;
+}
+
+NodeId NodeLoad::hottest() const {
+  NodeId best = -1;
+  std::int32_t best_count = 0;
+  for (std::size_t id = 0; id < counts.size(); ++id) {
+    if (counts[id] > best_count) {
+      best_count = counts[id];
+      best = static_cast<NodeId>(id);
+    }
+  }
+  return best;
+}
+
+void NodeLoad::reset() { std::fill(counts.begin(), counts.end(), 0); }
 
 RouteCache::RouteCache(const MeshShape& shape, const FaultSet& faults,
                        MultiRoundOrder orders)

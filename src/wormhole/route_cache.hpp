@@ -30,6 +30,15 @@ struct NodeLoad {
   explicit NodeLoad(const MeshShape& shape)
       : counts(static_cast<std::size_t>(shape.size()), 0) {}
   std::vector<std::int32_t> counts;
+
+  // Summary stats for epoch reports and the telemetry dump (a route
+  // charges every node it visits, so these measure lamb-induced load
+  // concentration, paper Section 7).
+  std::int64_t total() const;
+  std::int32_t max() const;
+  double mean_nonzero() const;  // mean over nodes that carried any route
+  NodeId hottest() const;       // node with the highest count (-1: none)
+  void reset();
 };
 
 class RouteCache {

@@ -3,8 +3,21 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <sstream>
 
 namespace lamb::wormhole {
+
+std::string TrafficResult::summary() const {
+  std::ostringstream os;
+  os << messages.size() << " messages";
+  if (unroutable > 0) os << " (" << unroutable << " unroutable)";
+  if (route_hops.count() > 0) {
+    os << ", hops p50 " << route_hops.quantile(0.50) << " p95 "
+       << route_hops.quantile(0.95) << " p99 " << route_hops.quantile(0.99)
+       << " max " << route_hops.max();
+  }
+  return os.str();
+}
 
 namespace {
 
@@ -87,6 +100,7 @@ TrafficResult generate_traffic_impl(const MeshShape& shape,
     msg.length_flits = config.message_flits;
     msg.inject_cycle = static_cast<std::int64_t>(
         std::floor(static_cast<double>(i) * config.injection_gap));
+    out.route_hops.add(static_cast<double>(msg.route.length()));
     out.messages.push_back(std::move(msg));
   }
   return out;

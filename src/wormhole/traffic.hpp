@@ -7,11 +7,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "mesh/fault_set.hpp"
 #include "mesh/mesh.hpp"
 #include "support/rng.hpp"
+#include "support/samples.hpp"
 #include "wormhole/network.hpp"
 #include "wormhole/route_builder.hpp"
 #include "wormhole/route_cache.hpp"
@@ -38,6 +40,11 @@ struct TrafficResult {
   std::vector<Message> messages;
   std::int64_t unroutable = 0;  // pairs with no k-round route (should be 0
                                 // when survivors come from a valid lamb set)
+  Samples route_hops;  // per-message route lengths, for p50/p95/p99
+
+  // One-line human-readable report: message count, unroutable pairs, and
+  // the route-length quantiles.
+  std::string summary() const;
 };
 
 // Generates routed messages between survivors. `lambs` (sorted or not)

@@ -64,6 +64,19 @@ TEST(CliArgs, LastDuplicateWins) {
   EXPECT_EQ(args.get_long("seed", 0), 2);
 }
 
+TEST(CliArgs, FlaggedKeysConsumeNoValue) {
+  // Keys named in `flags` are booleans: present -> "1", and the next
+  // token stays available as an option (or the flag may end the line).
+  const CliArgs args = CliArgs::parse(
+      {"run", "--verbose", "--n", "3", "--csv"}, {"verbose", "csv"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get("verbose"), "1");
+  EXPECT_EQ(args.get_long("n", 0), 3);
+  EXPECT_TRUE(args.has("csv"));
+  // Keys outside the flags list still consume a value as before.
+  EXPECT_THROW(CliArgs::parse({"run", "--output"}, {"verbose"}), ArgError);
+}
+
 TEST(CliArgs, ArgcArgvOverload) {
   const char* argv[] = {"prog", "verify", "--input", "a.lamb"};
   const CliArgs args = CliArgs::parse(4, argv);

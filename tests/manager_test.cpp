@@ -92,6 +92,38 @@ TEST(Manager, RoutesExistBetweenAllSurvivors) {
   }
 }
 
+TEST(Manager, EpochReportClosesOutRouteLoad) {
+  manager::MachineManager mgr(MeshShape::cube(2, 8));
+  Rng rng(91);
+  const auto first = mgr.reconfigure();
+  EXPECT_EQ(first.routes_vended, 0);  // nothing vended before epoch 1
+  EXPECT_EQ(first.route_load_max, 0);
+
+  const auto survivors = mgr.survivors();
+  std::int64_t vended = 0;
+  for (int i = 0; i < 50; ++i) {
+    const NodeId a = survivors[rng.below((std::uint64_t)survivors.size())];
+    const NodeId b = survivors[rng.below((std::uint64_t)survivors.size())];
+    if (a == b) continue;
+    if (mgr.route(a, b, rng).has_value()) ++vended;
+  }
+  ASSERT_GT(vended, 0);
+  // Live view: every vended route charges at least its two endpoints.
+  EXPECT_EQ(mgr.route_load().total() >= 2 * vended, true);
+  EXPECT_GE(mgr.route_load().max(), 1);
+  EXPECT_GE(mgr.route_load().hottest(), 0);
+
+  // The next reconfigure snapshots the epoch's load, then resets it.
+  mgr.report_node_fault(Point{3, 3});
+  const auto report = mgr.reconfigure();
+  EXPECT_EQ(report.routes_vended, vended);
+  EXPECT_GE(report.route_load_max, 1);
+  EXPECT_GT(report.route_load_mean, 0.0);
+  EXPECT_GE(report.route_load_hottest, 0);
+  EXPECT_EQ(mgr.route_load().total(), 0);
+  EXPECT_EQ(mgr.route_load().hottest(), -1);
+}
+
 TEST(Manager, DegradedNodesPreferredAsLambs) {
   // Build a situation needing one lamb from a candidate set, and make
   // one candidate cheap: the solver must pick it.
