@@ -1,0 +1,182 @@
+// Recovery-stack microbenchmark: the abl07 workload (M_3(8), 2-round
+// XYZ, 2 VCs, uniform survivor traffic) timed with the fault schedule
+// empty and with a live storm striking mid-run, plus a full
+// RecoveryDriver epoch (checkpoint -> sim -> roll back -> reconfigure ->
+// replay). Holds the "one integer comparison when disabled" claim to a
+// number: the schedule-off row is the acceptance gate against the
+// pre-PR simulator (see BENCH_recovery.json). With --json PATH the
+// results are written as a JSON document.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/lamb.hpp"
+#include "io/cli_args.hpp"
+#include "manager/machine_manager.hpp"
+#include "manager/recovery.hpp"
+#include "obs/obs.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "wormhole/fault_schedule.hpp"
+#include "wormhole/network.hpp"
+#include "wormhole/traffic.hpp"
+
+using namespace lamb;
+
+namespace {
+
+struct Result {
+  std::string mode;
+  double seconds = 0.0;       // per run, best of reps
+  double cycles_per_s = 0.0;  // simulated cycles per wall second
+  std::int64_t cycles = 0;
+  std::int64_t delivered = 0;
+  std::int64_t resolved_by_fault = 0;  // lost + poisoned
+};
+
+Result time_sim(const char* mode, const MeshShape& shape,
+                const FaultSet& faults,
+                const std::vector<wormhole::Message>& messages,
+                const wormhole::FaultSchedule& schedule, int reps) {
+  Result res;
+  res.mode = mode;
+  res.seconds = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    wormhole::SimConfig config;
+    config.vcs_per_link = 2;
+    config.buffer_flits = 4;
+    config.fault_schedule = schedule;
+    wormhole::Network net(shape, faults, config);
+    for (const auto& m : messages) net.submit(m);
+    Stopwatch watch;
+    const auto result = net.run();
+    const double s = watch.seconds();
+    if (res.seconds < 0 || s < res.seconds) res.seconds = s;
+    res.cycles = result.cycles;
+    res.delivered = result.delivered;
+    res.resolved_by_fault = result.lost + result.poisoned;
+  }
+  res.cycles_per_s =
+      res.seconds > 0 ? static_cast<double>(res.cycles) / res.seconds : 0.0;
+  return res;
+}
+
+Result time_recovery_epoch(const MeshShape& shape, std::int64_t messages,
+                           int reps) {
+  Result res;
+  res.mode = "recovery_epoch";
+  res.seconds = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    Rng rng(default_seed());
+    manager::MachineManager mgr(shape);
+    const FaultSet initial = FaultSet::random_nodes(shape, 8, rng);
+    for (NodeId id : initial.node_faults()) mgr.report_node_fault(id);
+    mgr.reconfigure();
+    manager::RecoveryDriver driver(mgr, manager::RecoveryOptions{});
+
+    const std::vector<NodeId> survivors = mgr.survivors();
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    while (static_cast<std::int64_t>(pairs.size()) < messages) {
+      const NodeId src =
+          survivors[rng.below(static_cast<std::uint64_t>(survivors.size()))];
+      const NodeId dst =
+          survivors[rng.below(static_cast<std::uint64_t>(survivors.size()))];
+      if (src != dst) pairs.push_back({src, dst});
+    }
+    const wormhole::FaultSchedule storm = wormhole::FaultSchedule::
+        random_storm(shape, mgr.faults(), 3, 1, 300, rng);
+
+    Stopwatch watch;
+    const auto out = driver.run_epoch(std::move(pairs), storm, rng);
+    const double s = watch.seconds();
+    if (res.seconds < 0 || s < res.seconds) res.seconds = s;
+    res.cycles = out.clock;
+    res.delivered = out.messages_delivered;
+    res.resolved_by_fault = out.rollbacks;  // repurposed: rollback count
+  }
+  res.cycles_per_s =
+      res.seconds > 0 ? static_cast<double>(res.cycles) / res.seconds : 0.0;
+  return res;
+}
+
+void write_json(const std::string& path, const std::vector<Result>& results,
+                double overhead_pct) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"micro_recovery\",\n"
+      << "  \"workload\": \"abl07 uniform, M_3(8), 2 rounds, 2 VCs, "
+         "8-flit messages; storm = 3 node + 1 link kills\",\n"
+      << "  \"storm_on_overhead_pct\": " << overhead_pct << ",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    out << "    {\"mode\": \"" << r.mode << "\", \"seconds\": " << r.seconds
+        << ", \"cycles\": " << r.cycles
+        << ", \"cycles_per_s\": " << r.cycles_per_s
+        << ", \"delivered\": " << r.delivered
+        << ", \"resolved_by_fault\": " << r.resolved_by_fault << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::init(argc, argv);
+  io::init_threads(argc, argv);
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") json_path = argv[i + 1];
+  }
+
+  const MeshShape shape = MeshShape::cube(3, 8);
+  Rng rng(default_seed());
+  const FaultSet faults =
+      FaultSet::random_nodes(shape, shape.size() * 3 / 100, rng);
+  const LambResult lambs = lamb1(shape, faults, {});
+  const wormhole::RouteBuilder builder(shape, faults, ascending_rounds(3, 2));
+  wormhole::TrafficConfig tc;
+  tc.num_messages = scaled_trials(2000);
+  tc.message_flits = 8;
+  tc.injection_gap = 1.0;
+  const auto traffic =
+      generate_traffic(shape, faults, lambs.lambs, builder, tc, rng);
+  const int reps = 3;
+
+  std::printf("micro_recovery: %zu messages, best of %d runs each\n\n",
+              traffic.messages.size(), reps);
+  std::vector<Result> results;
+
+  const wormhole::FaultSchedule off;  // the one-comparison configuration
+  results.push_back(
+      time_sim("schedule_off", shape, faults, traffic.messages, off, reps));
+
+  wormhole::FaultSchedule storm = wormhole::FaultSchedule::random_storm(
+      shape, faults, 3, 1, results[0].cycles, rng);
+  results.push_back(
+      time_sim("storm_on", shape, faults, traffic.messages, storm, reps));
+
+  results.push_back(time_recovery_epoch(shape, scaled_trials(400), reps));
+
+  const double overhead_pct =
+      results[0].seconds > 0
+          ? (results[1].seconds / results[0].seconds - 1.0) * 100.0
+          : 0.0;
+  for (const Result& r : results) {
+    std::printf("  %-15s %9.4f s  %12.0f cycles/s  (%lld cycles, %lld "
+                "delivered, %lld lost/poisoned|rollbacks)\n",
+                r.mode.c_str(), r.seconds, r.cycles_per_s,
+                static_cast<long long>(r.cycles),
+                static_cast<long long>(r.delivered),
+                static_cast<long long>(r.resolved_by_fault));
+  }
+  std::printf("\n  storm-on overhead vs empty schedule: %+.1f%%\n",
+              overhead_pct);
+
+  if (!json_path.empty()) write_json(json_path, results, overhead_pct);
+  return 0;
+}

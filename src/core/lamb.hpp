@@ -23,6 +23,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/reach_matrices.hpp"
@@ -31,6 +33,14 @@
 #include "reach/dim_order.hpp"
 
 namespace lamb {
+
+// Thrown by lamb1/lamb2 when LambOptions::budget_seconds elapses before
+// the solve completes. Callers wanting graceful degradation instead of
+// an exception go through solve_lambs() below.
+class SolveBudgetExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct LambOptions {
   // Number k of routing rounds; ignored when `orders` is set.
@@ -46,6 +56,13 @@ struct LambOptions {
   // R^(k) computation strategy (footnote 7: matrices for small f, flood
   // "spanning trees" when f is comparable to the mesh size).
   ReachBackend backend = ReachBackend::kAuto;
+  // Wall-clock deadline for one solve; 0 disables the check. Enforced
+  // cooperatively between solver phases (a running phase is never
+  // interrupted), so short budgets overshoot by up to one phase. Note
+  // that wall-clock budgets are inherently machine-dependent: for
+  // bit-reproducible runs use 0 (never trips) or a value so small it
+  // always trips at the first checkpoint (see docs/RECOVERY.md).
+  double budget_seconds = 0.0;
 
   MultiRoundOrder resolved_orders(int dim) const {
     return orders ? *orders : ascending_rounds(dim, rounds);
@@ -81,5 +98,45 @@ LambResult lamb1(const MeshShape& shape, const FaultSet& faults,
 // local-ratio 2-approximation of Bar-Yehuda & Even is used.
 LambResult lamb2(const MeshShape& shape, const FaultSet& faults,
                  const LambOptions& options = {}, bool exact = false);
+
+// --- Graceful degradation (the recovery loop's solver entry point) -----
+
+enum class SolveStatus : std::uint8_t {
+  kCertified,  // lamb set certified at options.rounds
+  kEscalated,  // budget forced extra rounds (Section 2's k-vs-VC
+               // tradeoff: each escalation needs one more virtual
+               // channel); `result` is certified at `rounds`
+  kUncovered,  // every rung exhausted the budget: `result` holds the
+               // uncertified fallback (the predetermined lambs) and
+               // `uncovered_pairs` names survivor pairs that cannot be
+               // certified reachable under it
+};
+
+const char* solve_status_name(SolveStatus status);
+
+struct SolveOutcome {
+  SolveStatus status = SolveStatus::kCertified;
+  LambResult result;
+  int rounds = 0;       // rounds the returned lamb set is certified for
+  int escalations = 0;  // extra rounds spent beyond options.rounds
+  double seconds = 0.0;
+  // kUncovered only: sample of survivor pairs (under result.lambs) with
+  // no certified k-round route, capped at 16; may be empty when even the
+  // diagnostic flood was out of reach (meshes beyond the verifier's
+  // 2^14-node guard).
+  std::vector<std::pair<NodeId, NodeId>> uncovered_pairs;
+
+  // Whether result.lambs carries the full survivor-to-survivor guarantee.
+  bool certified() const { return status != SolveStatus::kUncovered; }
+};
+
+// Runs lamb1 under options.budget_seconds, degrading instead of
+// throwing: on budget exhaustion at k rounds it escalates to k+1 (up to
+// `max_rounds`), splitting the remaining budget across rungs; when every
+// rung times out it returns SolveStatus::kUncovered naming uncovered
+// pairs. Exceptions other than SolveBudgetExceeded (caller errors such
+// as bad predetermined lambs) still propagate.
+SolveOutcome solve_lambs(const MeshShape& shape, const FaultSet& faults,
+                         const LambOptions& options, int max_rounds = 3);
 
 }  // namespace lamb

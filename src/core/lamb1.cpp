@@ -21,15 +21,18 @@ LambResult lamb1(const MeshShape& shape, const FaultSet& faults,
                  const LambOptions& options) {
   obs::Span span("solver.lamb1", "solver");
   obs::counter("solver.lamb1.calls").add();
+  const internal::Deadline deadline(options.budget_seconds);
   const MultiRoundOrder orders = options.resolved_orders(shape.dim());
   const std::vector<NodeId> predetermined =
       internal::checked_predetermined(faults, options);
+  deadline.check("setup");
 
   LambResult result;
   const ReachComputation reach =
       compute_reachability(shape, faults, orders, options.backend);
   result.stats.seconds_partition = reach.seconds_partition;
   result.stats.seconds_matrices = reach.seconds_matrices;
+  deadline.check("reachability");
 
   const EquivPartition& ses = reach.first_ses();
   const EquivPartition& des = reach.last_des();
@@ -83,6 +86,7 @@ LambResult lamb1(const MeshShape& shape, const FaultSet& faults,
     }
   }
 
+  deadline.check("cover setup");
   const BipartiteCover cover =
       min_weight_bipartite_cover(left_weights, right_weights, edges);
   result.stats.cover_weight = cover.weight;

@@ -13,15 +13,18 @@ LambResult lamb2(const MeshShape& shape, const FaultSet& faults,
                  const LambOptions& options, bool exact) {
   obs::Span span("solver.lamb2", "solver");
   obs::counter("solver.lamb2.calls").add();
+  const internal::Deadline deadline(options.budget_seconds);
   const MultiRoundOrder orders = options.resolved_orders(shape.dim());
   const std::vector<NodeId> predetermined =
       internal::checked_predetermined(faults, options);
+  deadline.check("setup");
 
   LambResult result;
   const ReachComputation reach =
       compute_reachability(shape, faults, orders, options.backend);
   result.stats.seconds_partition = reach.seconds_partition;
   result.stats.seconds_matrices = reach.seconds_matrices;
+  deadline.check("reachability");
 
   const EquivPartition& ses = reach.first_ses();
   const EquivPartition& des = reach.last_des();
@@ -75,6 +78,7 @@ LambResult lamb2(const MeshShape& shape, const FaultSet& faults,
     }
   }
 
+  deadline.check("cover setup");
   std::vector<int> cover;
   if (exact) {
     if (auto found = wvc_exact(graph)) {

@@ -5,12 +5,33 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/lamb.hpp"
 #include "mesh/rect_set.hpp"
+#include "support/stats.hpp"
 
 namespace lamb::internal {
+
+// Cooperative solver deadline (LambOptions::budget_seconds): phases call
+// check() at their boundaries; a phase in flight is never interrupted.
+class Deadline {
+ public:
+  explicit Deadline(double budget_seconds) : budget_(budget_seconds) {}
+
+  void check(const char* phase) const {
+    if (budget_ > 0.0 && watch_.seconds() > budget_) {
+      throw SolveBudgetExceeded(std::string("solve budget of ") +
+                                std::to_string(budget_) +
+                                "s exceeded after " + phase);
+    }
+  }
+
+ private:
+  double budget_;
+  Stopwatch watch_;
+};
 
 // Sorted unique copy of the predetermined-lamb list; validates goodness.
 inline std::vector<NodeId> checked_predetermined(const FaultSet& faults,

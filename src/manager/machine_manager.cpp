@@ -1,16 +1,21 @@
 #include "manager/machine_manager.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "obs/obs.hpp"
 #include "support/stats.hpp"
 
 namespace lamb::manager {
 
-MachineManager::MachineManager(const MeshShape& shape, LambOptions options)
+MachineManager::MachineManager(const MeshShape& shape, LambOptions options,
+                               int max_rounds)
     : shape_(std::make_unique<MeshShape>(shape)),
       options_(std::move(options)),
+      max_rounds_(max_rounds),
+      orders_(options_.resolved_orders(shape.dim())),
       values_(static_cast<std::size_t>(shape.size()), 1.0),
       faults_(*shape_),
       load_(*shape_) {
@@ -18,20 +23,54 @@ MachineManager::MachineManager(const MeshShape& shape, LambOptions options)
     throw std::invalid_argument(
         "MachineManager manages predetermined lambs itself");
   }
+  if (max_rounds_ < static_cast<int>(orders_.size())) {
+    throw std::invalid_argument(
+        "MachineManager: max_rounds below the configured routing rounds");
+  }
 }
 
 void MachineManager::report_node_fault(const Point& p) {
+  if (!shape_->in_bounds(p)) {
+    throw std::invalid_argument(
+        "report_node_fault: point outside the mesh");
+  }
   if (faults_.node_faulty(p)) return;
   faults_.add_node(p);
   pending_ = true;
 }
 
+void MachineManager::report_node_fault(NodeId id) {
+  if (id < 0 || id >= shape_->size()) {
+    throw std::invalid_argument("report_node_fault: node id " +
+                                std::to_string(id) + " out of range");
+  }
+  report_node_fault(shape_->point(id));
+}
+
 void MachineManager::report_link_fault(const Point& from, int dim, Dir dir) {
+  if (!shape_->in_bounds(from)) {
+    throw std::invalid_argument(
+        "report_link_fault: endpoint outside the mesh");
+  }
+  if (dim < 0 || dim >= shape_->dim()) {
+    throw std::invalid_argument("report_link_fault: dimension " +
+                                std::to_string(dim) + " out of range");
+  }
+  // FaultSet::add_link itself rejects links that leave the mesh (a node
+  // on the boundary has no neighbor in the outward direction).
   faults_.add_link(from, dim, dir);
   pending_ = true;
 }
 
 void MachineManager::degrade_node(NodeId id, double value) {
+  if (id < 0 || id >= shape_->size()) {
+    throw std::invalid_argument("degrade_node: node id " +
+                                std::to_string(id) + " out of range");
+  }
+  if (!std::isfinite(value) || value < 0.0 || value > 1.0) {
+    throw std::invalid_argument(
+        "degrade_node: value must be finite and in [0, 1]");
+  }
   if (faults_.node_faulty(id)) return;
   values_[static_cast<std::size_t>(id)] = value;
   pending_ = true;
@@ -56,17 +95,32 @@ EpochReport MachineManager::reconfigure() {
   // Previous lambs that are still good stay lambs (monotone growth).
   LambOptions options = options_;
   options.node_values = &values_;
+  options.orders = orders_;
   options.predetermined.clear();
   for (NodeId id : lambs_) {
     if (faults_.node_good(id)) options.predetermined.push_back(id);
   }
 
   Stopwatch watch;
-  const LambResult result = lamb1(*shape_, faults_, options);
+  const SolveOutcome outcome =
+      solve_lambs(*shape_, faults_, options, max_rounds_);
+  const LambResult& result = outcome.result;
   report.solve_seconds = watch.seconds();
   report.partition_seconds = result.stats.seconds_partition;
   report.matrices_seconds = result.stats.seconds_matrices;
   report.cover_seconds = result.stats.seconds_cover;
+  report.solve_status = outcome.status;
+  report.rounds = outcome.rounds;
+  report.solve_escalations = outcome.escalations;
+  report.uncovered_pairs =
+      static_cast<std::int64_t>(outcome.uncovered_pairs.size());
+  if (outcome.certified() && outcome.rounds > rounds()) {
+    // The budget forced extra rounds; escalation is monotone, so fold
+    // them into the manager's configured orders for every later epoch.
+    while (static_cast<int>(orders_.size()) < outcome.rounds) {
+      orders_.push_back(DimOrder::ascending(shape_->dim()));
+    }
+  }
 
   report.lambs_new =
       result.size() - static_cast<std::int64_t>(options.predetermined.size());
@@ -85,12 +139,15 @@ EpochReport MachineManager::reconfigure() {
     report.survivor_value += values_[static_cast<std::size_t>(id)];
   }
 
-  routes_ = std::make_unique<wormhole::RouteCache>(
-      *shape_, faults_, options_.resolved_orders(shape_->dim()));
+  rebuild_routes();
   pending_ = false;
   history_.push_back(report);
 
   obs::counter("manager.epochs").add();
+  if (report.solve_status != SolveStatus::kCertified) {
+    obs::counter("manager.degraded_epochs").add();
+  }
+  obs::gauge("manager.rounds").set(static_cast<double>(rounds()));
   obs::counter("manager.new_faults")
       .add(report.new_node_faults + report.new_link_faults);
   obs::gauge("manager.faults").set(static_cast<double>(report.total_faults));
@@ -104,6 +161,54 @@ EpochReport MachineManager::reconfigure() {
   span.arg("lambs", static_cast<double>(report.lambs_total));
   span.arg("survivors", static_cast<double>(report.survivors));
   return report;
+}
+
+Checkpoint MachineManager::checkpoint() const {
+  require_configured();
+  Checkpoint snapshot;
+  snapshot.epoch = epoch();
+  snapshot.node_faults = faults_.node_faults();
+  snapshot.link_faults = faults_.link_faults();
+  snapshot.lambs = lambs_;
+  snapshot.values = values_;
+  snapshot.history = history_;
+  snapshot.orders = orders_;
+  snapshot.rounds = rounds();
+  obs::counter("manager.checkpoints").add();
+  return snapshot;
+}
+
+void MachineManager::restore(const Checkpoint& snapshot) {
+  obs::Span span("manager.restore", "manager");
+  // Rebuild the fault set from the snapshot's plain lists; everything
+  // else is value state. The route cache must be rebuilt because it
+  // holds a pointer to the (now replaced) fault set contents.
+  FaultSet faults(*shape_);
+  for (NodeId id : snapshot.node_faults) faults.add_node(id);
+  for (const LinkFault& lf : snapshot.link_faults) {
+    if (lf.bidirectional) {
+      faults.add_link(lf.from, lf.dim, lf.dir);
+    } else {
+      faults.add_directed_link(lf.from, lf.dim, lf.dir);
+    }
+  }
+  faults_ = std::move(faults);
+  lambs_ = snapshot.lambs;
+  values_ = snapshot.values;
+  history_ = snapshot.history;
+  orders_ = snapshot.orders;
+  seen_node_faults_ = faults_.num_node_faults();
+  seen_link_faults_ = faults_.num_link_faults();
+  load_.reset();
+  routes_vended_ = 0;
+  rebuild_routes();
+  pending_ = false;
+  obs::counter("manager.restores").add();
+  span.arg("epoch", snapshot.epoch);
+}
+
+void MachineManager::rebuild_routes() {
+  routes_ = std::make_unique<wormhole::RouteCache>(*shape_, faults_, orders_);
 }
 
 void MachineManager::require_configured() const {

@@ -36,6 +36,15 @@ struct EpochReport {
   std::int64_t survivors = 0;
   double survivor_value = 0.0;  // sum of survivor node values
   double solve_seconds = 0.0;
+  // Graceful-degradation outcome of this reconfiguration (see
+  // lamb::solve_lambs): the routing rounds the configuration is
+  // certified for (0 when uncertified), how many extra rounds the solve
+  // budget forced, and — for an uncertified epoch — how many survivor
+  // pairs the diagnostic flood found uncovered.
+  SolveStatus solve_status = SolveStatus::kCertified;
+  int rounds = 0;
+  int solve_escalations = 0;
+  std::int64_t uncovered_pairs = 0;
   // Phase breakdown of solve_seconds (where did this reconfiguration go):
   // SES/DES partitioning, reachability-matrix products, and the WVC
   // cover. The same numbers feed the "manager.reconfigure" span, so a
@@ -52,9 +61,30 @@ struct EpochReport {
   NodeId route_load_hottest = -1;
 };
 
+// A full snapshot of the manager's configuration state — the paper's
+// "previous checkpoint" that the diagnostic program rolls back to. The
+// snapshot is value-typed (plain lists, no pointers into the manager) so
+// a RecoveryDriver can hold one across a failed epoch and restore it
+// after the simulated traffic reveals new faults mid-flight.
+struct Checkpoint {
+  int epoch = 0;
+  std::vector<NodeId> node_faults;
+  std::vector<LinkFault> link_faults;
+  std::vector<NodeId> lambs;
+  std::vector<double> values;
+  std::vector<EpochReport> history;
+  MultiRoundOrder orders;
+  int rounds = 0;
+};
+
 class MachineManager {
  public:
-  MachineManager(const MeshShape& shape, LambOptions options = {});
+  // `max_rounds` bounds the graceful-degradation ladder: reconfigure()
+  // may escalate the routing from the configured k up to this many
+  // rounds when LambOptions::budget_seconds runs out (each extra round
+  // costs one more virtual channel in the network — see rounds()).
+  MachineManager(const MeshShape& shape, LambOptions options = {},
+                 int max_rounds = 3);
 
   // Not movable: the internal route cache refers to the fault-set member,
   // whose address must stay stable.
@@ -70,14 +100,20 @@ class MachineManager {
   const std::vector<EpochReport>& history() const { return history_; }
 
   // --- Diagnostic inputs (queued until the next reconfigure) ---
+  // All report_* / degrade_* inputs are validated eagerly and throw
+  // std::invalid_argument on out-of-mesh coordinates, out-of-range ids,
+  // bad dimensions, or non-finite values: diagnostics arrive from the
+  // outside world (watchdogs, operators, fault storms), and a bad report
+  // must not corrupt the fault set it will be checkpointed into.
   // Reports a dead node. Reporting a current lamb is fine (it simply
   // stops being a lamb and becomes a fault); reporting an existing fault
   // is idempotent.
   void report_node_fault(const Point& p);
-  void report_node_fault(NodeId id) { report_node_fault(shape_->point(id)); }
+  void report_node_fault(NodeId id);
   void report_link_fault(const Point& from, int dim, Dir dir);
   // Marks a node as partially failed: its sacrifice cost becomes `value`
-  // (Section 7 node values). Ignored for faulty nodes.
+  // (Section 7 node values, so 0 <= value <= 1). Ignored for faulty
+  // nodes.
   void degrade_node(NodeId id, double value);
 
   bool has_pending_reports() const { return pending_; }
@@ -85,7 +121,28 @@ class MachineManager {
   // Recomputes the lamb set over the accumulated faults. The previous
   // lambs are predetermined (monotone growth) except those that became
   // faults. Returns the epoch record (also appended to history()).
+  // Under a solve budget this degrades instead of throwing: it escalates
+  // rounds up to the constructor's max_rounds, and as a last resort
+  // keeps the previous lambs uncertified (EpochReport::solve_status).
   EpochReport reconfigure();
+
+  // Routing rounds the current configuration uses. Escalation is
+  // monotone within an epoch sequence — once the budget forces k+1
+  // rounds the manager stays there, because dropping back would break
+  // the predetermined-lamb guarantee certified at the higher k. A
+  // wormhole simulation of this configuration needs at least rounds()
+  // virtual channels per link.
+  int rounds() const { return static_cast<int>(orders_.size()); }
+  const MultiRoundOrder& orders() const { return orders_; }
+
+  // --- Checkpoint / roll-back (paper Section 1's recovery loop) ---
+  // Snapshots the CURRENT configuration; throws std::logic_error while
+  // reports are pending (a stale configuration is not a valid roll-back
+  // target). restore() replaces all manager state with the snapshot and
+  // rebuilds the route cache, leaving no reports pending; diagnostics
+  // discovered after the snapshot must be re-reported.
+  Checkpoint checkpoint() const;
+  void restore(const Checkpoint& snapshot);
 
   // --- Queries against the CURRENT configuration ---
   // Throws std::logic_error while reports are pending (the configuration
@@ -103,9 +160,12 @@ class MachineManager {
 
  private:
   void require_configured() const;
+  void rebuild_routes();
 
   std::unique_ptr<MeshShape> shape_;
   LambOptions options_;
+  int max_rounds_ = 3;
+  MultiRoundOrder orders_;  // current (possibly escalated) rounds
   std::vector<double> values_;
   FaultSet faults_;
   std::vector<NodeId> lambs_;  // sorted

@@ -1,0 +1,164 @@
+#include "manager/recovery.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace lamb::manager {
+
+RecoveryDriver::RecoveryDriver(MachineManager& manager,
+                               RecoveryOptions options)
+    : manager_(&manager), options_(std::move(options)) {}
+
+RecoveryOutcome RecoveryDriver::run_epoch(
+    std::vector<std::pair<NodeId, NodeId>> pairs,
+    const wormhole::FaultSchedule& storm, Rng& rng) {
+  obs::Span span("recovery.epoch", "manager");
+  RecoveryOutcome out;
+  out.messages_requested = static_cast<std::int64_t>(pairs.size());
+
+  std::int64_t backoff = 0;  // first attempt injects immediately
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    ++out.attempts;
+    obs::counter("recovery.attempts").add();
+
+    // The paper's "previous checkpoint of the application": snapshot the
+    // configuration BEFORE running traffic, so a mid-flight fault rolls
+    // back to a state that predates every message of this attempt.
+    const Checkpoint snapshot = manager_->checkpoint();
+
+    // Pairs whose endpoint died (or was sacrificed) since submission
+    // have no one to deliver to/from; drop them rather than fail the
+    // epoch. In a degraded kUncovered configuration a survivor pair may
+    // additionally have no k-round route — count it and carry on, never
+    // throw (the caller reads messages_unroutable off the outcome).
+    AttemptRecord rec;
+    rec.attempt = attempt;
+    rec.start_cycle = out.clock;
+    std::vector<std::pair<NodeId, NodeId>> live;
+    std::vector<wormhole::Message> messages;
+    live.reserve(pairs.size());
+    messages.reserve(pairs.size());
+    for (const auto& [src, dst] : pairs) {
+      if (!manager_->is_survivor(src) || !manager_->is_survivor(dst)) {
+        ++out.messages_dropped;
+        continue;
+      }
+      auto route = manager_->route(src, dst, rng);
+      if (!route) {
+        ++out.messages_unroutable;
+        continue;
+      }
+      wormhole::Message msg;
+      msg.id = static_cast<std::int64_t>(messages.size());
+      msg.route = std::move(*route);
+      msg.length_flits = options_.message_flits;
+      msg.inject_cycle =
+          backoff + static_cast<std::int64_t>(live.size()) *
+                        options_.injection_gap;
+      messages.push_back(std::move(msg));
+      live.push_back({src, dst});
+    }
+    pairs = std::move(live);
+    if (pairs.empty()) {
+      out.completed = true;
+      out.attempts_log.push_back(rec);
+      break;
+    }
+    if (attempt > 1) {
+      out.messages_replayed += static_cast<std::int64_t>(pairs.size());
+      obs::counter("recovery.messages_replayed")
+          .add(static_cast<std::int64_t>(pairs.size()));
+    }
+
+    // Run the attempt against the storm window that starts at the
+    // current global clock: the storm keeps its absolute timeline across
+    // rollbacks, so a fault scheduled "later" still lands later.
+    wormhole::SimConfig config = options_.sim;
+    config.fault_schedule = storm.from_cycle(rec.start_cycle);
+    config.vcs_per_link =
+        std::max(config.vcs_per_link, manager_->rounds());
+    wormhole::Network net(manager_->shape(), manager_->faults(), config);
+    for (wormhole::Message& msg : messages) net.submit(std::move(msg));
+    const wormhole::SimResult result = net.run();
+    out.clock += result.cycles;
+
+    rec.messages = result.total_messages;
+    rec.delivered = result.delivered;
+    rec.lost = result.lost;
+    rec.poisoned = result.poisoned;
+    rec.faults_applied = result.faults_applied;
+
+    if (result.faults_applied == 0 && result.all_delivered()) {
+      out.messages_delivered += result.delivered;
+      rec.epoch_after = manager_->epoch();
+      out.attempts_log.push_back(rec);
+      out.completed = true;
+      break;
+    }
+
+    // Diagnose -> roll back -> redefine faults -> reconfigure. Delivered
+    // messages stay delivered (the application replays only what the
+    // fault ate); the configuration rolls back so the new faults are
+    // reported against the checkpointed state, keeping lamb growth
+    // monotone from a consistent base.
+    rec.rolled_back = true;
+    ++out.rollbacks;
+    obs::counter("recovery.rollbacks").add();
+    manager_->restore(snapshot);
+    for (const wormhole::FaultEvent& event : result.applied_faults) {
+      if (event.kind == wormhole::FaultEvent::Kind::kNode) {
+        manager_->report_node_fault(event.node);
+      } else {
+        manager_->report_link_fault(manager_->shape().point(event.node),
+                                    event.dim, event.dir);
+      }
+    }
+    if (result.faults_applied > 0) {
+      obs::counter("recovery.faults_detected").add(result.faults_applied);
+    }
+    if (manager_->has_pending_reports()) {
+      manager_->reconfigure();
+      ++out.reconfigures;
+      obs::counter("recovery.reconfigures").add();
+    }
+    rec.epoch_after = manager_->epoch();
+
+    // Keep only the undelivered pairs for replay. On this branch the
+    // outcomes vector is always populated (the schedule was nonempty or
+    // something failed to deliver); the emptiness guard just degrades to
+    // "nothing to replay" if that invariant ever changes.
+    out.messages_delivered += result.delivered;
+    std::vector<std::pair<NodeId, NodeId>> replay;
+    if (!result.outcomes.empty()) {
+      for (std::size_t i = 0; i < pairs.size(); ++i) {
+        if (result.outcomes[i] != wormhole::DeliveryOutcome::kDelivered) {
+          replay.push_back(pairs[i]);
+        }
+      }
+    }
+    pairs = std::move(replay);
+    out.attempts_log.push_back(rec);
+
+    // Exponential backoff: wait longer before each replay so a storm
+    // burst can finish striking before the messages re-enter the
+    // network. The wait runs on the storm clock (see RecoveryOptions).
+    backoff = backoff == 0
+                  ? options_.backoff_cycles
+                  : static_cast<std::int64_t>(
+                        static_cast<double>(backoff) *
+                        options_.backoff_factor);
+  }
+
+  out.final_epoch = manager_->epoch();
+  obs::gauge("recovery.last_attempts").set(static_cast<double>(out.attempts));
+  span.arg("attempts", out.attempts);
+  span.arg("rollbacks", out.rollbacks);
+  span.arg("delivered", static_cast<double>(out.messages_delivered));
+  span.arg("completed", out.completed ? 1.0 : 0.0);
+  return out;
+}
+
+}  // namespace lamb::manager

@@ -1,0 +1,100 @@
+// The paper Section 1 recovery loop, end to end: "a system diagnostic
+// program will be invoked when new faults are detected. This will roll
+// back to a previous checkpoint of the application, redefine the new set
+// of faults, and reconfigure the machine."
+//
+// RecoveryDriver drives one application epoch of survivor-to-survivor
+// messages through the wormhole simulator while a FaultSchedule kills
+// nodes and links mid-flight. Each attempt snapshots the manager, runs
+// the traffic, and — when live faults strike or messages fail to
+// resolve — rolls back to the snapshot, reports the applied faults as
+// diagnostics, reconfigures (which may escalate rounds or degrade, see
+// lamb::solve_lambs), and replays every undelivered message with
+// exponential injection backoff. The loop is bounded by max_attempts and
+// never throws out of run_epoch for fault/degradation reasons; the
+// structured RecoveryOutcome says how the epoch ended.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "manager/machine_manager.hpp"
+#include "support/rng.hpp"
+#include "wormhole/fault_schedule.hpp"
+#include "wormhole/network.hpp"
+
+namespace lamb::manager {
+
+struct RecoveryOptions {
+  // Base simulator configuration. Its fault_schedule is ignored: the
+  // driver installs the storm window for each attempt itself, and it
+  // raises vcs_per_link to the manager's current rounds() when the
+  // degradation ladder escalated past the configured value.
+  wormhole::SimConfig sim;
+  int message_flits = 8;
+  // Cycles between consecutive message injections within one attempt.
+  std::int64_t injection_gap = 1;
+  // Bounded retry: give up (completed = false) after this many attempts.
+  int max_attempts = 8;
+  // Replay delay before the first injection of attempt n+1, growing by
+  // backoff_factor after every failed attempt. The delay runs on the
+  // storm clock, so faults scheduled during the wait fire while the
+  // replayed messages are still queued at their sources (cheap kLost,
+  // not in-flight poison).
+  std::int64_t backoff_cycles = 64;
+  double backoff_factor = 2.0;
+};
+
+// One row of the per-attempt log inside RecoveryOutcome.
+struct AttemptRecord {
+  int attempt = 0;            // 1-based
+  std::int64_t start_cycle = 0;  // storm-clock cycle the attempt began at
+  std::int64_t messages = 0;  // submitted this attempt
+  std::int64_t delivered = 0;
+  std::int64_t lost = 0;
+  std::int64_t poisoned = 0;
+  std::int64_t faults_applied = 0;
+  int epoch_after = 0;  // manager epoch once the attempt was handled
+  bool rolled_back = false;
+};
+
+struct RecoveryOutcome {
+  // True when every surviving pair's message was delivered (pairs whose
+  // endpoint died or became a lamb are dropped, not failed).
+  bool completed = false;
+  int attempts = 0;
+  int rollbacks = 0;
+  int reconfigures = 0;
+  std::int64_t clock = 0;  // total simulated cycles, including backoff
+  std::int64_t messages_requested = 0;
+  std::int64_t messages_delivered = 0;
+  std::int64_t messages_dropped = 0;     // endpoint no longer a survivor
+  std::int64_t messages_unroutable = 0;  // uncovered pair in a degraded
+                                         // (kUncovered) configuration
+  std::int64_t messages_replayed = 0;    // re-submissions after rollback
+  int final_epoch = 0;
+  std::vector<AttemptRecord> attempts_log;
+};
+
+class RecoveryDriver {
+ public:
+  explicit RecoveryDriver(MachineManager& manager,
+                          RecoveryOptions options = {});
+
+  // Runs one epoch of `pairs` (survivor source -> survivor destination)
+  // under `storm`. The storm's cycles are global: attempt n+1 resumes
+  // the storm where attempt n's simulation stopped, so a long storm
+  // keeps striking across rollbacks. Deterministic for a fixed rng seed
+  // at any par::set_threads() value.
+  RecoveryOutcome run_epoch(std::vector<std::pair<NodeId, NodeId>> pairs,
+                            const wormhole::FaultSchedule& storm, Rng& rng);
+
+  const MachineManager& manager() const { return *manager_; }
+
+ private:
+  MachineManager* manager_;  // non-owning; caller keeps it alive
+  RecoveryOptions options_;
+};
+
+}  // namespace lamb::manager

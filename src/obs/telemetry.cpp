@@ -53,6 +53,8 @@ const char* msg_event_name(MsgEvent kind) {
       return "release";
     case MsgEvent::kEject:
       return "eject";
+    case MsgEvent::kPoison:
+      return "poison";
   }
   return "?";
 }

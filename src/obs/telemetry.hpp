@@ -35,7 +35,10 @@ struct TelemetryConfig {
   bool watchdog = true;            // wait-for snapshot when flits stop moving
   // Motionless cycles before the watchdog fires; 0 means "at the
   // simulator's deadlock threshold" (the snapshot is taken just before
-  // the run is declared dead).
+  // the run is declared dead). Precedence rule: the simulator clamps
+  // this to its SimConfig::deadlock_threshold, so the stall report is
+  // always attached no later than the cycle that declares deadlock — a
+  // value larger than the threshold behaves exactly like 0.
   std::int64_t watchdog_cycles = 0;
   // Cap on retained lifecycle events (drops record a counter, never fail).
   std::int64_t max_events = 1 << 20;
@@ -54,13 +57,15 @@ struct ChannelSample {
 // Message lifecycle event kinds. kAcquire fires when a head flit
 // allocates a fresh virtual channel, kRoundSwitch additionally when that
 // channel starts a new routing round (hop.vc changed), kRelease when the
-// tail drains a channel.
+// tail drains a channel, kPoison when a live fault (wormhole
+// FaultSchedule) kills the message and the simulator drains its flits.
 enum class MsgEvent : std::uint8_t {
   kInject,
   kAcquire,
   kRoundSwitch,
   kRelease,
   kEject,
+  kPoison,
 };
 
 const char* msg_event_name(MsgEvent kind);

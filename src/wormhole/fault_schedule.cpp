@@ -1,0 +1,90 @@
+#include "wormhole/fault_schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lamb::wormhole {
+
+void FaultSchedule::kill_node(std::int64_t cycle, NodeId node) {
+  if (cycle < 0) {
+    throw std::invalid_argument("FaultSchedule::kill_node: cycle < 0");
+  }
+  FaultEvent ev;
+  ev.cycle = cycle;
+  ev.kind = FaultEvent::Kind::kNode;
+  ev.node = node;
+  events.push_back(ev);
+}
+
+void FaultSchedule::kill_link(std::int64_t cycle, NodeId from, int dim,
+                              Dir dir) {
+  if (cycle < 0) {
+    throw std::invalid_argument("FaultSchedule::kill_link: cycle < 0");
+  }
+  FaultEvent ev;
+  ev.cycle = cycle;
+  ev.kind = FaultEvent::Kind::kLink;
+  ev.node = from;
+  ev.dim = dim;
+  ev.dir = dir;
+  events.push_back(ev);
+}
+
+FaultSchedule FaultSchedule::from_cycle(std::int64_t t) const {
+  FaultSchedule out;
+  for (const FaultEvent& ev : events) {
+    if (ev.cycle < t) continue;
+    FaultEvent shifted = ev;
+    shifted.cycle = ev.cycle - t;
+    out.events.push_back(shifted);
+  }
+  return out;
+}
+
+FaultSchedule FaultSchedule::random_storm(const MeshShape& shape,
+                                          const FaultSet& faults,
+                                          std::int64_t node_kills,
+                                          std::int64_t link_kills,
+                                          std::int64_t horizon, Rng& rng) {
+  if (horizon < 1) {
+    throw std::invalid_argument("FaultSchedule::random_storm: horizon < 1");
+  }
+  FaultSchedule storm;
+  std::vector<NodeId> good;
+  for (NodeId id = 0; id < shape.size(); ++id) {
+    if (faults.node_good(id)) good.push_back(id);
+  }
+  const std::int64_t kills =
+      std::min(node_kills, static_cast<std::int64_t>(good.size()));
+  for (std::int64_t idx :
+       sample_without_replacement(static_cast<std::int64_t>(good.size()),
+                                  kills, rng)) {
+    storm.kill_node(
+        static_cast<std::int64_t>(rng.below(
+            static_cast<std::uint64_t>(horizon))),
+        good[static_cast<std::size_t>(idx)]);
+  }
+  std::int64_t placed = 0;
+  std::int64_t attempts = 0;
+  while (placed < link_kills && attempts < link_kills * 64 + 64) {
+    ++attempts;
+    const NodeId from = static_cast<NodeId>(
+        rng.below(static_cast<std::uint64_t>(shape.size())));
+    const int dim = static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(shape.dim())));
+    const Dir dir = rng.bernoulli(0.5) ? Dir::Pos : Dir::Neg;
+    Point to;
+    if (!shape.neighbor(shape.point(from), dim, dir, &to)) continue;
+    if (faults.node_faulty(from) || faults.node_faulty(shape.index(to))) {
+      continue;
+    }
+    if (faults.link_faulty(from, dim, dir)) continue;
+    storm.kill_link(static_cast<std::int64_t>(rng.below(
+                        static_cast<std::uint64_t>(horizon))),
+                    from, dim, dir);
+    ++placed;
+  }
+  return storm;
+}
+
+}  // namespace lamb::wormhole

@@ -1,0 +1,65 @@
+// Live fault injection for the wormhole simulator (the dynamic-fault
+// regime of paper Section 1: "a system diagnostic program will be invoked
+// when new faults are detected").
+//
+// A FaultSchedule is a list of node/link kill events stamped with the
+// simulated cycle at which the component dies. The Network applies every
+// due event at the top of the cycle, before any flit moves: the killed
+// channels stop carrying traffic instantly, and every message whose
+// remaining route crosses a dead channel is drained from the network
+// (its virtual channels are released so the kill can never fabricate a
+// deadlock) and recorded as lost or poisoned-in-flight. An empty
+// schedule costs the simulator one integer comparison per cycle — the
+// same null-check discipline as the telemetry tier.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/fault_set.hpp"
+#include "mesh/mesh.hpp"
+#include "support/rng.hpp"
+
+namespace lamb::wormhole {
+
+struct FaultEvent {
+  enum class Kind : std::uint8_t { kNode, kLink };
+
+  std::int64_t cycle = 0;  // applied before any flit moves in this cycle
+  Kind kind = Kind::kNode;
+  NodeId node = -1;   // kNode: the dying node; kLink: the link's endpoint
+  int dim = 0;        // kLink only
+  Dir dir = Dir::Pos; // kLink only; the kill is bidirectional
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+struct FaultSchedule {
+  std::vector<FaultEvent> events;  // any order; the Network sorts by cycle
+
+  bool empty() const { return events.empty(); }
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(events.size());
+  }
+
+  void kill_node(std::int64_t cycle, NodeId node);
+  void kill_link(std::int64_t cycle, NodeId from, int dim, Dir dir);
+
+  // Copy of the schedule as seen from cycle `t`: events at cycle >= t,
+  // rebased so the earliest surviving event keeps its distance to t.
+  // Used by the recovery loop to resume a storm across roll-back
+  // attempts (each attempt is a fresh Network starting at cycle 0).
+  FaultSchedule from_cycle(std::int64_t t) const;
+
+  // Seeded random storm: `node_kills` node deaths and `link_kills`
+  // bidirectional link deaths among components good in `faults`, at
+  // cycles uniform in [0, horizon). Deterministic in `rng` — the same
+  // seed always yields the same storm, at any thread count.
+  static FaultSchedule random_storm(const MeshShape& shape,
+                                    const FaultSet& faults,
+                                    std::int64_t node_kills,
+                                    std::int64_t link_kills,
+                                    std::int64_t horizon, Rng& rng);
+};
+
+}  // namespace lamb::wormhole

@@ -11,11 +11,25 @@
 
 namespace lamb::wormhole {
 
+const char* delivery_outcome_name(DeliveryOutcome outcome) {
+  switch (outcome) {
+    case DeliveryOutcome::kPending: return "pending";
+    case DeliveryOutcome::kDelivered: return "delivered";
+    case DeliveryOutcome::kLost: return "lost";
+    case DeliveryOutcome::kPoisoned: return "poisoned";
+  }
+  return "?";
+}
+
 std::string SimResult::summary() const {
   std::ostringstream os;
   os << "delivered " << delivered << "/" << total_messages << " in " << cycles
      << " cycles";
   if (deadlocked) os << " [DEADLOCK]";
+  if (faults_applied > 0) {
+    os << " [" << faults_applied << " live faults: " << lost << " lost, "
+       << poisoned << " poisoned, " << dead_channels << " channels dead]";
+  }
   os << ", throughput " << flit_throughput << " flits/cycle\n";
   if (latency_samples.count() > 0) {
     os << "latency p50 " << latency_samples.quantile(0.50) << " p95 "
@@ -41,6 +55,24 @@ Network::Network(const MeshShape& shape, const FaultSet& faults,
   if (config_.telemetry.enabled) {
     telemetry_ = std::make_unique<obs::Telemetry>(
         shape, config_.vcs_per_link, config_.telemetry);
+  }
+  if (!config_.fault_schedule.empty()) {
+    pending_faults_ = config_.fault_schedule.events;
+    std::stable_sort(pending_faults_.begin(), pending_faults_.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                       return a.cycle < b.cycle;
+                     });
+    for (const FaultEvent& ev : pending_faults_) {
+      if (ev.node < 0 || ev.node >= shape.size()) {
+        throw std::invalid_argument("FaultSchedule: node out of range");
+      }
+      if (ev.kind == FaultEvent::Kind::kLink &&
+          (ev.dim < 0 || ev.dim >= shape.dim())) {
+        throw std::invalid_argument("FaultSchedule: dim out of range");
+      }
+    }
+    node_dead_.assign(static_cast<std::size_t>(shape.size()), 0);
+    link_dead_.assign(static_cast<std::size_t>(num_links), 0);
   }
 }
 
@@ -197,11 +229,16 @@ SimResult Network::run() {
   }
   // The watchdog fires once per run, `watchdog_cycles` motionless cycles
   // into a streak (default: just before the deadlock threshold trips).
+  // Precedence rule (see SimConfig::deadlock_threshold): the trigger is
+  // clamped to the deadlock threshold, so the snapshot is always taken
+  // no later than the cycle that declares deadlock — the check below
+  // runs before the deadlock check of the same iteration.
   const std::int64_t watchdog_at =
       telemetry_ && config_.telemetry.watchdog
-          ? (config_.telemetry.watchdog_cycles > 0
-                 ? config_.telemetry.watchdog_cycles
-                 : config_.deadlock_threshold)
+          ? std::min<std::int64_t>(config_.telemetry.watchdog_cycles > 0
+                                       ? config_.telemetry.watchdog_cycles
+                                       : config_.deadlock_threshold,
+                                   config_.deadlock_threshold)
           : config_.max_cycles + 1;
   bool watchdog_fired = false;
 
@@ -209,15 +246,21 @@ SimResult Network::run() {
   std::int64_t flits_delivered = 0;
   std::int64_t stagnant = 0;
   cycle_ = 0;
-  while (delivered < result.total_messages && cycle_ < config_.max_cycles) {
+  finished_ = 0;
+  while (finished_ < result.total_messages && cycle_ < config_.max_cycles) {
     moved_this_cycle_ = false;
+    if (next_fault_ < pending_faults_.size() &&
+        pending_faults_[next_fault_].cycle <= cycle_) {
+      apply_due_faults(&result);
+      if (finished_ >= result.total_messages) break;
+    }
     std::fill(link_used_.begin(), link_used_.end(), 0);
 
     const std::int64_t m_count = static_cast<std::int64_t>(messages_.size());
     for (std::int64_t off = 0; off < m_count; ++off) {
       MessageState& st =
           messages_[static_cast<std::size_t>((cycle_ + off) % m_count)];
-      if (st.done() || st.msg.inject_cycle > cycle_) continue;
+      if (st.finished() || st.msg.inject_cycle > cycle_) continue;
       if (st.msg.after >= 0 &&
           !messages_[static_cast<std::size_t>(st.msg.after)].done()) {
         continue;  // dependency not yet delivered
@@ -229,8 +272,10 @@ SimResult Network::run() {
         st.ejected = st.msg.length_flits;
         st.start_cycle = cycle_;
         st.finish_cycle = cycle_;
+        st.outcome = DeliveryOutcome::kDelivered;
         flits_delivered += st.msg.length_flits;
         ++delivered;
+        ++finished_;
         moved_this_cycle_ = true;
         // Not recorded in the latency stats: the message never touched
         // the network (matches the pre-telemetry accounting).
@@ -267,7 +312,9 @@ SimResult Network::run() {
         }
         if (st.done()) {
           st.finish_cycle = cycle_;
+          st.outcome = DeliveryOutcome::kDelivered;
           ++delivered;
+          ++finished_;
           record_delivery(st, &result);
           continue;
         }
@@ -287,7 +334,7 @@ SimResult Network::run() {
       std::int64_t next_inject = config_.max_cycles;
       bool in_flight = false;
       for (const MessageState& st : messages_) {
-        if (st.done()) continue;
+        if (st.finished()) continue;
         if (st.msg.after >= 0 &&
             !messages_[static_cast<std::size_t>(st.msg.after)].done()) {
           // Dependency-blocked counts as in flight: it can only unblock
@@ -300,6 +347,13 @@ SimResult Network::run() {
         }
       }
       if (!in_flight && next_inject > cycle_) {
+        // Never jump past a scheduled fault: the kill must land at its
+        // exact cycle so queued messages die when the hardware does.
+        if (next_fault_ < pending_faults_.size()) {
+          next_inject = std::min(
+              next_inject,
+              std::max(pending_faults_[next_fault_].cycle, cycle_));
+        }
         cycle_ = next_inject;
         stagnant = 0;
         continue;
@@ -333,6 +387,14 @@ SimResult Network::run() {
 
   result.delivered = delivered;
   result.cycles = cycle_;
+  // Per-message outcomes, skipped on the healthy no-schedule fast path
+  // so the common case allocates nothing.
+  if (!pending_faults_.empty() || delivered != result.total_messages) {
+    result.outcomes.reserve(messages_.size());
+    for (const MessageState& st : messages_) {
+      result.outcomes.push_back(st.outcome);
+    }
+  }
   for (std::int64_t flits : link_flits_) {
     if (flits > 0) result.link_load.add(static_cast<double>(flits));
     result.flits_moved += flits;
@@ -379,10 +441,148 @@ SimResult Network::run() {
     obs::counter("sim.stall.vc_busy").add(stall_vc_busy_);
     obs::counter("sim.stall.credit").add(stall_credit_);
     if (result.deadlocked) obs::counter("sim.deadlocks").add();
+    if (result.faults_applied > 0) {
+      obs::counter("sim.faults_applied").add(result.faults_applied);
+      obs::counter("sim.messages_lost").add(result.lost);
+      obs::counter("sim.messages_poisoned").add(result.poisoned);
+      obs::counter("sim.dead_channels").add(result.dead_channels);
+    }
   }
   span.arg("messages", static_cast<double>(result.total_messages));
   span.arg("cycles", static_cast<double>(cycle_));
   return result;
+}
+
+std::int64_t Network::apply_due_faults(SimResult* result) {
+  bool applied = false;
+  while (next_fault_ < pending_faults_.size() &&
+         pending_faults_[next_fault_].cycle <= cycle_) {
+    const FaultEvent& ev = pending_faults_[next_fault_++];
+    applied = true;
+    ++result->faults_applied;
+    result->applied_faults.push_back(ev);
+    auto kill_directed = [&](NodeId from, int dim, Dir dir) {
+      Point to;
+      if (!shape_->neighbor(shape_->point(from), dim, dir, &to)) return;
+      char& dead =
+          link_dead_[static_cast<std::size_t>(shape_->link_id(from, dim, dir))];
+      if (!dead) {
+        dead = 1;
+        ++result->dead_channels;
+      }
+    };
+    if (ev.kind == FaultEvent::Kind::kNode) {
+      char& dead = node_dead_[static_cast<std::size_t>(ev.node)];
+      if (dead) continue;
+      dead = 1;
+      // Every incident directed link dies with the node.
+      const Point p = shape_->point(ev.node);
+      for (int d = 0; d < shape_->dim(); ++d) {
+        for (Dir dir : {Dir::Neg, Dir::Pos}) {
+          kill_directed(ev.node, d, dir);
+          Point nb;
+          if (shape_->neighbor(p, d, dir, &nb)) {
+            kill_directed(shape_->index(nb), d, opposite(dir));
+          }
+        }
+      }
+    } else {
+      kill_directed(ev.node, ev.dim, ev.dir);
+      Point nb;
+      if (shape_->neighbor(shape_->point(ev.node), ev.dim, ev.dir, &nb)) {
+        kill_directed(shape_->index(nb), ev.dim, opposite(ev.dir));
+      }
+    }
+  }
+  if (!applied) return 0;
+  // A state change happened even if no flit moves this cycle: the kill
+  // (and the drains below) must reset the stagnation streak, otherwise
+  // the watchdog could blame a fault for a deadlock.
+  moved_this_cycle_ = true;
+
+  std::int64_t resolved = 0;
+  for (MessageState& st : messages_) {
+    if (st.finished()) continue;
+    if (route_poisoned(st)) {
+      drain_message(st, result);
+      ++resolved;
+    }
+  }
+  // Cascade: a message gated on a dependency that will never deliver can
+  // never inject. Fixpoint loop handles chains in any submission order.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (MessageState& st : messages_) {
+      if (st.finished() || st.msg.after < 0) continue;
+      const MessageState& dep =
+          messages_[static_cast<std::size_t>(st.msg.after)];
+      if (dep.finished() && dep.outcome != DeliveryOutcome::kDelivered) {
+        drain_message(st, result);
+        ++resolved;
+        changed = true;
+      }
+    }
+  }
+  return resolved;
+}
+
+bool Network::route_poisoned(const MessageState& st) const {
+  const Route& route = st.msg.route;
+  if (st.flits_at_source > 0 &&
+      node_dead_[static_cast<std::size_t>(route.src)]) {
+    return true;
+  }
+  if (node_dead_[static_cast<std::size_t>(route.dst)]) return true;
+  // Any hop not yet fully crossed that uses a dead channel or touches a
+  // dead node kills the whole worm; hops every flit has already crossed
+  // are behind the tail and harmless.
+  Point at = shape_->point(route.src);
+  NodeId at_id = route.src;
+  for (std::size_t q = 0; q < route.hops.size(); ++q) {
+    const Hop& hop = route.hops[q];
+    Point next;
+    shape_->neighbor(at, hop.dim, hop.dir, &next);
+    const NodeId next_id = shape_->index(next);
+    if (st.crossed[q] < st.msg.length_flits) {
+      if (node_dead_[static_cast<std::size_t>(at_id)] ||
+          node_dead_[static_cast<std::size_t>(next_id)] ||
+          link_dead_[static_cast<std::size_t>(
+              shape_->link_id(at_id, hop.dim, hop.dir))]) {
+        return true;
+      }
+    }
+    at = next;
+    at_id = next_id;
+  }
+  return false;
+}
+
+void Network::drain_message(MessageState& st, SimResult* result) {
+  const std::int64_t m = &st - messages_.data();
+  // Poisoned iff some flit already entered the network; a message still
+  // sitting whole in its source queue (or gated on a dead dependency) is
+  // merely lost.
+  const bool in_flight = st.start_cycle >= 0;
+  for (std::size_t p = 0; p < st.msg.route.hops.size(); ++p) {
+    const Hop& hop = st.msg.route.hops[p];
+    const NodeId from = node_before_hop(st, static_cast<int>(p));
+    Buffer& b = buffers_[static_cast<std::size_t>(buffer_index(from, hop))];
+    if (b.owner == m) {
+      b.owner = -1;
+      b.occupancy = 0;
+      b.passed = 0;
+    }
+    st.count_at[p] = 0;
+  }
+  st.flits_at_source = 0;
+  st.outcome =
+      in_flight ? DeliveryOutcome::kPoisoned : DeliveryOutcome::kLost;
+  ++(in_flight ? result->poisoned : result->lost);
+  ++finished_;
+  if (telemetry_) {
+    telemetry_->on_event(obs::MsgEvent::kPoison, st.msg.id, cycle_);
+  }
 }
 
 obs::StallReport Network::build_stall_report(std::int64_t stagnant) const {
@@ -396,7 +596,7 @@ obs::StallReport Network::build_stall_report(std::int64_t stagnant) const {
   std::vector<std::int64_t> edge_at(static_cast<std::size_t>(n), -1);
   for (std::int64_t m = 0; m < n; ++m) {
     const MessageState& st = messages_[static_cast<std::size_t>(m)];
-    if (st.done()) continue;
+    if (st.finished()) continue;
     if (st.msg.inject_cycle > cycle_ ||
         (st.msg.after >= 0 &&
          !messages_[static_cast<std::size_t>(st.msg.after)].done())) {

@@ -28,6 +28,7 @@
 #include "obs/telemetry.hpp"
 #include "support/samples.hpp"
 #include "support/stats.hpp"
+#include "wormhole/fault_schedule.hpp"
 #include "wormhole/route_builder.hpp"
 
 namespace lamb::wormhole {
@@ -35,6 +36,13 @@ namespace lamb::wormhole {
 struct SimConfig {
   int vcs_per_link = 2;
   int buffer_flits = 4;       // per virtual channel
+  // Motionless cycles before the run is declared deadlocked. Precedence
+  // rule against the telemetry watchdog: the effective watchdog trigger
+  // is min(telemetry.watchdog_cycles or deadlock_threshold,
+  // deadlock_threshold), so when telemetry is enabled a stall report is
+  // always attached to the SimResult before (or in the same cycle as)
+  // the deadlock declaration — a misconfigured watchdog_cycles larger
+  // than the threshold can never lose the snapshot.
   int deadlock_threshold = 1000;
   std::int64_t max_cycles = 1'000'000;
   // Flit-level telemetry (time series, lifecycle events, watchdog). The
@@ -42,7 +50,22 @@ struct SimConfig {
   // obs::default_telemetry() here to honor LAMBMESH_TELEMETRY /
   // --telemetry.
   obs::TelemetryConfig telemetry;
+  // Live fault injection: node/link kill events applied mid-simulation
+  // (see fault_schedule.hpp). Empty by default; an empty schedule costs
+  // one integer comparison per cycle.
+  FaultSchedule fault_schedule;
 };
+
+// Per-message resolution of a run with live faults.
+enum class DeliveryOutcome : std::uint8_t {
+  kPending,    // run ended (deadlock / max_cycles) before resolution
+  kDelivered,  // tail flit ejected at the destination
+  kLost,       // killed before any flit entered the network (incl.
+               // cascades: a dependency that will never deliver)
+  kPoisoned,   // killed with flits in flight; drained from the network
+};
+
+const char* delivery_outcome_name(DeliveryOutcome outcome);
 
 struct Message {
   std::int64_t id = 0;
@@ -76,8 +99,25 @@ struct SimResult {
   Accumulator stall_cycles;
   // Watchdog snapshot, when the telemetry watchdog fired (else null).
   std::shared_ptr<const obs::StallReport> stall_report;
+  // --- Live-fault accounting (all zero/empty without a schedule) ------
+  std::int64_t lost = 0;      // killed before entering the network
+  std::int64_t poisoned = 0;  // killed with flits in flight
+  std::int64_t faults_applied = 0;  // schedule events applied in the run
+  std::int64_t dead_channels = 0;   // directed links newly killed
+  // The events actually applied — the "system diagnostic" output the
+  // recovery loop feeds back into MachineManager::report_*.
+  std::vector<FaultEvent> applied_faults;
+  // Per submitted message, in submission order. Populated only when the
+  // schedule was nonempty or some message did not deliver, so the
+  // healthy fast path allocates nothing.
+  std::vector<DeliveryOutcome> outcomes;
 
   bool all_delivered() const { return delivered == total_messages; }
+  // Every message was resolved (nothing left kPending): delivered, or
+  // accounted lost/poisoned by the fault schedule.
+  bool all_resolved() const {
+    return delivered + lost + poisoned == total_messages;
+  }
   // Multi-line human-readable report: delivery, p50/p95/p99 latency, and
   // the queue/stall decomposition.
   std::string summary() const;
@@ -116,8 +156,11 @@ class Network {
     std::int64_t start_cycle = -1;   // first flit left the source queue
     std::int64_t finish_cycle = -1;
     bool started = false;
+    DeliveryOutcome outcome = DeliveryOutcome::kPending;
 
     bool done() const { return ejected == msg.length_flits; }
+    // Resolved one way or another: no further simulation work.
+    bool finished() const { return outcome != DeliveryOutcome::kPending; }
   };
 
   std::int64_t buffer_index(NodeId from, const Hop& hop) const;
@@ -128,6 +171,16 @@ class Network {
   // wait-for cycle identified.
   obs::StallReport build_stall_report(std::int64_t stagnant) const;
   void record_delivery(const MessageState& st, SimResult* result);
+  // --- Live fault injection (no-ops without a schedule) ---------------
+  // Applies every schedule event due at the current cycle: marks the
+  // killed channels dead, drains affected messages, cascades losses to
+  // dependents. Returns the number of messages newly resolved.
+  std::int64_t apply_due_faults(SimResult* result);
+  // Whether st's unfinished route crosses a dead node or channel.
+  bool route_poisoned(const MessageState& st) const;
+  // Removes st's flits from every buffer it owns and releases the
+  // channels, recording the outcome (kLost or kPoisoned).
+  void drain_message(MessageState& st, SimResult* result);
 
   const MeshShape* shape_;
   const FaultSet* faults_;
@@ -138,6 +191,14 @@ class Network {
   std::vector<std::int64_t> link_flits_; // per directed link, whole run
   std::int64_t cycle_ = 0;
   bool moved_this_cycle_ = false;
+  // Live-fault state, allocated only when config_.fault_schedule is
+  // nonempty; the hot loop's only cost with an empty schedule is the
+  // next_fault_ bounds check.
+  std::vector<FaultEvent> pending_faults_;  // sorted by cycle (stable)
+  std::size_t next_fault_ = 0;
+  std::vector<char> node_dead_;
+  std::vector<char> link_dead_;  // per directed link
+  std::int64_t finished_ = 0;    // delivered + lost + poisoned
   // Telemetry collector, allocated only when config_.telemetry.enabled;
   // every hook in the hot path hides behind one null check.
   std::unique_ptr<obs::Telemetry> telemetry_;

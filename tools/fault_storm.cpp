@@ -1,0 +1,244 @@
+// fault_storm — deterministic chaos harness for the recovery loop.
+//
+// Each trial builds a mesh with a seeded initial fault set, configures a
+// MachineManager, and drives several application epochs of survivor
+// traffic through the wormhole simulator while a seeded FaultSchedule
+// kills nodes and links mid-flight. The RecoveryDriver must complete
+// every epoch — roll back, report the applied faults, reconfigure,
+// replay — with zero undelivered survivor-to-survivor messages. Any
+// incomplete epoch fails the trial and the process exits nonzero, which
+// is what the CI chaos-smoke job gates on (running this binary under
+// ASan+UBSan).
+//
+// The run is bit-deterministic in --seed at any --threads value; the
+// printed digest folds every trial's outcome numbers, so two runs agree
+// iff their digests agree.
+//
+// Examples:
+//   fault_storm run --trials 25 --seed 7
+//   fault_storm run --mesh 16x16 --epochs 4 --node-kills 3 --link-kills 2
+//   fault_storm run --trials 5 --budget 1e-6   # exercise degradation
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/cli_args.hpp"
+#include "io/text_format.hpp"
+#include "manager/machine_manager.hpp"
+#include "manager/recovery.hpp"
+#include "obs/obs.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+#include "wormhole/fault_schedule.hpp"
+
+using namespace lamb;
+
+namespace {
+
+using Args = io::CliArgs;
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: fault_storm run [options]\n"
+               "\n"
+               "options (defaults in parens):\n"
+               "  --mesh WxH..      geometry (8x8), 't' suffix for torus\n"
+               "  --trials N        independent seeded trials (25)\n"
+               "  --seed S          master seed (20020416)\n"
+               "  --initial-faults F  static faults before epoch 1 (6)\n"
+               "  --epochs E        application epochs per trial (3)\n"
+               "  --messages M      survivor pairs per epoch (64)\n"
+               "  --node-kills K    live node kills per epoch storm (2)\n"
+               "  --link-kills L    live link kills per epoch storm (1)\n"
+               "  --horizon C       storm cycle horizon per epoch (400)\n"
+               "  --flits F         flits per message (8)\n"
+               "  --max-attempts A  recovery retry bound per epoch (8)\n"
+               "  --budget SECS     solver budget; 0 = unlimited (0)\n"
+               "  --threads T       worker threads; result is identical\n"
+               "                    at any value\n"
+               "  --verbose         per-epoch log lines\n");
+  std::exit(2);
+}
+
+// FNV-1a over the outcome numbers: a stable fingerprint of the whole run
+// that two invocations (any thread count) can be compared by.
+struct Digest {
+  std::uint64_t h = 1469598103934665603ULL;
+  void mix(std::int64_t v) {
+    auto u = static_cast<std::uint64_t>(v);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (u >> (8 * i)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  }
+};
+
+struct TrialTotals {
+  std::int64_t attempts = 0;
+  std::int64_t rollbacks = 0;
+  std::int64_t reconfigures = 0;
+  std::int64_t delivered = 0;
+  std::int64_t dropped = 0;
+  std::int64_t unroutable = 0;
+  std::int64_t replayed = 0;
+  std::int64_t degraded_epochs = 0;
+  std::int64_t failures = 0;
+};
+
+int cmd_run(const Args& args) {
+  const MeshShape shape = io::parse_geometry(args.get("mesh", "8x8"));
+  const long trials = args.get_long("trials", 25);
+  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 20020416));
+  const long initial_faults = args.get_long("initial-faults", 6);
+  const long epochs = args.get_long("epochs", 3);
+  const long messages = args.get_long("messages", 64);
+  const long node_kills = args.get_long("node-kills", 2);
+  const long link_kills = args.get_long("link-kills", 1);
+  const long horizon = args.get_long("horizon", 400);
+  const bool verbose = args.has("verbose");
+
+  LambOptions lamb_options;
+  lamb_options.budget_seconds = args.get_double("budget", 0.0);
+
+  manager::RecoveryOptions recovery_options;
+  recovery_options.message_flits =
+      static_cast<int>(args.get_long("flits", 8));
+  recovery_options.max_attempts =
+      static_cast<int>(args.get_long("max-attempts", 8));
+  recovery_options.sim.telemetry = obs::default_telemetry();
+
+  std::printf("fault_storm: %s, %ld trials, %ld epochs x %ld messages, "
+              "storm %ld node + %ld link kills / %ld cycles\n",
+              shape.to_string().c_str(), trials, epochs, messages,
+              node_kills, link_kills, horizon);
+
+  Rng master(seed);
+  Digest digest;
+  TrialTotals totals;
+  for (long trial = 0; trial < trials; ++trial) {
+    Rng rng(master.child_seed(static_cast<std::uint64_t>(trial)));
+
+    manager::MachineManager mgr(shape, lamb_options);
+    const FaultSet initial =
+        FaultSet::random_nodes(shape, initial_faults, rng);
+    for (NodeId id : initial.node_faults()) mgr.report_node_fault(id);
+    mgr.reconfigure();
+    manager::RecoveryDriver driver(mgr, recovery_options);
+
+    for (long epoch = 0; epoch < epochs; ++epoch) {
+      const std::vector<NodeId> survivors = mgr.survivors();
+      if (survivors.size() < 2) break;  // storm ate the machine
+      std::vector<std::pair<NodeId, NodeId>> pairs;
+      pairs.reserve(static_cast<std::size_t>(messages));
+      while (static_cast<long>(pairs.size()) < messages) {
+        const NodeId src =
+            survivors[rng.below(static_cast<std::uint64_t>(survivors.size()))];
+        const NodeId dst =
+            survivors[rng.below(static_cast<std::uint64_t>(survivors.size()))];
+        if (src != dst) pairs.push_back({src, dst});
+      }
+      const wormhole::FaultSchedule storm = wormhole::FaultSchedule::
+          random_storm(shape, mgr.faults(), node_kills, link_kills,
+                       horizon, rng);
+
+      const manager::RecoveryOutcome out =
+          driver.run_epoch(std::move(pairs), storm, rng);
+
+      totals.attempts += out.attempts;
+      totals.rollbacks += out.rollbacks;
+      totals.reconfigures += out.reconfigures;
+      totals.delivered += out.messages_delivered;
+      totals.dropped += out.messages_dropped;
+      totals.unroutable += out.messages_unroutable;
+      totals.replayed += out.messages_replayed;
+      const auto& report = mgr.history().back();
+      if (report.solve_status != SolveStatus::kCertified) {
+        ++totals.degraded_epochs;
+      }
+      digest.mix(out.attempts);
+      digest.mix(out.rollbacks);
+      digest.mix(out.reconfigures);
+      digest.mix(out.clock);
+      digest.mix(out.messages_delivered);
+      digest.mix(out.messages_dropped);
+      digest.mix(out.messages_unroutable);
+      digest.mix(out.final_epoch);
+      digest.mix(report.total_faults);
+      digest.mix(report.lambs_total);
+
+      if (verbose) {
+        std::printf("  trial %ld epoch %ld: %d attempts, %d rollbacks, "
+                    "%lld/%lld delivered (%lld dropped, %lld unroutable), "
+                    "faults %lld, lambs %lld [%s]\n",
+                    trial, epoch + 1, out.attempts, out.rollbacks,
+                    static_cast<long long>(out.messages_delivered),
+                    static_cast<long long>(out.messages_requested),
+                    static_cast<long long>(out.messages_dropped),
+                    static_cast<long long>(out.messages_unroutable),
+                    static_cast<long long>(report.total_faults),
+                    static_cast<long long>(report.lambs_total),
+                    solve_status_name(report.solve_status));
+      }
+      if (!out.completed) {
+        ++totals.failures;
+        std::printf("FAIL: trial %ld epoch %ld did not complete after %d "
+                    "attempts (%lld messages left)\n",
+                    trial, epoch + 1, out.attempts,
+                    static_cast<long long>(out.messages_requested -
+                                           out.messages_delivered -
+                                           out.messages_dropped -
+                                           out.messages_unroutable));
+      }
+    }
+  }
+
+  std::printf("totals: %lld attempts, %lld rollbacks, %lld reconfigures, "
+              "%lld delivered, %lld dropped, %lld unroutable, %lld "
+              "replayed, %lld degraded epochs\n",
+              static_cast<long long>(totals.attempts),
+              static_cast<long long>(totals.rollbacks),
+              static_cast<long long>(totals.reconfigures),
+              static_cast<long long>(totals.delivered),
+              static_cast<long long>(totals.dropped),
+              static_cast<long long>(totals.unroutable),
+              static_cast<long long>(totals.replayed),
+              static_cast<long long>(totals.degraded_epochs));
+  std::printf("digest: %016llx\n",
+              static_cast<unsigned long long>(digest.h));
+  if (totals.failures > 0) {
+    std::printf("FAILED: %lld epoch(s) incomplete\n",
+                static_cast<long long>(totals.failures));
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::telemetry_init(argc, argv);
+  Args args;
+  try {
+    args = Args::parse(argc, argv, {"verbose", "telemetry"});
+    args.require_known({"mesh", "trials", "seed", "initial-faults",
+                        "epochs", "messages", "node-kills", "link-kills",
+                        "horizon", "flits", "max-attempts", "budget",
+                        "threads", "verbose", "telemetry"});
+    if (args.has("threads")) {
+      par::set_threads(static_cast<int>(args.get_long("threads", 0)));
+    }
+  } catch (const io::ArgError& e) {
+    usage(e.what());
+  }
+  try {
+    if (args.command() == "run") return cmd_run(args);
+    usage(("unknown command " + args.command()).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
