@@ -1,8 +1,10 @@
 #include "io/cli_args.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string_view>
 
 #include "support/parallel.hpp"
@@ -49,18 +51,48 @@ std::string CliArgs::get(const std::string& key,
   return it == options_.end() ? fallback : it->second;
 }
 
+namespace {
+
+// Strict integer parse for option values. Distinguishes "not an
+// integer" (malformed, trailing garbage) from "an integer that does not
+// fit" so the user sees which mistake they made.
+long long parse_option_integer(const std::string& key,
+                               const std::string& value, long long lo,
+                               long long hi) {
+  const char* first = value.data();
+  const char* last = value.data() + value.size();
+  long long parsed = 0;
+  const std::from_chars_result result =
+      std::from_chars(first, last, parsed);
+  if (result.ec == std::errc::result_out_of_range ||
+      (result.ec == std::errc() && result.ptr == last &&
+       (parsed < lo || parsed > hi))) {
+    throw ArgError("--" + key + " value '" + value +
+                   "' is out of range [" + std::to_string(lo) + ", " +
+                   std::to_string(hi) + "]");
+  }
+  if (result.ec != std::errc() || result.ptr != last) {
+    throw ArgError("--" + key + " expects an integer, got '" + value + "'");
+  }
+  return parsed;
+}
+
+}  // namespace
+
 long CliArgs::get_long(const std::string& key, long fallback) const {
   const auto it = options_.find(key);
   if (it == options_.end()) return fallback;
-  try {
-    std::size_t consumed = 0;
-    const long value = std::stol(it->second, &consumed);
-    if (consumed != it->second.size()) throw std::invalid_argument("");
-    return value;
-  } catch (const std::exception&) {
-    throw ArgError("--" + key + " expects an integer, got '" + it->second +
-                   "'");
-  }
+  return static_cast<long>(parse_option_integer(
+      key, it->second, std::numeric_limits<long>::min(),
+      std::numeric_limits<long>::max()));
+}
+
+int CliArgs::get_int(const std::string& key, int fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  return static_cast<int>(parse_option_integer(
+      key, it->second, std::numeric_limits<int>::min(),
+      std::numeric_limits<int>::max()));
 }
 
 double CliArgs::get_double(const std::string& key, double fallback) const {
@@ -96,13 +128,10 @@ int init_threads(int argc, const char* const* argv) {
   if (!found) return -1;
   int n = 0;
   try {
-    std::size_t consumed = 0;
-    n = std::stoi(value, &consumed);
-    if (consumed != value.size() || n < 0) throw std::invalid_argument("");
-  } catch (const std::exception&) {
-    std::fprintf(stderr,
-                 "error: --threads expects a non-negative integer, got '%s'\n",
-                 value.c_str());
+    n = static_cast<int>(parse_option_integer(
+        "threads", value, 0, std::numeric_limits<int>::max()));
+  } catch (const ArgError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
     std::exit(2);
   }
   par::set_threads(n);

@@ -29,7 +29,12 @@ class CliArgs {
   bool has(const std::string& key) const { return options_.count(key) > 0; }
   std::string get(const std::string& key,
                   const std::string& fallback = "") const;
+  // Integer getters are strict: the whole value must parse ("10x" is an
+  // error, not 10) and must fit the result type ("999999999999" for an
+  // int option is an out-of-range error, never a silent wrap). Both
+  // throw ArgError with the offending value in the message.
   long get_long(const std::string& key, long fallback) const;
+  int get_int(const std::string& key, int fallback) const;
   double get_double(const std::string& key, double fallback) const;
 
   // Throws ArgError naming any option not in `known` — catches typos like

@@ -1,7 +1,9 @@
 #include "io/text_format.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 namespace lamb::io {
@@ -19,6 +21,34 @@ std::vector<std::string> tokenize(const std::string& line) {
   return tokens;
 }
 
+// Strict decimal parse: the whole token must be an integer in [lo, hi].
+// std::stol would silently accept trailing garbage ("10x" -> 10) and
+// values that wrap when narrowed to Coord; documents arrive from the
+// outside world, so both are hard errors.
+bool parse_int_token(const std::string& token, long long lo, long long hi,
+                     long long* out) {
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  long long value = 0;
+  const std::from_chars_result result = std::from_chars(first, last, value);
+  if (result.ec != std::errc() || result.ptr != last || value < lo ||
+      value > hi) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+// Rejects extra tokens after a fully-parsed directive; silently ignoring
+// them would mask typos like "node 1 2 3" on a 2-d mesh.
+void expect_line_end(const std::vector<std::string>& tokens,
+                     std::size_t used, int line) {
+  if (tokens.size() > used) {
+    throw ParseError(line, "unexpected trailing token '" + tokens[used] +
+                               "'");
+  }
+}
+
 Point parse_point(const std::vector<std::string>& tokens, std::size_t first,
                   const MeshShape& shape, int line) {
   if (tokens.size() < first + static_cast<std::size_t>(shape.dim())) {
@@ -28,11 +58,12 @@ Point parse_point(const std::vector<std::string>& tokens, std::size_t first,
   Point p;
   for (int j = 0; j < shape.dim(); ++j) {
     const std::string& tok = tokens[first + static_cast<std::size_t>(j)];
-    try {
-      p[j] = static_cast<Coord>(std::stol(tok));
-    } catch (const std::exception&) {
+    long long value = 0;
+    if (!parse_int_token(tok, std::numeric_limits<Coord>::min(),
+                         std::numeric_limits<Coord>::max(), &value)) {
       throw ParseError(line, "bad coordinate '" + tok + "'");
     }
+    p[j] = static_cast<Coord>(value);
   }
   if (!shape.in_bounds(p)) throw ParseError(line, "coordinate out of bounds");
   return p;
@@ -45,16 +76,11 @@ Dir parse_dir(const std::string& token, int line) {
 }
 
 int parse_dim(const std::string& token, const MeshShape& shape, int line) {
-  int dim = -1;
-  try {
-    dim = std::stoi(token);
-  } catch (const std::exception&) {
+  long long dim = -1;
+  if (!parse_int_token(token, 0, shape.dim() - 1, &dim)) {
     throw ParseError(line, "bad dimension '" + token + "'");
   }
-  if (dim < 0 || dim >= shape.dim()) {
-    throw ParseError(line, "dimension out of range");
-  }
-  return dim;
+  return static_cast<int>(dim);
 }
 
 }  // namespace
@@ -72,11 +98,12 @@ Document parse(std::istream& in) {
       if (doc.shape) throw ParseError(line_no, "duplicate mesh declaration");
       std::vector<Coord> widths;
       for (std::size_t i = 1; i < tokens.size(); ++i) {
-        try {
-          widths.push_back(static_cast<Coord>(std::stol(tokens[i])));
-        } catch (const std::exception&) {
+        long long width = 0;
+        if (!parse_int_token(tokens[i], 1,
+                             std::numeric_limits<Coord>::max(), &width)) {
           throw ParseError(line_no, "bad width '" + tokens[i] + "'");
         }
+        widths.push_back(static_cast<Coord>(width));
       }
       if (widths.empty()) throw ParseError(line_no, "mesh needs widths");
       try {
@@ -92,13 +119,15 @@ Document parse(std::istream& in) {
     if (!doc.shape) {
       throw ParseError(line_no, "mesh/torus declaration must come first");
     }
+    const std::size_t d = static_cast<std::size_t>(doc.shape->dim());
     if (verb == "node") {
+      expect_line_end(tokens, 1 + d, line_no);
       doc.faults->add_node(parse_point(tokens, 1, *doc.shape, line_no));
     } else if (verb == "link" || verb == "unilink") {
-      const std::size_t d = static_cast<std::size_t>(doc.shape->dim());
       if (tokens.size() < 1 + d + 2) {
         throw ParseError(line_no, "link needs coords, dim, dir");
       }
+      expect_line_end(tokens, 1 + d + 2, line_no);
       const Point p = parse_point(tokens, 1, *doc.shape, line_no);
       const int dim = parse_dim(tokens[1 + d], *doc.shape, line_no);
       const Dir dir = parse_dir(tokens[2 + d], line_no);
@@ -112,6 +141,7 @@ Document parse(std::istream& in) {
         throw ParseError(line_no, e.what());
       }
     } else if (verb == "lamb") {
+      expect_line_end(tokens, 1 + d, line_no);
       const Point p = parse_point(tokens, 1, *doc.shape, line_no);
       doc.lambs.push_back(doc.shape->index(p));
     } else {
@@ -187,13 +217,17 @@ MeshShape parse_geometry(const std::string& spec) {
   std::string token;
   std::istringstream stream(body);
   while (std::getline(stream, token, 'x')) {
-    try {
-      widths.push_back(static_cast<Coord>(std::stol(token)));
-    } catch (const std::exception&) {
+    long long width = 0;
+    if (!parse_int_token(token, 1, std::numeric_limits<Coord>::max(),
+                         &width)) {
       throw std::invalid_argument("bad geometry '" + spec + "'");
     }
+    widths.push_back(static_cast<Coord>(width));
   }
-  if (widths.empty()) throw std::invalid_argument("bad geometry '" + spec + "'");
+  // "8x8x" leaves a trailing empty token that getline swallows silently.
+  if (widths.empty() || (!body.empty() && body.back() == 'x')) {
+    throw std::invalid_argument("bad geometry '" + spec + "'");
+  }
   return torus ? MeshShape::torus(widths) : MeshShape::mesh(widths);
 }
 

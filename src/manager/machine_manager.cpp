@@ -10,6 +10,21 @@
 
 namespace lamb::manager {
 
+namespace {
+
+// Write-ahead journal record types. Records are appended BEFORE the
+// change is applied in memory, so after a crash the journal is the
+// authority: replaying a record whose apply never happened is exactly
+// the recovery we want, and re-applying one that did happen is
+// idempotent (reports dedup, degrade overwrites, reconfigure re-solves
+// deterministically from the same state).
+constexpr std::uint8_t kRecNodeFault = 1;    // i64 node id
+constexpr std::uint8_t kRecLinkFault = 2;    // i64 from id, i32 dim, u8 dir
+constexpr std::uint8_t kRecDegrade = 3;      // i64 node id, f64 value
+constexpr std::uint8_t kRecReconfigure = 4;  // i32 epoch produced
+
+}  // namespace
+
 MachineManager::MachineManager(const MeshShape& shape, LambOptions options,
                                int max_rounds)
     : shape_(std::make_unique<MeshShape>(shape)),
@@ -35,6 +50,12 @@ void MachineManager::report_node_fault(const Point& p) {
         "report_node_fault: point outside the mesh");
   }
   if (faults_.node_faulty(p)) return;
+  if (state_ != nullptr) {
+    io::ByteWriter w;
+    w.u8(kRecNodeFault);
+    w.i64(shape_->index(p));
+    journal_append(w.data());
+  }
   faults_.add_node(p);
   pending_ = true;
 }
@@ -56,8 +77,22 @@ void MachineManager::report_link_fault(const Point& from, int dim, Dir dir) {
     throw std::invalid_argument("report_link_fault: dimension " +
                                 std::to_string(dim) + " out of range");
   }
-  // FaultSet::add_link itself rejects links that leave the mesh (a node
-  // on the boundary has no neighbor in the outward direction).
+  // Journaling must precede the apply, and a replayed record must never
+  // throw — so the boundary check FaultSet::add_link would do happens
+  // here first.
+  Point neighbor;
+  if (!shape_->neighbor(from, dim, dir, &neighbor)) {
+    throw std::invalid_argument(
+        "report_link_fault: link leaves the mesh");
+  }
+  if (state_ != nullptr && !faults_.link_faulty(from, dim, dir)) {
+    io::ByteWriter w;
+    w.u8(kRecLinkFault);
+    w.i64(shape_->index(from));
+    w.i32(dim);
+    w.u8(dir == Dir::Pos ? 1 : 0);
+    journal_append(w.data());
+  }
   faults_.add_link(from, dim, dir);
   pending_ = true;
 }
@@ -72,12 +107,29 @@ void MachineManager::degrade_node(NodeId id, double value) {
         "degrade_node: value must be finite and in [0, 1]");
   }
   if (faults_.node_faulty(id)) return;
+  if (state_ != nullptr) {
+    io::ByteWriter w;
+    w.u8(kRecDegrade);
+    w.i64(id);
+    w.f64(value);
+    journal_append(w.data());
+  }
   values_[static_cast<std::size_t>(id)] = value;
   pending_ = true;
 }
 
 EpochReport MachineManager::reconfigure() {
   obs::Span span("manager.reconfigure", "manager");
+  if (state_ != nullptr) {
+    // Intent record: if we crash mid-solve, recovery re-runs the
+    // reconfigure (the solve is deterministic given the same state). On
+    // success the post-apply snapshot resets the journal, so this record
+    // only survives a crash.
+    io::ByteWriter w;
+    w.u8(kRecReconfigure);
+    w.i32(epoch() + 1);
+    journal_append(w.data());
+  }
   EpochReport report;
   report.epoch = epoch() + 1;
   // Close out the route-load telemetry of the epoch that ends here.
@@ -142,6 +194,7 @@ EpochReport MachineManager::reconfigure() {
   rebuild_routes();
   pending_ = false;
   history_.push_back(report);
+  if (state_ != nullptr) persist_snapshot();
 
   obs::counter("manager.epochs").add();
   if (report.solve_status != SolveStatus::kCertified) {
@@ -165,6 +218,12 @@ EpochReport MachineManager::reconfigure() {
 
 Checkpoint MachineManager::checkpoint() const {
   require_configured();
+  Checkpoint snapshot = snapshot_state();
+  obs::counter("manager.checkpoints").add();
+  return snapshot;
+}
+
+Checkpoint MachineManager::snapshot_state() const {
   Checkpoint snapshot;
   snapshot.epoch = epoch();
   snapshot.node_faults = faults_.node_faults();
@@ -173,13 +232,25 @@ Checkpoint MachineManager::checkpoint() const {
   snapshot.values = values_;
   snapshot.history = history_;
   snapshot.orders = orders_;
-  snapshot.rounds = rounds();
-  obs::counter("manager.checkpoints").add();
+  snapshot.rounds = static_cast<int>(orders_.size());
+  snapshot.route_load = load_.counts;
+  snapshot.routes_vended = routes_vended_;
+  snapshot.pending = pending_;
   return snapshot;
 }
 
 void MachineManager::restore(const Checkpoint& snapshot) {
   obs::Span span("manager.restore", "manager");
+  apply_state(snapshot);
+  // A roll-back is a state change like any other: it must be on disk
+  // before the manager acts on it, or a crash would resurrect the
+  // rolled-back timeline.
+  if (state_ != nullptr) persist_snapshot();
+  obs::counter("manager.restores").add();
+  span.arg("epoch", snapshot.epoch);
+}
+
+void MachineManager::apply_state(const Checkpoint& snapshot) {
   // Rebuild the fault set from the snapshot's plain lists; everything
   // else is value state. The route cache must be rebuilt because it
   // holds a pointer to the (now replaced) fault set contents.
@@ -199,12 +270,19 @@ void MachineManager::restore(const Checkpoint& snapshot) {
   orders_ = snapshot.orders;
   seen_node_faults_ = faults_.num_node_faults();
   seen_link_faults_ = faults_.num_link_faults();
-  load_.reset();
-  routes_vended_ = 0;
+  // Restore (not reset) the mid-epoch route-vending state so load-aware
+  // tie-breaking stays deterministic across a crash-and-resume. Older
+  // checkpoints without counts fall back to the historical reset.
+  if (snapshot.route_load.size() == load_.counts.size()) {
+    load_.counts = snapshot.route_load;
+  } else {
+    load_.reset();
+  }
+  routes_vended_ = snapshot.routes_vended;
   rebuild_routes();
-  pending_ = false;
-  obs::counter("manager.restores").add();
-  span.arg("epoch", snapshot.epoch);
+  // Epoch 0 only exists once reconfigure() establishes it, and a durable
+  // snapshot taken while reports were pending restores that obligation.
+  pending_ = snapshot.pending || history_.empty();
 }
 
 void MachineManager::rebuild_routes() {
@@ -239,6 +317,189 @@ std::optional<wormhole::Route> MachineManager::route(NodeId src, NodeId dst,
   auto route = routes_->build(src, dst, rng, &load_);
   if (route) ++routes_vended_;
   return route;
+}
+
+// ------------------------------------------------------------ durability
+
+std::string MachineManager::encode_state() const {
+  io::ByteWriter w;
+  io::encode(w, *shape_);
+  io::encode(w, snapshot_state(), shape_->dim());
+  return w.take();
+}
+
+void MachineManager::persist_snapshot() {
+  const io::LoadError err = state_->write_snapshot(encode_state());
+  if (!err.ok()) {
+    throw std::runtime_error("durable snapshot failed: " + err.to_string());
+  }
+}
+
+void MachineManager::journal_append(std::string_view record) {
+  const io::LoadError err = state_->append_journal(record);
+  if (!err.ok()) {
+    throw std::runtime_error("durable journal append failed: " +
+                             err.to_string());
+  }
+}
+
+void MachineManager::compact() {
+  if (state_ == nullptr) {
+    throw std::logic_error("MachineManager: compact() requires durability");
+  }
+  persist_snapshot();
+}
+
+void MachineManager::enable_durability(const std::string& dir,
+                                       io::DurableOptions options) {
+  if (state_ != nullptr) {
+    throw std::logic_error("MachineManager: durability already enabled");
+  }
+  auto state = std::make_unique<io::StateDir>(dir, options);
+  const io::LoadError err = state->write_snapshot(encode_state());
+  if (!err.ok()) {
+    throw std::runtime_error("durable snapshot failed: " + err.to_string());
+  }
+  state_ = std::move(state);
+}
+
+namespace {
+
+// Full decode of a snapshot payload: shape followed by checkpoint, with
+// no trailing bytes.
+bool decode_state(std::string_view payload, std::unique_ptr<MeshShape>* shape,
+                  Checkpoint* snapshot, io::LoadError* err) {
+  io::ByteReader r(payload);
+  const bool ok = io::decode(r, shape) && io::decode(r, **shape, snapshot) &&
+                  r.expect_end();
+  if (!ok && err != nullptr) *err = r.error();
+  return ok;
+}
+
+}  // namespace
+
+bool MachineManager::replay_record(std::string_view record) {
+  io::ByteReader r(record);
+  std::uint8_t type = 0;
+  if (!r.u8(&type)) return false;
+  // A record that passed its CRC can still be hostile (crafted bytes);
+  // the report_* validators throw on semantic violations, and replay
+  // converts that into a rejected record instead of propagating.
+  try {
+    switch (type) {
+      case kRecNodeFault: {
+        std::int64_t id = 0;
+        if (!r.i64(&id) || !r.expect_end()) return false;
+        report_node_fault(id);
+        return true;
+      }
+      case kRecLinkFault: {
+        std::int64_t from = 0;
+        std::int32_t dim = 0;
+        std::uint8_t dir = 0;
+        if (!r.i64(&from) || !r.i32(&dim) || !r.u8(&dir) || !r.expect_end() ||
+            from < 0 || from >= shape_->size() || dir > 1) {
+          return false;
+        }
+        report_link_fault(shape_->point(from), dim,
+                          dir == 1 ? Dir::Pos : Dir::Neg);
+        return true;
+      }
+      case kRecDegrade: {
+        std::int64_t id = 0;
+        double value = 0.0;
+        if (!r.i64(&id) || !r.f64(&value) || !r.expect_end()) return false;
+        degrade_node(id, value);
+        return true;
+      }
+      case kRecReconfigure: {
+        std::int32_t target_epoch = 0;
+        if (!r.i32(&target_epoch) || !r.expect_end() ||
+            target_epoch != epoch() + 1) {
+          return false;
+        }
+        reconfigure();
+        return true;
+      }
+      default:
+        return false;
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::unique_ptr<MachineManager> MachineManager::open(
+    const std::string& dir, LambOptions options, int max_rounds,
+    OpenReport* report, io::LoadError* err,
+    io::DurableOptions durable_options) {
+  obs::Span span("manager.open", "manager");
+  OpenReport local_report;
+  io::LoadError local_err;
+  if (report == nullptr) report = &local_report;
+  if (err == nullptr) err = &local_err;
+  *report = OpenReport{};
+  *err = io::LoadError{};
+
+  auto state = std::make_unique<io::StateDir>(dir, durable_options);
+  io::StateDir::Recovered rec;
+  *err = state->recover(
+      &rec, [](std::string_view payload, io::LoadError* e) {
+        std::unique_ptr<MeshShape> shape;
+        Checkpoint snapshot;
+        return decode_state(payload, &shape, &snapshot, e);
+      });
+  report->quarantined = rec.quarantined;
+  report->journal_tail_dropped = rec.journal_tail_dropped;
+  if (!err->ok()) return nullptr;
+
+  // The validator above accepted the payload, so this decode succeeds.
+  std::unique_ptr<MeshShape> shape;
+  Checkpoint snapshot;
+  decode_state(rec.snapshot_payload, &shape, &snapshot, err);
+  report->snapshot_seq = rec.seq;
+  report->snapshot_epoch = snapshot.epoch;
+  if (snapshot.rounds > max_rounds) {
+    err->code = io::LoadError::Code::kMalformed;
+    err->detail = "snapshot uses " + std::to_string(snapshot.rounds) +
+                  " routing rounds, above max_rounds " +
+                  std::to_string(max_rounds);
+    return nullptr;
+  }
+
+  auto manager = std::make_unique<MachineManager>(*shape, std::move(options),
+                                                  max_rounds);
+  manager->apply_state(snapshot);
+
+  // Replay while state_ is still unset, so replayed reports are not
+  // re-journaled and a replayed reconfigure does not snapshot early.
+  for (const std::string& record : rec.journal_records) {
+    const bool is_reconfigure =
+        !record.empty() &&
+        static_cast<std::uint8_t>(record[0]) == kRecReconfigure;
+    if (!manager->replay_record(record)) {
+      report->records_rejected =
+          static_cast<std::int64_t>(rec.journal_records.size()) -
+          report->records_replayed;
+      break;
+    }
+    ++report->records_replayed;
+    if (is_reconfigure) ++report->reconfigures_replayed;
+  }
+
+  manager->state_ = std::move(state);
+  // Compact whenever recovery dropped, quarantined, or re-ran anything:
+  // the fresh snapshot captures the repaired state and truncates the
+  // journal, so the next open starts clean.
+  if (report->journal_tail_dropped || !report->quarantined.empty() ||
+      report->reconfigures_replayed > 0 || report->records_rejected > 0) {
+    manager->persist_snapshot();
+    report->compacted = true;
+  }
+  obs::counter("manager.opens").add();
+  span.arg("epoch", manager->epoch());
+  span.arg("replayed", static_cast<double>(report->records_replayed));
+  return manager;
 }
 
 }  // namespace lamb::manager

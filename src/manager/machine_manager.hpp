@@ -16,9 +16,11 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/lamb.hpp"
+#include "io/durable.hpp"
 #include "mesh/fault_set.hpp"
 #include "mesh/mesh.hpp"
 #include "support/rng.hpp"
@@ -75,6 +77,28 @@ struct Checkpoint {
   std::vector<EpochReport> history;
   MultiRoundOrder orders;
   int rounds = 0;
+  // Mid-epoch route-vending state. Restoring it (rather than zeroing)
+  // keeps load-aware route tie-breaking deterministic across a
+  // crash-and-resume: the same request stream yields the same routes.
+  // route_load may be empty (treated as all-zero) or one count per node.
+  std::vector<std::int32_t> route_load;
+  std::int64_t routes_vended = 0;
+  // True when reports were pending at capture time. checkpoint() never
+  // sets it (it refuses a stale configuration); durable snapshots use it
+  // so recovery restores the must-reconfigure-first obligation.
+  bool pending = false;
+};
+
+// What MachineManager::open() found in the state directory.
+struct OpenReport {
+  std::uint64_t snapshot_seq = 0;  // seq of the snapshot recovered
+  int snapshot_epoch = 0;          // epoch recorded in that snapshot
+  std::int64_t records_replayed = 0;
+  std::int64_t records_rejected = 0;   // replay stopped at a bad record
+  std::int64_t reconfigures_replayed = 0;
+  bool journal_tail_dropped = false;   // a torn tail was truncated
+  bool compacted = false;              // a fresh snapshot was written
+  std::vector<std::string> quarantined;
 };
 
 class MachineManager {
@@ -85,6 +109,18 @@ class MachineManager {
   // costs one more virtual channel in the network — see rounds()).
   MachineManager(const MeshShape& shape, LambOptions options = {},
                  int max_rounds = 3);
+
+  // Reopens a manager from a durable state directory (see
+  // enable_durability): loads the newest valid snapshot, replays the
+  // write-ahead journal's intact record prefix, and compacts when
+  // recovery had to drop or re-run anything. `options` / `max_rounds`
+  // are not persisted (LambOptions holds pointers) and must be supplied
+  // again. Returns nullptr with *err filled when no snapshot in the
+  // directory is recoverable; never throws on hostile bytes.
+  static std::unique_ptr<MachineManager> open(
+      const std::string& dir, LambOptions options = {}, int max_rounds = 3,
+      OpenReport* report = nullptr, io::LoadError* err = nullptr,
+      io::DurableOptions durable_options = {});
 
   // Not movable: the internal route cache refers to the fault-set member,
   // whose address must stay stable.
@@ -158,9 +194,39 @@ class MachineManager {
   // counts to obs::Telemetry::set_route_load for dump export.
   const wormhole::NodeLoad& route_load() const { return load_; }
 
+  // --- Durability (crash-safe state; docs/RECOVERY.md "Durability") ---
+  // Attaches a state directory and writes an initial snapshot. From then
+  // on every accepted diagnostic report is appended to the write-ahead
+  // journal BEFORE it is applied, and every reconfigure()/restore()
+  // writes a fresh snapshot and truncates the journal (compaction).
+  // Durable write failures throw std::runtime_error (fail-stop: the
+  // manager must not drift ahead of its journal). Throws
+  // std::logic_error if durability is already enabled.
+  void enable_durability(const std::string& dir,
+                         io::DurableOptions options = {});
+  bool durable() const { return state_ != nullptr; }
+  // State directory handle, or nullptr when not durable.
+  const io::StateDir* state_dir() const { return state_.get(); }
+  // Writes a fresh snapshot and truncates the journal immediately (the
+  // compaction reconfigure()/restore() perform implicitly). Pending
+  // reports are baked into the snapshot along with their pending flag.
+  // Throws std::logic_error when not durable.
+  void compact();
+
  private:
   void require_configured() const;
   void rebuild_routes();
+  // Checkpoint of the raw member state; unlike checkpoint() this works
+  // while reports are pending (durable snapshots must not lose them —
+  // pending reports are in the journal, not the snapshot).
+  Checkpoint snapshot_state() const;
+  std::string encode_state() const;
+  void apply_state(const Checkpoint& snapshot);
+  void persist_snapshot();
+  void journal_append(std::string_view record);
+  // Applies one journal record; false (nothing applied) on a record that
+  // is malformed or semantically invalid. Never throws.
+  bool replay_record(std::string_view record);
 
   std::unique_ptr<MeshShape> shape_;
   LambOptions options_;
@@ -176,6 +242,7 @@ class MachineManager {
   std::int64_t seen_node_faults_ = 0;  // totals at the last reconfigure
   std::int64_t seen_link_faults_ = 0;
   bool pending_ = true;  // epoch 0 must be established by reconfigure()
+  std::unique_ptr<io::StateDir> state_;  // null when not durable
 };
 
 }  // namespace lamb::manager

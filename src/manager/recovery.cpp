@@ -153,6 +153,11 @@ RecoveryOutcome RecoveryDriver::run_epoch(
   }
 
   out.final_epoch = manager_->epoch();
+  if (!out.completed) {
+    // max_attempts exhausted with messages still undelivered: the caller
+    // sees completed == false, and operators see the counter tick.
+    obs::counter("recovery.gave_up").add();
+  }
   obs::gauge("recovery.last_attempts").set(static_cast<double>(out.attempts));
   span.arg("attempts", out.attempts);
   span.arg("rollbacks", out.rollbacks);

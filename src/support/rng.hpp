@@ -7,6 +7,7 @@
 // has a large state; trial loops spawn one generator per trial.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -65,6 +66,15 @@ class Rng {
   // Derive a child seed for trial `index`; children are statistically
   // independent of each other and of this generator's future output.
   std::uint64_t child_seed(std::uint64_t index);
+
+  // Exact generator state, for durable resume (a restored generator
+  // continues the same stream, unlike a reseed).
+  std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s[static_cast<std::size_t>(i)];
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

@@ -100,13 +100,47 @@ TEST(InitThreads, ParsesBothSpellingsAndConfiguresPool) {
 TEST(InitThreadsDeathTest, RejectsMalformedCounts) {
   const char* bad[] = {"prog", "--threads", "x"};
   EXPECT_EXIT(io::init_threads(3, bad), ::testing::ExitedWithCode(2),
-              "non-negative integer");
+              "expects an integer");
   const char* negative[] = {"prog", "--threads=-2"};
   EXPECT_EXIT(io::init_threads(2, negative), ::testing::ExitedWithCode(2),
-              "non-negative integer");
+              "out of range");
+  const char* overflow[] = {"prog", "--threads", "999999999999"};
+  EXPECT_EXIT(io::init_threads(3, overflow), ::testing::ExitedWithCode(2),
+              "out of range");
   const char* missing[] = {"prog", "--threads"};
   EXPECT_EXIT(io::init_threads(2, missing), ::testing::ExitedWithCode(2),
               "missing value");
+}
+
+TEST(CliArgs, IntegerOverflowIsRejectedNotWrapped) {
+  // 999999999999 fits a 64-bit long but not an int: get_int must refuse
+  // it loudly instead of letting a static_cast wrap it to nonsense.
+  const CliArgs args = CliArgs::parse({"run", "--threads", "999999999999"});
+  EXPECT_EQ(args.get_long("threads", 0), 999999999999L);
+  try {
+    args.get_int("threads", 0);
+    FAIL() << "expected ArgError";
+  } catch (const ArgError& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos)
+        << e.what();
+  }
+  // Beyond 64 bits even get_long refuses.
+  const CliArgs huge =
+      CliArgs::parse({"run", "--seed", "99999999999999999999999"});
+  EXPECT_THROW(huge.get_long("seed", 0), ArgError);
+}
+
+TEST(CliArgs, TrailingGarbageIsRejected) {
+  const CliArgs args = CliArgs::parse({"run", "--trials", "10x"});
+  try {
+    args.get_long("trials", 0);
+    FAIL() << "expected ArgError";
+  } catch (const ArgError& e) {
+    EXPECT_NE(std::string(e.what()).find("expects an integer"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(args.get_int("trials", 0), ArgError);
 }
 
 }  // namespace

@@ -1,0 +1,400 @@
+// Tests for the durable-state layer: atomic snapshots, the write-ahead
+// journal, recovery under injected storage faults (torn writes, bit
+// flips, short reads), and MachineManager's kill-and-restart property —
+// a reopened manager lands on a consistent prefix of the pre-crash
+// state and continues deterministically.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "io/binary_format.hpp"
+#include "io/durable.hpp"
+#include "manager/machine_manager.hpp"
+#include "mesh/mesh.hpp"
+#include "support/rng.hpp"
+
+namespace lamb {
+namespace {
+
+namespace fs = std::filesystem;
+using io::LoadError;
+using io::StateDir;
+
+// Fresh, empty directory under the test temp root.
+std::string state_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "lamb_durable_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+// Snapshot-and-journal options without fsync: these tests model process
+// death, not power loss, and fsync dominates runtime on slow disks.
+io::DurableOptions fast() {
+  io::DurableOptions options;
+  options.fsync = false;
+  return options;
+}
+
+std::string newest_snapshot_path(const std::string& dir) {
+  const StateDir::Scan scan = StateDir::scan(dir);
+  EXPECT_FALSE(scan.snapshots.empty());
+  return dir + "/" + scan.snapshots.front().name;
+}
+
+TEST(StateDir, SnapshotAndJournalRoundtrip) {
+  const std::string dir = state_dir("roundtrip");
+  {
+    StateDir state(dir, fast());
+    ASSERT_TRUE(state.write_snapshot("base-state").ok());
+    ASSERT_TRUE(state.append_journal("delta-1").ok());
+    ASSERT_TRUE(state.append_journal("delta-2").ok());
+  }
+  StateDir state(dir, fast());
+  StateDir::Recovered rec;
+  ASSERT_TRUE(state.recover(&rec).ok());
+  EXPECT_EQ(rec.seq, 1u);
+  EXPECT_EQ(rec.snapshot_payload, "base-state");
+  ASSERT_EQ(rec.journal_records.size(), 2u);
+  EXPECT_EQ(rec.journal_records[0], "delta-1");
+  EXPECT_EQ(rec.journal_records[1], "delta-2");
+  EXPECT_FALSE(rec.journal_tail_dropped);
+  EXPECT_TRUE(rec.quarantined.empty());
+
+  // The journal is open again after recovery; appends accumulate.
+  ASSERT_TRUE(state.append_journal("delta-3").ok());
+  StateDir reopened(dir, fast());
+  StateDir::Recovered rec2;
+  ASSERT_TRUE(reopened.recover(&rec2).ok());
+  EXPECT_EQ(rec2.journal_records.size(), 3u);
+}
+
+TEST(StateDir, FreshSnapshotResetsJournal) {
+  const std::string dir = state_dir("compaction");
+  StateDir state(dir, fast());
+  ASSERT_TRUE(state.write_snapshot("v1").ok());
+  ASSERT_TRUE(state.append_journal("old-delta").ok());
+  ASSERT_TRUE(state.write_snapshot("v2").ok());
+
+  StateDir reopened(dir, fast());
+  StateDir::Recovered rec;
+  ASSERT_TRUE(reopened.recover(&rec).ok());
+  EXPECT_EQ(rec.seq, 2u);
+  EXPECT_EQ(rec.snapshot_payload, "v2");
+  EXPECT_TRUE(rec.journal_records.empty());
+}
+
+TEST(StateDir, TornJournalTailIsTruncated) {
+  const std::string dir = state_dir("torn_tail");
+  {
+    StateDir state(dir, fast());
+    ASSERT_TRUE(state.write_snapshot("base").ok());
+    ASSERT_TRUE(state.append_journal("keep-me").ok());
+    ASSERT_TRUE(state.append_journal("torn-record").ok());
+  }
+  const std::string journal = dir + "/journal.lmj";
+  const std::uint64_t size = fs::file_size(journal);
+  ASSERT_TRUE(io::storage_fault::torn_write(journal, size - 3));
+
+  StateDir state(dir, fast());
+  StateDir::Recovered rec;
+  ASSERT_TRUE(state.recover(&rec).ok());
+  ASSERT_EQ(rec.journal_records.size(), 1u);
+  EXPECT_EQ(rec.journal_records[0], "keep-me");
+  EXPECT_TRUE(rec.journal_tail_dropped);
+  EXPECT_EQ(rec.journal_tail.code, LoadError::Code::kTruncated);
+
+  // The tail was truncated in place: a second recovery is clean.
+  StateDir again(dir, fast());
+  StateDir::Recovered rec2;
+  ASSERT_TRUE(again.recover(&rec2).ok());
+  EXPECT_EQ(rec2.journal_records.size(), 1u);
+  EXPECT_FALSE(rec2.journal_tail_dropped);
+}
+
+TEST(StateDir, CorruptNewestSnapshotFallsBackAndQuarantines) {
+  const std::string dir = state_dir("fallback");
+  {
+    StateDir state(dir, fast());
+    ASSERT_TRUE(state.write_snapshot("good-old").ok());
+    ASSERT_TRUE(state.write_snapshot("bad-new").ok());
+  }
+  ASSERT_TRUE(io::storage_fault::bit_flip(newest_snapshot_path(dir),
+                                          io::kSealHeaderSize + 1, 3));
+
+  StateDir state(dir, fast());
+  StateDir::Recovered rec;
+  ASSERT_TRUE(state.recover(&rec).ok());
+  EXPECT_EQ(rec.seq, 1u);
+  EXPECT_EQ(rec.snapshot_payload, "good-old");
+  // Both the corrupt snapshot and its (now unusable) journal moved aside.
+  EXPECT_EQ(rec.quarantined.size(), 2u);
+  EXPECT_TRUE(rec.journal_tail_dropped);
+
+  // A fresh lineage must sort above the dead seq 2, not reuse it.
+  ASSERT_TRUE(state.write_snapshot("fresh").ok());
+  EXPECT_EQ(state.seq(), 3u);
+}
+
+TEST(StateDir, StaleJournalFromBeforeSnapshotIsDiscarded) {
+  const std::string dir = state_dir("stale_journal");
+  const std::string journal = dir + "/journal.lmj";
+  std::string old_journal;
+  {
+    StateDir state(dir, fast());
+    ASSERT_TRUE(state.write_snapshot("v1").ok());
+    ASSERT_TRUE(state.append_journal("pre-compaction-delta").ok());
+    ASSERT_TRUE(io::read_file_bytes(journal, &old_journal, nullptr));
+    ASSERT_TRUE(state.write_snapshot("v2").ok());
+  }
+  // Crash window: snapshot v2 landed but the journal reset did not.
+  LoadError err;
+  ASSERT_TRUE(io::atomic_write_file(journal, old_journal, false, &err));
+
+  StateDir state(dir, fast());
+  StateDir::Recovered rec;
+  ASSERT_TRUE(state.recover(&rec).ok());
+  EXPECT_EQ(rec.snapshot_payload, "v2");
+  EXPECT_TRUE(rec.journal_records.empty());
+  EXPECT_FALSE(rec.journal_tail_dropped);
+}
+
+TEST(StateDir, ShortReadSurfacesAsTruncation) {
+  const std::string dir = state_dir("short_read");
+  {
+    StateDir state(dir, fast());
+    ASSERT_TRUE(state.write_snapshot("some-state-payload").ok());
+  }
+  std::string prefix;
+  ASSERT_TRUE(
+      io::storage_fault::short_read(newest_snapshot_path(dir), 10, &prefix));
+  EXPECT_EQ(prefix.size(), 10u);
+  std::string_view payload;
+  EXPECT_EQ(io::unseal(prefix, "LAMBSNAP", 1, &payload).code,
+            LoadError::Code::kTruncated);
+}
+
+TEST(StateDir, EmptyDirectoryIsUnrecoverable) {
+  const std::string dir = state_dir("empty");
+  fs::create_directories(dir);
+  StateDir state(dir, fast());
+  StateDir::Recovered rec;
+  const LoadError err = state.recover(&rec);
+  EXPECT_FALSE(err.ok());
+}
+
+TEST(StateDir, PruneKeepsConfiguredSnapshotCount) {
+  const std::string dir = state_dir("prune");
+  StateDir state(dir, fast());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(state.write_snapshot("v" + std::to_string(i)).ok());
+  }
+  const StateDir::Scan scan = StateDir::scan(dir);
+  EXPECT_EQ(scan.snapshots.size(), 2u);  // keep_snapshots default
+  EXPECT_EQ(scan.snapshots.front().seq, 5u);
+  EXPECT_TRUE(scan.recoverable);
+}
+
+// ------------------------------------------------- MachineManager::open
+
+TEST(DurableManager, ReopenRestoresStateAndPendingReports) {
+  const std::string dir = state_dir("mgr_reopen");
+  const MeshShape shape = MeshShape::cube(2, 6);
+  int epoch_before = 0;
+  {
+    manager::MachineManager mgr(shape);
+    mgr.reconfigure();
+    mgr.enable_durability(dir, fast());
+    mgr.report_node_fault(NodeId{8});
+    mgr.degrade_node(NodeId{14}, 0.5);
+    mgr.reconfigure();
+    // These land in the journal only — the "crash" below loses no data.
+    mgr.report_node_fault(NodeId{21});
+    mgr.report_link_fault(shape.point(0), 1, Dir::Pos);
+    epoch_before = mgr.epoch();
+  }  // process dies here
+
+  manager::OpenReport report;
+  LoadError err;
+  auto mgr = manager::MachineManager::open(dir, {}, 3, &report, &err);
+  ASSERT_NE(mgr, nullptr) << err.to_string();
+  EXPECT_EQ(mgr->epoch(), epoch_before);
+  EXPECT_EQ(report.records_replayed, 2);
+  EXPECT_EQ(report.records_rejected, 0);
+  EXPECT_TRUE(mgr->has_pending_reports());
+  EXPECT_TRUE(mgr->faults().node_faulty(NodeId{8}));
+  EXPECT_TRUE(mgr->faults().node_faulty(NodeId{21}));
+  EXPECT_TRUE(mgr->faults().link_faulty(shape.point(0), 1, Dir::Pos));
+  const auto epoch_report = mgr->reconfigure();
+  EXPECT_EQ(epoch_report.epoch, epoch_before + 1);
+}
+
+TEST(DurableManager, ReplaysReconfigureIntentAfterMidSolveCrash) {
+  const std::string dir = state_dir("mgr_intent");
+  const MeshShape shape = MeshShape::cube(2, 6);
+
+  // Reference: the uninterrupted run.
+  manager::MachineManager reference(shape);
+  reference.reconfigure();
+  reference.report_node_fault(NodeId{9});
+  reference.reconfigure();
+
+  std::string journal_before;
+  {
+    manager::MachineManager mgr(shape);
+    mgr.reconfigure();
+    mgr.enable_durability(dir, fast());
+    mgr.report_node_fault(NodeId{9});
+    ASSERT_TRUE(io::read_file_bytes(dir + "/journal.lmj", &journal_before,
+                                    nullptr));
+    mgr.reconfigure();  // journals intent, solves, snapshots, resets
+  }
+  // Rewind the directory to "crashed mid-reconfigure": the new snapshot
+  // never landed, the journal ends with the intent record.
+  fs::remove(newest_snapshot_path(dir));
+  io::ByteWriter intent;
+  intent.u8(4);  // kRecReconfigure
+  intent.i32(2);
+  io::append_record_frame(&journal_before, intent.data());
+  LoadError err;
+  ASSERT_TRUE(io::atomic_write_file(dir + "/journal.lmj", journal_before,
+                                    false, &err));
+
+  manager::OpenReport report;
+  auto mgr = manager::MachineManager::open(dir, {}, 3, &report, &err);
+  ASSERT_NE(mgr, nullptr) << err.to_string();
+  EXPECT_EQ(report.reconfigures_replayed, 1);
+  EXPECT_TRUE(report.compacted);
+  EXPECT_EQ(mgr->epoch(), reference.epoch());
+  EXPECT_EQ(mgr->lambs(), reference.lambs());
+  EXPECT_FALSE(mgr->has_pending_reports());
+}
+
+TEST(DurableManager, RouteVendingIsDeterministicAcrossReopen) {
+  const std::string dir = state_dir("mgr_routes");
+  const MeshShape shape = MeshShape::cube(2, 8);
+
+  auto vend = [](manager::MachineManager& mgr, Rng& rng, int n) {
+    std::string trace;
+    const auto survivors = mgr.survivors();
+    for (int i = 0; i < n; ++i) {
+      const NodeId src = survivors[rng.below(survivors.size())];
+      const NodeId dst = survivors[rng.below(survivors.size())];
+      const auto route = mgr.route(src, dst, rng);
+      if (route) {
+        trace += std::to_string(route->length());
+        for (NodeId via : route->intermediates) {
+          trace += "," + std::to_string(via);
+        }
+      }
+      trace += ";";
+    }
+    return trace;
+  };
+
+  manager::MachineManager reference(shape);
+  reference.reconfigure();
+  reference.report_node_fault(NodeId{17});
+  reference.report_node_fault(NodeId{44});
+  reference.reconfigure();
+  Rng reference_rng(2026);
+  const std::string leg1 = vend(reference, reference_rng, 20);
+  const std::string leg2 = vend(reference, reference_rng, 20);
+
+  manager::MachineManager crashing(shape);
+  crashing.reconfigure();
+  crashing.enable_durability(dir, fast());
+  crashing.report_node_fault(NodeId{17});
+  crashing.report_node_fault(NodeId{44});
+  crashing.reconfigure();
+  Rng rng(2026);
+  ASSERT_EQ(vend(crashing, rng, 20), leg1);
+  // Mid-epoch crash: persist the vending state, kill, reopen, resume.
+  crashing.compact();
+  const auto rng_state = rng.state();
+
+  auto reopened = manager::MachineManager::open(dir);
+  ASSERT_NE(reopened, nullptr);
+  Rng resumed_rng(0);
+  resumed_rng.set_state(rng_state);
+  EXPECT_EQ(vend(*reopened, resumed_rng, 20), leg2);
+}
+
+TEST(DurableManager, HostileStateDirNeverThrows) {
+  const MeshShape shape = MeshShape::cube(2, 5);
+  Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::string dir =
+        state_dir("mgr_hostile_" + std::to_string(trial));
+    {
+      manager::MachineManager mgr(shape);
+      mgr.reconfigure();
+      mgr.enable_durability(dir, fast());
+      mgr.report_node_fault(NodeId{3});
+      mgr.reconfigure();
+      mgr.report_node_fault(NodeId{5});
+    }
+    // Corrupt something: a bit flip or torn write in a random file.
+    std::vector<std::string> files;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      files.push_back(entry.path().string());
+    }
+    ASSERT_FALSE(files.empty());
+    const std::string& victim = files[rng.below(files.size())];
+    const std::uint64_t size = fs::file_size(victim);
+    if (size == 0) continue;
+    if (rng.bernoulli(0.5)) {
+      ASSERT_TRUE(io::storage_fault::bit_flip(victim, rng.below(size),
+                                              static_cast<int>(rng.below(8))));
+    } else {
+      ASSERT_TRUE(io::storage_fault::torn_write(victim, rng.below(size)));
+    }
+
+    manager::OpenReport report;
+    LoadError err;
+    std::unique_ptr<manager::MachineManager> mgr;
+    ASSERT_NO_THROW(
+        mgr = manager::MachineManager::open(dir, {}, 3, &report, &err));
+    if (mgr != nullptr) {
+      // Whatever prefix we landed on must be internally consistent.
+      EXPECT_GE(mgr->epoch(), 1);
+      EXPECT_NO_THROW(mgr->reconfigure());
+    } else {
+      EXPECT_FALSE(err.ok());
+    }
+  }
+}
+
+TEST(DurableManager, RejectsHostileJournalRecordAndCompacts) {
+  const std::string dir = state_dir("mgr_bad_record");
+  const MeshShape shape = MeshShape::cube(2, 5);
+  {
+    manager::MachineManager mgr(shape);
+    mgr.reconfigure();
+    mgr.enable_durability(dir, fast());
+    mgr.report_node_fault(NodeId{3});
+  }
+  // A record with a valid frame CRC but hostile content: node id far
+  // outside the mesh. Replay must reject it, not throw.
+  std::string journal;
+  ASSERT_TRUE(io::read_file_bytes(dir + "/journal.lmj", &journal, nullptr));
+  io::ByteWriter bad;
+  bad.u8(1);  // kRecNodeFault
+  bad.i64(NodeId{999999});
+  io::append_record_frame(&journal, bad.data());
+  LoadError err;
+  ASSERT_TRUE(io::atomic_write_file(dir + "/journal.lmj", journal, false,
+                                    &err));
+
+  manager::OpenReport report;
+  auto mgr = manager::MachineManager::open(dir, {}, 3, &report, &err);
+  ASSERT_NE(mgr, nullptr) << err.to_string();
+  EXPECT_EQ(report.records_replayed, 1);
+  EXPECT_EQ(report.records_rejected, 1);
+  EXPECT_TRUE(report.compacted);
+  EXPECT_TRUE(mgr->faults().node_faulty(NodeId{3}));
+}
+
+}  // namespace
+}  // namespace lamb

@@ -15,6 +15,7 @@
 #include "core/lamb.hpp"
 #include "manager/machine_manager.hpp"
 #include "manager/recovery.hpp"
+#include "obs/obs.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "wormhole/fault_schedule.hpp"
@@ -485,6 +486,42 @@ TEST(Recovery, SimResultBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(a.outcomes, r->outcomes);
     EXPECT_EQ(a.applied_faults, r->applied_faults);
   }
+}
+
+TEST(Recovery, GivesUpCleanlyWhenMaxAttemptsAreExhausted) {
+  obs::MetricsRegistry::global().set_enabled(true);
+  const std::int64_t gave_up_before =
+      obs::counter("recovery.gave_up").value();
+
+  const MeshShape shape = MeshShape::cube(2, 8);
+  manager::MachineManager mgr(shape);
+  mgr.reconfigure();
+  manager::RecoveryOptions options;
+  options.max_attempts = 1;     // exhausted by the very first rollback
+  options.message_flits = 16;   // long enough to still be streaming at t=3
+  manager::RecoveryDriver driver(mgr, options);
+
+  // The source node dies while its own message is still injecting, so
+  // the attempt can never deliver and the single permitted attempt fails.
+  FaultSchedule storm;
+  const NodeId src = shape.index(Point{0, 0});
+  storm.kill_node(3, src);
+  Rng rng(7);
+  const manager::RecoveryOutcome out =
+      driver.run_epoch({{src, shape.index(Point{7, 7})}}, storm, rng);
+
+  EXPECT_FALSE(out.completed);
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_EQ(out.rollbacks, 1);
+  EXPECT_EQ(out.messages_delivered, 0);
+  // Giving up on delivery does not mean giving up on diagnosis: the
+  // manager already rolled back, ingested the fault, and reconfigured.
+  EXPECT_EQ(out.reconfigures, 1);
+  EXPECT_FALSE(mgr.is_survivor(src));
+  EXPECT_EQ(out.final_epoch, mgr.epoch());
+  // Operators can alert on the give-up counter.
+  EXPECT_EQ(obs::counter("recovery.gave_up").value(), gave_up_before + 1);
+  obs::MetricsRegistry::global().set_enabled(false);
 }
 
 TEST(Recovery, AdversarialBudgetNeverThrowsOutOfTheLoop) {

@@ -14,17 +14,33 @@
 // printed digest folds every trial's outcome numbers, so two runs agree
 // iff their digests agree.
 //
+// With --state DIR the run is additionally crash-safe: the manager keeps
+// its durable snapshot+journal under DIR/machine, and a sealed
+// DIR/progress.lmp records the epoch-boundary resume point (trial/epoch
+// counters, digest, totals, trial rng state, manager checkpoint). Kill
+// the process at ANY moment and rerun the same command: it recovers via
+// MachineManager::open, rewinds to the last epoch boundary, and finishes
+// with the same digest an uninterrupted run prints. Rerunning a
+// completed run prints the persisted digest and exits 0.
+//
 // Examples:
 //   fault_storm run --trials 25 --seed 7
 //   fault_storm run --mesh 16x16 --epochs 4 --node-kills 3 --link-kills 2
 //   fault_storm run --trials 5 --budget 1e-6   # exercise degradation
+//   fault_storm run --trials 8 --state /tmp/storm-state
+#include <array>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "io/binary_format.hpp"
 #include "io/cli_args.hpp"
+#include "io/durable.hpp"
 #include "io/text_format.hpp"
 #include "manager/machine_manager.hpp"
 #include "manager/recovery.hpp"
@@ -57,6 +73,9 @@ using Args = io::CliArgs;
                "  --flits F         flits per message (8)\n"
                "  --max-attempts A  recovery retry bound per epoch (8)\n"
                "  --budget SECS     solver budget; 0 = unlimited (0)\n"
+               "  --state DIR       crash-safe mode: persist progress and\n"
+               "                    the manager's durable state under DIR;\n"
+               "                    rerunning resumes after a kill\n"
                "  --threads T       worker threads; result is identical\n"
                "                    at any value\n"
                "  --verbose         per-epoch log lines\n");
@@ -88,6 +107,92 @@ struct TrialTotals {
   std::int64_t failures = 0;
 };
 
+// ------------------------------------------------- durable progress file
+//
+// Sealed ("LAMBPROG" v1) epoch-boundary resume point. next_epoch is the
+// epoch about to run: in [1, epochs) the checkpoint + rng state rewind
+// the current trial; >= epochs the next trial starts from its own seed.
+
+struct Progress {
+  bool complete = false;
+  std::int64_t next_trial = 0;
+  std::int64_t next_epoch = 0;
+  std::uint64_t digest = 0;
+  TrialTotals totals;
+  std::array<std::uint64_t, 4> rng_state{};
+  bool has_checkpoint = false;
+  manager::Checkpoint checkpoint;
+};
+
+std::string encode_progress(const Progress& p, std::uint64_t fingerprint,
+                            const MeshShape& shape) {
+  io::ByteWriter w;
+  w.u64(fingerprint);
+  w.u8(p.complete ? 1 : 0);
+  w.i64(p.next_trial);
+  w.i64(p.next_epoch);
+  w.u64(p.digest);
+  w.i64(p.totals.attempts);
+  w.i64(p.totals.rollbacks);
+  w.i64(p.totals.reconfigures);
+  w.i64(p.totals.delivered);
+  w.i64(p.totals.dropped);
+  w.i64(p.totals.unroutable);
+  w.i64(p.totals.replayed);
+  w.i64(p.totals.degraded_epochs);
+  w.i64(p.totals.failures);
+  for (std::uint64_t word : p.rng_state) w.u64(word);
+  w.u8(p.has_checkpoint ? 1 : 0);
+  if (p.has_checkpoint) {
+    io::encode(w, shape);
+    io::encode(w, p.checkpoint, shape.dim());
+  }
+  return io::seal("LAMBPROG", 1, w.data());
+}
+
+// Returns false on any corruption (treated as a fresh start — the digest
+// is reproducible from scratch); sets *config_mismatch when the file is
+// intact but belongs to a different parameterisation.
+bool decode_progress(std::string_view bytes, std::uint64_t fingerprint,
+                     const MeshShape& shape, Progress* out,
+                     bool* config_mismatch) {
+  std::string_view payload;
+  if (!io::unseal(bytes, "LAMBPROG", 1, &payload).ok()) return false;
+  io::ByteReader r(payload);
+  std::uint64_t fp = 0;
+  std::uint8_t complete = 0, has_checkpoint = 0;
+  if (!r.u64(&fp)) return false;
+  if (fp != fingerprint) {
+    *config_mismatch = true;
+    return false;
+  }
+  if (!r.u8(&complete) || complete > 1) return false;
+  out->complete = complete == 1;
+  if (!r.i64(&out->next_trial) || !r.i64(&out->next_epoch) ||
+      !r.u64(&out->digest)) {
+    return false;
+  }
+  if (!r.i64(&out->totals.attempts) || !r.i64(&out->totals.rollbacks) ||
+      !r.i64(&out->totals.reconfigures) || !r.i64(&out->totals.delivered) ||
+      !r.i64(&out->totals.dropped) || !r.i64(&out->totals.unroutable) ||
+      !r.i64(&out->totals.replayed) ||
+      !r.i64(&out->totals.degraded_epochs) || !r.i64(&out->totals.failures)) {
+    return false;
+  }
+  for (std::uint64_t& word : out->rng_state) {
+    if (!r.u64(&word)) return false;
+  }
+  if (!r.u8(&has_checkpoint) || has_checkpoint > 1) return false;
+  out->has_checkpoint = has_checkpoint == 1;
+  if (out->has_checkpoint) {
+    std::unique_ptr<MeshShape> saved_shape;
+    if (!io::decode(r, &saved_shape)) return false;
+    if (saved_shape->to_string() != shape.to_string()) return false;
+    if (!io::decode(r, *saved_shape, &out->checkpoint)) return false;
+  }
+  return r.expect_end();
+}
+
 int cmd_run(const Args& args) {
   const MeshShape shape = io::parse_geometry(args.get("mesh", "8x8"));
   const long trials = args.get_long("trials", 25);
@@ -99,15 +204,16 @@ int cmd_run(const Args& args) {
   const long link_kills = args.get_long("link-kills", 1);
   const long horizon = args.get_long("horizon", 400);
   const bool verbose = args.has("verbose");
+  const std::string state_dir = args.get("state", "");
 
   LambOptions lamb_options;
   lamb_options.budget_seconds = args.get_double("budget", 0.0);
 
   manager::RecoveryOptions recovery_options;
   recovery_options.message_flits =
-      static_cast<int>(args.get_long("flits", 8));
+      args.get_int("flits", 8);
   recovery_options.max_attempts =
-      static_cast<int>(args.get_long("max-attempts", 8));
+      args.get_int("max-attempts", 8);
   recovery_options.sim.telemetry = obs::default_telemetry();
 
   std::printf("fault_storm: %s, %ld trials, %ld epochs x %ld messages, "
@@ -115,22 +221,162 @@ int cmd_run(const Args& args) {
               shape.to_string().c_str(), trials, epochs, messages,
               node_kills, link_kills, horizon);
 
+  // Config fingerprint: a state dir can only resume the run that made it.
+  Digest config;
+  for (const char c : shape.to_string()) config.mix(c);
+  for (const long v : {trials, initial_faults, epochs, messages, node_kills,
+                       link_kills, horizon,
+                       static_cast<long>(recovery_options.message_flits),
+                       static_cast<long>(recovery_options.max_attempts)}) {
+    config.mix(v);
+  }
+  config.mix(static_cast<std::int64_t>(seed));
+  std::uint64_t budget_bits = 0;
+  std::memcpy(&budget_bits, &lamb_options.budget_seconds,
+              sizeof(budget_bits));
+  config.mix(static_cast<std::int64_t>(budget_bits));
+  const std::uint64_t fingerprint = config.h;
+
+  namespace fs = std::filesystem;
+  const std::string progress_path =
+      state_dir.empty() ? "" : state_dir + "/progress.lmp";
+  const std::string machine_dir =
+      state_dir.empty() ? "" : state_dir + "/machine";
+
   Rng master(seed);
   Digest digest;
   TrialTotals totals;
-  for (long trial = 0; trial < trials; ++trial) {
-    Rng rng(master.child_seed(static_cast<std::uint64_t>(trial)));
+  Rng rng(0);  // per-trial generator, (re)seeded below
+  long start_trial = 0;
+  long start_epoch = 0;
+  std::unique_ptr<manager::MachineManager> resumed;
 
-    manager::MachineManager mgr(shape, lamb_options);
-    const FaultSet initial =
-        FaultSet::random_nodes(shape, initial_faults, rng);
-    for (NodeId id : initial.node_faults()) mgr.report_node_fault(id);
-    mgr.reconfigure();
-    manager::RecoveryDriver driver(mgr, recovery_options);
+  if (!state_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(state_dir, ec);
+    std::string bytes;
+    Progress saved;
+    bool config_mismatch = false;
+    if (io::read_file_bytes(progress_path, &bytes, nullptr) &&
+        decode_progress(bytes, fingerprint, shape, &saved,
+                        &config_mismatch)) {
+      if (saved.complete) {
+        std::printf("digest: %016llx\n",
+                    static_cast<unsigned long long>(saved.digest));
+        if (saved.totals.failures > 0) {
+          std::printf("FAILED: %lld epoch(s) incomplete (persisted)\n",
+                      static_cast<long long>(saved.totals.failures));
+          return 1;
+        }
+        std::printf("OK (already complete)\n");
+        return 0;
+      }
+      digest.h = saved.digest;
+      totals = saved.totals;
+      start_trial = saved.next_trial;
+      start_epoch = saved.next_epoch;
+      if (start_epoch >= epochs) {
+        // The trial finished; the next one rebuilds from its own seed.
+        ++start_trial;
+        start_epoch = 0;
+      } else if (saved.has_checkpoint) {
+        // Mid-trial: recover the durable manager (exercising the crash
+        // path), then rewind to the epoch boundary the progress file
+        // describes — the machine dir may have advanced past it before
+        // the crash.
+        manager::OpenReport open_report;
+        io::LoadError open_err;
+        resumed = manager::MachineManager::open(
+            machine_dir, lamb_options, /*max_rounds=*/3, &open_report,
+            &open_err);
+        if (resumed == nullptr) {
+          std::fprintf(stderr, "error: cannot recover %s: %s\n",
+                       machine_dir.c_str(), open_err.to_string().c_str());
+          return 1;
+        }
+        resumed->restore(saved.checkpoint);
+        rng.set_state(saved.rng_state);
+        std::printf("resumed: trial %ld epoch %ld (snapshot seq %llu, "
+                    "%lld journal records replayed)\n",
+                    start_trial, start_epoch + 1,
+                    static_cast<unsigned long long>(
+                        open_report.snapshot_seq),
+                    static_cast<long long>(open_report.records_replayed));
+      } else {
+        // Mid-trial progress without a checkpoint should not exist; the
+        // only safe interpretation is a full restart (the digest is
+        // reproducible from the seed).
+        digest = Digest{};
+        totals = TrialTotals{};
+        start_trial = 0;
+        start_epoch = 0;
+      }
+    } else if (config_mismatch) {
+      std::fprintf(stderr,
+                   "error: %s belongs to a run with different parameters; "
+                   "use a fresh --state directory\n",
+                   progress_path.c_str());
+      return 2;
+    }
+  }
 
-    for (long epoch = 0; epoch < epochs; ++epoch) {
-      const std::vector<NodeId> survivors = mgr.survivors();
-      if (survivors.size() < 2) break;  // storm ate the machine
+  const auto save_progress = [&](long next_trial, long next_epoch,
+                                 bool complete,
+                                 manager::MachineManager* mgr) -> bool {
+    if (state_dir.empty()) return true;
+    Progress p;
+    p.complete = complete;
+    p.next_trial = next_trial;
+    p.next_epoch = next_epoch;
+    p.digest = digest.h;
+    p.totals = totals;
+    p.rng_state = rng.state();
+    if (mgr != nullptr) {
+      p.has_checkpoint = true;
+      p.checkpoint = mgr->checkpoint();
+    }
+    io::LoadError werr;
+    if (!io::atomic_write_file(progress_path,
+                               encode_progress(p, fingerprint, shape),
+                               /*do_fsync=*/true, &werr)) {
+      std::fprintf(stderr, "error: cannot write %s: %s\n",
+                   progress_path.c_str(), werr.to_string().c_str());
+      return false;
+    }
+    return true;
+  };
+
+  for (long trial = start_trial; trial < trials; ++trial) {
+    std::unique_ptr<manager::MachineManager> owned;
+    manager::MachineManager* mgr = nullptr;
+    long first_epoch = 0;
+    if (trial == start_trial && resumed != nullptr) {
+      mgr = resumed.get();
+      first_epoch = start_epoch;
+    } else {
+      rng = Rng(master.child_seed(static_cast<std::uint64_t>(trial)));
+      owned = std::make_unique<manager::MachineManager>(shape, lamb_options);
+      if (!machine_dir.empty()) {
+        // One durable lineage per trial; the previous trial's state is
+        // already folded into the digest and progress file.
+        std::error_code ec;
+        fs::remove_all(machine_dir, ec);
+        owned->enable_durability(machine_dir);
+      }
+      mgr = owned.get();
+      const FaultSet initial =
+          FaultSet::random_nodes(shape, initial_faults, rng);
+      for (NodeId id : initial.node_faults()) mgr->report_node_fault(id);
+      mgr->reconfigure();
+    }
+    manager::RecoveryDriver driver(*mgr, recovery_options);
+
+    for (long epoch = first_epoch; epoch < epochs; ++epoch) {
+      const std::vector<NodeId> survivors = mgr->survivors();
+      if (survivors.size() < 2) {  // storm ate the machine
+        if (!save_progress(trial, epochs, false, nullptr)) return 1;
+        break;
+      }
       std::vector<std::pair<NodeId, NodeId>> pairs;
       pairs.reserve(static_cast<std::size_t>(messages));
       while (static_cast<long>(pairs.size()) < messages) {
@@ -141,7 +387,7 @@ int cmd_run(const Args& args) {
         if (src != dst) pairs.push_back({src, dst});
       }
       const wormhole::FaultSchedule storm = wormhole::FaultSchedule::
-          random_storm(shape, mgr.faults(), node_kills, link_kills,
+          random_storm(shape, mgr->faults(), node_kills, link_kills,
                        horizon, rng);
 
       const manager::RecoveryOutcome out =
@@ -154,7 +400,7 @@ int cmd_run(const Args& args) {
       totals.dropped += out.messages_dropped;
       totals.unroutable += out.messages_unroutable;
       totals.replayed += out.messages_replayed;
-      const auto& report = mgr.history().back();
+      const auto& report = mgr->history().back();
       if (report.solve_status != SolveStatus::kCertified) {
         ++totals.degraded_epochs;
       }
@@ -192,8 +438,12 @@ int cmd_run(const Args& args) {
                                            out.messages_dropped -
                                            out.messages_unroutable));
       }
+      // Epoch boundary: persist the resume point AFTER the manager state
+      // it describes is durable (reconfigure already snapshotted it).
+      if (!save_progress(trial, epoch + 1, false, mgr)) return 1;
     }
   }
+  if (!save_progress(trials, 0, /*complete=*/true, nullptr)) return 1;
 
   std::printf("totals: %lld attempts, %lld rollbacks, %lld reconfigures, "
               "%lld delivered, %lld dropped, %lld unroutable, %lld "
@@ -227,9 +477,9 @@ int main(int argc, char** argv) {
     args.require_known({"mesh", "trials", "seed", "initial-faults",
                         "epochs", "messages", "node-kills", "link-kills",
                         "horizon", "flits", "max-attempts", "budget",
-                        "threads", "verbose", "telemetry"});
+                        "state", "threads", "verbose", "telemetry"});
     if (args.has("threads")) {
-      par::set_threads(static_cast<int>(args.get_long("threads", 0)));
+      par::set_threads(args.get_int("threads", 0));
     }
   } catch (const io::ArgError& e) {
     usage(e.what());

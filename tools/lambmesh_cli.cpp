@@ -92,7 +92,7 @@ io::Document load_document(const Args& args) {
 }
 
 MultiRoundOrder rounds_of(const Args& args, int dim) {
-  return ascending_rounds(dim, (int)args.get_long("rounds", 2));
+  return ascending_rounds(dim, args.get_int("rounds", 2));
 }
 
 int cmd_solve(const Args& args) {
@@ -199,7 +199,7 @@ int cmd_simulate(const Args& args) {
 
   wormhole::TrafficConfig tc;
   tc.num_messages = args.get_long("messages", 500);
-  tc.message_flits = (int)args.get_long("flits", 8);
+  tc.message_flits = args.get_int("flits", 8);
   const std::string pattern = args.get("pattern", "uniform");
   if (pattern == "uniform") {
     tc.pattern = wormhole::Pattern::kUniform;
@@ -217,8 +217,8 @@ int cmd_simulate(const Args& args) {
   const auto traffic = wormhole::generate_traffic(*doc.shape, *doc.faults,
                                                   doc.lambs, builder, tc, rng);
   wormhole::SimConfig config;
-  config.vcs_per_link = (int)args.get_long("vcs", (long)orders.size());
-  config.buffer_flits = (int)args.get_long("buffers", 4);
+  config.vcs_per_link = args.get_int("vcs", (int)orders.size());
+  config.buffer_flits = args.get_int("buffers", 4);
   wormhole::Network net(*doc.shape, *doc.faults, config);
   for (const auto& m : traffic.messages) net.submit(m);
   const auto result = net.run();
@@ -246,7 +246,7 @@ int main(int argc, char** argv) {
                         "seed", "rounds", "solver", "messages", "flits",
                         "vcs", "buffers", "pattern", "threads"});
     if (args.has("threads")) {
-      par::set_threads(static_cast<int>(args.get_long("threads", 0)));
+      par::set_threads(args.get_int("threads", 0));
     }
   } catch (const io::ArgError& e) {
     usage(e.what());

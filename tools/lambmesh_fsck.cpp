@@ -1,0 +1,148 @@
+// lambmesh_fsck — inspect and repair a durable state directory
+// (docs/RECOVERY.md "Durability"). Three subcommands:
+//
+//   verify <dir>   read-only health report; exit 0 iff recoverable
+//   dump <dir>     verify + decode the newest valid snapshot and print
+//                  the machine state it would recover to
+//   compact <dir>  full recovery (quarantines corrupt files, truncates a
+//                  torn journal tail) followed by a fresh snapshot
+//
+// verify/dump never modify the directory; compact performs exactly the
+// repairs MachineManager::open() would.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "io/binary_format.hpp"
+#include "io/durable.hpp"
+#include "manager/machine_manager.hpp"
+#include "mesh/mesh.hpp"
+
+namespace {
+
+using lamb::MeshShape;
+using lamb::io::LoadError;
+using lamb::io::StateDir;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lambmesh_fsck <verify|dump|compact> <state-dir>\n");
+  return 2;
+}
+
+bool validate_manager_payload(std::string_view payload, LoadError* err) {
+  lamb::io::ByteReader r(payload);
+  std::unique_ptr<MeshShape> shape;
+  lamb::manager::Checkpoint snapshot;
+  const bool ok = lamb::io::decode(r, &shape) &&
+                  lamb::io::decode(r, *shape, &snapshot) && r.expect_end();
+  if (!ok && err != nullptr) *err = r.error();
+  return ok;
+}
+
+void print_error(const char* label, const LoadError& err) {
+  if (err.ok()) {
+    std::printf("%s: ok\n", label);
+  } else {
+    std::printf("%s: %s\n", label, err.to_string().c_str());
+  }
+}
+
+int cmd_verify(const std::string& dir, bool dump) {
+  const StateDir::Scan scan = StateDir::scan(dir, validate_manager_payload);
+  std::printf("state directory: %s\n", dir.c_str());
+  if (scan.snapshots.empty()) {
+    std::printf("snapshots: none\n");
+  }
+  for (const auto& snap : scan.snapshots) {
+    std::printf("snapshot %s (seq %llu, %llu bytes): %s\n",
+                snap.name.c_str(),
+                static_cast<unsigned long long>(snap.seq),
+                static_cast<unsigned long long>(snap.bytes),
+                snap.error.ok() ? "ok" : snap.error.to_string().c_str());
+  }
+  if (!scan.journal_present) {
+    std::printf("journal: none\n");
+  } else if (!scan.journal_header.ok()) {
+    print_error("journal header", scan.journal_header);
+  } else {
+    std::printf("journal: bound to seq %llu, %lld intact record(s)\n",
+                static_cast<unsigned long long>(scan.journal_bound_seq),
+                static_cast<long long>(scan.journal_records));
+    print_error("journal tail", scan.journal_tail);
+  }
+  for (const auto& name : scan.quarantine_files) {
+    std::printf("quarantined: %s\n", name.c_str());
+  }
+  std::printf("recoverable: %s\n", scan.recoverable ? "yes" : "NO");
+
+  if (dump && scan.recoverable) {
+    lamb::io::LoadError err;
+    // Replaying may re-run a reconfigure; dump must stay read-only, so
+    // decode the newest valid snapshot directly instead of open()ing.
+    for (const auto& snap : scan.snapshots) {
+      if (!snap.error.ok()) continue;
+      std::string file;
+      if (!lamb::io::read_file_bytes(dir + "/" + snap.name, &file, &err)) {
+        break;
+      }
+      // The scan already validated the seal, so skip straight past it.
+      lamb::io::ByteReader r(
+          std::string_view(file).substr(lamb::io::kSealHeaderSize));
+      std::unique_ptr<MeshShape> shape;
+      lamb::manager::Checkpoint cp;
+      if (!lamb::io::decode(r, &shape) || !lamb::io::decode(r, *shape, &cp)) {
+        break;
+      }
+      std::printf("mesh: %s\n", shape->to_string().c_str());
+      std::printf("epoch: %d (rounds %d)\n", cp.epoch, cp.rounds);
+      std::printf("node faults: %zu\n", cp.node_faults.size());
+      std::printf("link faults: %zu\n", cp.link_faults.size());
+      std::printf("lambs: %zu\n", cp.lambs.size());
+      std::printf("routes vended this epoch: %lld\n",
+                  static_cast<long long>(cp.routes_vended));
+      break;
+    }
+  }
+  return scan.recoverable ? 0 : 1;
+}
+
+int cmd_compact(const std::string& dir) {
+  lamb::io::LoadError err;
+  lamb::manager::OpenReport report;
+  auto manager =
+      lamb::manager::MachineManager::open(dir, {}, 8, &report, &err);
+  if (manager == nullptr) {
+    std::fprintf(stderr, "compact: unrecoverable: %s\n",
+                 err.to_string().c_str());
+    return 1;
+  }
+  if (!report.compacted) {
+    // Nothing needed repair; compact anyway so the journal resets and
+    // old snapshots are pruned.
+    manager->compact();
+  }
+  std::printf("compacted: epoch %d, snapshot seq %llu\n", manager->epoch(),
+              static_cast<unsigned long long>(
+                  manager->state_dir()->seq()));
+  std::printf("records replayed: %lld (reconfigures %lld, rejected %lld)\n",
+              static_cast<long long>(report.records_replayed),
+              static_cast<long long>(report.reconfigures_replayed),
+              static_cast<long long>(report.records_rejected));
+  for (const auto& name : report.quarantined) {
+    std::printf("quarantined: %s\n", name.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) return usage();
+  const std::string cmd = argv[1];
+  const std::string dir = argv[2];
+  if (cmd == "verify") return cmd_verify(dir, /*dump=*/false);
+  if (cmd == "dump") return cmd_verify(dir, /*dump=*/true);
+  if (cmd == "compact") return cmd_compact(dir);
+  return usage();
+}
