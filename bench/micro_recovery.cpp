@@ -109,6 +109,13 @@ void write_json(const std::string& path, const std::vector<Result>& results,
       << "  \"workload\": \"abl07 uniform, M_3(8), 2 rounds, 2 VCs, "
          "8-flit messages; storm = 3 node + 1 link kills\",\n"
       << "  \"storm_on_overhead_pct\": " << overhead_pct << ",\n"
+      // Live fault processing is amortized (sorted schedule, one probe
+      // per cycle), so the true storm tax sits near zero; the gate
+      // catches a per-cycle scan creeping back in (tens of percent)
+      // while leaving room for run-to-run timing noise.
+      << "  \"gates\": [\n"
+      << "    {\"metric\": \"storm_on_overhead_pct\", \"max\": 15.0}\n"
+      << "  ],\n"
       << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];

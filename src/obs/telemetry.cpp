@@ -67,8 +67,10 @@ struct Telemetry::Series {
   NodeId from = 0;
   int dim = 0;
   int dir = +1;
-  std::int64_t total = 0;         // flits over the whole run
-  std::int64_t window_flits = 0;  // accumulating, current window
+  // Flits over the whole run, synchronized from the flat per-window
+  // counter (ch_window_) at each window close. The hot on_flit path only
+  // touches the flat arrays; this struct is cold until a close.
+  std::int64_t total = 0;
   std::int64_t first_window = 0;  // window index of ring[head]
   std::size_t head = 0;           // oldest entry once the ring is full
   std::vector<ChannelSample> ring;
@@ -86,10 +88,8 @@ struct Telemetry::Series {
 
 struct Telemetry::NodeSeries {
   NodeId node = 0;
-  std::int64_t injected_total = 0;
-  std::int64_t ejected_total = 0;
-  std::int64_t window_injected = 0;
-  std::int64_t window_ejected = 0;
+  std::int64_t injected_total = 0;  // synced from the flat counters
+  std::int64_t ejected_total = 0;   // at each window close
   std::int64_t first_window = 0;
   std::size_t head = 0;
   std::vector<std::pair<std::uint16_t, std::uint16_t>> ring;
@@ -114,70 +114,95 @@ Telemetry::Telemetry(const MeshShape& shape, int vcs_per_link,
   // than num_links() on non-wrapping meshes (boundary ids stay unused).
   channels_.resize(
       static_cast<std::size_t>(shape_.size() * shape_.dim() * 2 * vcs_));
+  ch_live_.assign(channels_.size(), 0);
+  ch_window_.assign(channels_.size(), 0);
   nodes_.resize(static_cast<std::size_t>(shape_.size()));
+  node_live_.assign(nodes_.size(), 0);
+  node_inj_window_.assign(nodes_.size(), 0);
+  node_ej_window_.assign(nodes_.size(), 0);
 }
 
 Telemetry::~Telemetry() = default;
 
 Telemetry::Series& Telemetry::series_at(LinkId link, int vc) {
   const std::int64_t slot = link * vcs_ + vc;
-  auto& entry = channels_[static_cast<std::size_t>(slot)];
-  if (!entry) {
-    entry = std::make_unique<Series>();
-    entry->link = link;
-    entry->vc = vc;
+  Series& entry = channels_[static_cast<std::size_t>(slot)];
+  if (!ch_live_[static_cast<std::size_t>(slot)]) {
+    ch_live_[static_cast<std::size_t>(slot)] = 1;
+    entry.link = link;
+    entry.vc = vc;
     // link_id = (from * dim + j) * 2 + (Pos ? 1 : 0); invert it.
-    entry->from = link / (2 * shape_.dim());
-    entry->dim = static_cast<int>((link / 2) % shape_.dim());
-    entry->dir = (link & 1) != 0 ? +1 : -1;
-    entry->first_window = windows_done_;
+    entry.from = link / (2 * shape_.dim());
+    entry.dim = static_cast<int>((link / 2) % shape_.dim());
+    entry.dir = (link & 1) != 0 ? +1 : -1;
+    entry.first_window = windows_done_;
+    if (flit_source_ != nullptr) {
+      // Source-fed: samples go to the arena (indexed by slot); the ring is
+      // built lazily by materialize_rings(), so no allocation here.
+    } else {
+      // Full steady-state capacity up front: rings fill to ring_windows
+      // and then wrap, so growing them stepwise would just spread
+      // thousands of reallocations across the window closes.
+      entry.ring.reserve(static_cast<std::size_t>(config_.ring_windows));
+    }
     active_.push_back(slot);
   }
-  return *entry;
+  return entry;
 }
 
 Telemetry::NodeSeries& Telemetry::node_series_at(NodeId node) {
-  auto& entry = nodes_[static_cast<std::size_t>(node)];
-  if (!entry) {
-    entry = std::make_unique<NodeSeries>();
-    entry->node = node;
-    entry->first_window = windows_done_;
+  NodeSeries& entry = nodes_[static_cast<std::size_t>(node)];
+  if (!node_live_[static_cast<std::size_t>(node)]) {
+    node_live_[static_cast<std::size_t>(node)] = 1;
+    entry.node = node;
+    entry.first_window = windows_done_;
+    entry.ring.reserve(static_cast<std::size_t>(config_.ring_windows));
     active_nodes_.push_back(node);
   }
-  return *entry;
+  return entry;
 }
 
-void Telemetry::on_flit(NodeId from, LinkId link, int vc) {
-  Series& s = series_at(link, vc);
-  s.from = from;
-  ++s.total;
-  ++s.window_flits;
+void Telemetry::grow_events() {
+  // Saturated runs record hundreds of thousands of acquire/release
+  // events. Reserving the (default) max_events cap outright is one lazy
+  // mmap — pages fault only as events land — while doubling from small
+  // would copy and re-fault megabytes at every growth step. Caps above
+  // the default still double from there to bound the virtual footprint.
+  const auto want = std::max<std::size_t>(
+      events_.capacity() * 2,
+      static_cast<std::size_t>(
+          std::min<std::int64_t>(config_.max_events, 1 << 20)));
+  events_.reserve(want);
 }
 
-void Telemetry::on_inject_flit(NodeId src) {
-  NodeSeries& s = node_series_at(src);
-  ++s.injected_total;
-  ++s.window_injected;
+void Telemetry::on_delivered(const LatencyRecord& record) {
+  latencies_.push_back(record);
 }
 
-void Telemetry::on_eject_flit(NodeId dst) {
-  NodeSeries& s = node_series_at(dst);
-  ++s.ejected_total;
-  ++s.window_ejected;
-}
-
-void Telemetry::on_event(MsgEvent kind, std::int64_t msg, std::int64_t cycle,
-                         LinkId link, int vc) {
+void Telemetry::on_event_slow(MsgEvent kind, std::int64_t msg,
+                              std::int64_t cycle, std::int64_t slot) {
   if (!config_.lifecycle) return;
   if (static_cast<std::int64_t>(events_.size()) >= config_.max_events) {
     ++events_dropped_;
     return;
   }
-  events_.push_back(LifecycleEvent{msg, cycle, kind, link, vc});
+  grow_events();
+  events_headroom_ = std::min(events_.capacity(),
+                              static_cast<std::size_t>(config_.max_events));
+  events_.push_back(LifecycleEvent{static_cast<std::int32_t>(msg),
+                                   static_cast<std::int32_t>(cycle),
+                                   static_cast<std::int32_t>(slot), kind});
 }
 
-void Telemetry::on_delivered(const LatencyRecord& record) {
-  latencies_.push_back(record);
+void Telemetry::set_flit_source(const std::int32_t* per_slot_flits,
+                                const std::uint8_t* occupancy) {
+  flit_source_ = per_slot_flits;
+  flit_synced_.assign(channels_.size(), 0);
+  occ_source_ = occupancy;
+  ring_arena_.clear();
+  ring_arena_.resize(static_cast<std::size_t>(config_.ring_windows));
+  src_first_window_.assign(channels_.size(), -1);
+  arena_synced_windows_ = -1;
 }
 
 void Telemetry::set_stall_report(StallReport report) {
@@ -191,6 +216,20 @@ void Telemetry::set_route_load(std::vector<std::int32_t> counts) {
 void Telemetry::end_window(std::int64_t cycle,
                            const std::function<int(LinkId, int)>& occupancy,
                            bool final) {
+  if (!occupancy) {
+    end_window(cycle, nullptr, nullptr, final);
+    return;
+  }
+  const auto trampoline = [](void* ctx, LinkId link, int vc) -> int {
+    return (*static_cast<const std::function<int(LinkId, int)>*>(ctx))(link,
+                                                                       vc);
+  };
+  end_window(cycle, +trampoline,
+             const_cast<void*>(static_cast<const void*>(&occupancy)), final);
+}
+
+void Telemetry::end_window(std::int64_t cycle, OccupancyProbe occ, void* ctx,
+                           bool final) {
   std::int64_t target = cycle / config_.sample_every;
   if (final && cycle % config_.sample_every != 0) ++target;
   if (target <= windows_done_) return;
@@ -199,42 +238,171 @@ void Telemetry::end_window(std::int64_t cycle,
   // window; padding windows (the simulator fast-forwarded through idle
   // time) carry no traffic, and occupancy is unchanged while nothing
   // moves, so one probe per series covers every pending window.
-  for (const std::int64_t slot : active_) {
-    Series& s = *channels_[static_cast<std::size_t>(slot)];
-    const std::uint8_t occ = sat8(occupancy ? occupancy(s.link, s.vc) : 0);
-    s.push(ChannelSample{sat16(s.window_flits), occ}, config_.ring_windows);
-    for (std::int64_t w = 1; w < n; ++w) {
-      s.push(ChannelSample{0, occ}, config_.ring_windows);
+  if (flit_source_ != nullptr) {
+    // Source-fed channels: one linear pass over the simulator's
+    // cumulative counters; a slot becomes live the first close after its
+    // first flit, which is the window that flit belongs to. The steady
+    // state touches only flat arrays — counter, synced value, strided
+    // occupancy, arena sample — never the Series structs, which are
+    // rebuilt lazily by materialize_rings() when a reader needs them.
+    const std::int64_t cap = config_.ring_windows;
+    const std::int64_t base = windows_done_;
+    // Window base + k lands at arena position (base + k) % cap; when n
+    // outruns the ring (a huge fast-forward) the first n - cap windows
+    // are already evicted, so start at the oldest surviving one.
+    const std::int64_t k0 = n > cap ? n - cap : 0;
+    arena_pending_.clear();
+    for (std::int64_t k = k0; k < n; ++k) {
+      auto& buf = ring_arena_[static_cast<std::size_t>((base + k) % cap)];
+      if (!buf) {
+        buf = std::make_unique_for_overwrite<ChannelSample[]>(
+            channels_.size());
+      }
+      arena_pending_.push_back(buf.get());
     }
-    s.window_flits = 0;
+    const std::int64_t slots = static_cast<std::int64_t>(channels_.size());
+    for (std::int64_t slot = 0; slot < slots; ++slot) {
+      const std::int32_t cum = flit_source_[slot];
+      if (!ch_live_[static_cast<std::size_t>(slot)]) {
+        if (cum == 0) continue;
+        // Deferred discovery: only mark the slot and remember which
+        // window its first flit landed in; the Series metadata and
+        // active_ entry are built by materialize_rings() when a reader
+        // asks, keeping this sweep free of cold Series writes.
+        ch_live_[static_cast<std::size_t>(slot)] = 1;
+        src_first_window_[static_cast<std::size_t>(slot)] =
+            static_cast<std::int32_t>(base);
+      }
+      const std::int32_t window_flits =
+          cum - flit_synced_[static_cast<std::size_t>(slot)];
+      flit_synced_[static_cast<std::size_t>(slot)] = cum;
+      int occ_raw = 0;
+      if (occ_source_ != nullptr) {
+        occ_raw = occ_source_[slot];
+      } else if (occ != nullptr) {
+        // Decode (link, vc) from the slot directly: with deferred
+        // discovery the Series metadata may not be built yet.
+        occ_raw = occ(ctx, slot / vcs_, static_cast<int>(slot % vcs_));
+      }
+      const std::uint8_t occ_now = sat8(occ_raw);
+      const auto row = static_cast<std::size_t>(slot);
+      arena_pending_[0][row] = ChannelSample{sat16(window_flits), occ_now};
+      for (std::size_t k = 1; k < arena_pending_.size(); ++k) {
+        arena_pending_[k][row] = ChannelSample{0, occ_now};
+      }
+    }
+    arena_synced_windows_ = -1;  // readers re-materialize
+  } else {
+    for (const std::int64_t slot : active_) {
+      Series& s = channels_[static_cast<std::size_t>(slot)];
+      const std::int64_t window_flits =
+          ch_window_[static_cast<std::size_t>(slot)];
+      ch_window_[static_cast<std::size_t>(slot)] = 0;
+      s.total += window_flits;
+      const std::uint8_t occ_now = sat8(occ ? occ(ctx, s.link, s.vc) : 0);
+      s.push(ChannelSample{sat16(window_flits), occ_now},
+             config_.ring_windows);
+      for (std::int64_t w = 1; w < n; ++w) {
+        s.push(ChannelSample{0, occ_now}, config_.ring_windows);
+      }
+    }
   }
-  for (const NodeId node : active_nodes_) {
-    NodeSeries& s = *nodes_[static_cast<std::size_t>(node)];
-    s.push(sat16(s.window_injected), sat16(s.window_ejected),
-           config_.ring_windows);
+  // All nodes, not just live ones: the endpoint hooks are bare
+  // increments, so discovery happens here, at the close of the window a
+  // node's first flit landed in.
+  const std::int64_t node_count = static_cast<std::int64_t>(nodes_.size());
+  for (std::int64_t node = 0; node < node_count; ++node) {
+    const std::int64_t inj = node_inj_window_[static_cast<std::size_t>(node)];
+    const std::int64_t ej = node_ej_window_[static_cast<std::size_t>(node)];
+    if (!node_live_[static_cast<std::size_t>(node)]) {
+      if ((inj | ej) == 0) continue;
+      node_series_at(node);
+    }
+    NodeSeries& s = nodes_[static_cast<std::size_t>(node)];
+    node_inj_window_[static_cast<std::size_t>(node)] = 0;
+    node_ej_window_[static_cast<std::size_t>(node)] = 0;
+    s.injected_total += inj;
+    s.ejected_total += ej;
+    s.push(sat16(inj), sat16(ej), config_.ring_windows);
     for (std::int64_t w = 1; w < n; ++w) s.push(0, 0, config_.ring_windows);
-    s.window_injected = 0;
-    s.window_ejected = 0;
   }
   windows_done_ = target;
 }
 
 std::int64_t Telemetry::total_channel_flits() const {
+  if (flit_source_ != nullptr) {
+    // The source counters are the ground truth, including flits in the
+    // still-open window of slots not yet marked live.
+    std::int64_t total = 0;
+    for (std::size_t slot = 0; slot < channels_.size(); ++slot) {
+      total += flit_source_[slot];
+    }
+    return total;
+  }
   std::int64_t total = 0;
   for (const std::int64_t slot : active_) {
-    total += channels_[static_cast<std::size_t>(slot)]->total;
+    // Series totals sync at window closes; add the still-open window.
+    total += channels_[static_cast<std::size_t>(slot)].total +
+             ch_window_[static_cast<std::size_t>(slot)];
   }
   return total;
 }
 
+void Telemetry::materialize_rings() const {
+  if (flit_source_ == nullptr || arena_synced_windows_ == windows_done_) {
+    return;
+  }
+  // Logically const: rebuilds the Series rings as a cache of the arena
+  // (same observable state a hook-fed collector would hold).
+  auto* self = const_cast<Telemetry*>(this);
+  const std::int64_t cap = config_.ring_windows;
+  const std::int64_t slots = static_cast<std::int64_t>(channels_.size());
+  for (std::int64_t slot = 0; slot < slots; ++slot) {
+    if (!ch_live_[static_cast<std::size_t>(slot)]) continue;
+    Series& s = self->channels_[static_cast<std::size_t>(slot)];
+    const std::int32_t fw = src_first_window_[static_cast<std::size_t>(slot)];
+    if (fw >= 0) {
+      // First read since this slot went live: finish the discovery the
+      // close sweep deferred.
+      const LinkId link = slot / vcs_;
+      s.link = link;
+      s.vc = static_cast<int>(slot % vcs_);
+      s.from = link / (2 * shape_.dim());
+      s.dim = static_cast<int>((link / 2) % shape_.dim());
+      s.dir = (link & 1) != 0 ? +1 : -1;
+      s.first_window = fw;
+      self->src_first_window_[static_cast<std::size_t>(slot)] = -1;
+      self->active_.push_back(slot);
+    }
+    const std::int64_t len =
+        std::min<std::int64_t>(windows_done_ - s.first_window, cap);
+    const std::int64_t w0 = windows_done_ - len;
+    const auto row = static_cast<std::size_t>(slot);
+    s.ring.assign(static_cast<std::size_t>(len), ChannelSample{});
+    std::int64_t p = w0 % cap;
+    for (std::int64_t i = 0; i < len; ++i) {
+      s.ring[static_cast<std::size_t>(i)] =
+          ring_arena_[static_cast<std::size_t>(p)][row];
+      if (++p == cap) p = 0;
+    }
+    s.head = 0;
+    s.first_window = w0;
+    // Totals sync at closes in hook-fed mode; the synced counter value is
+    // exactly that.
+    s.total = flit_synced_[static_cast<std::size_t>(slot)];
+  }
+  self->arena_synced_windows_ = windows_done_;
+}
+
 bool Telemetry::channel_series(LinkId link, int vc, std::int64_t* first_window,
                                std::vector<ChannelSample>* out) const {
+  materialize_rings();
   const std::int64_t slot = link * vcs_ + vc;
   if (slot < 0 || slot >= static_cast<std::int64_t>(channels_.size()) ||
-      !channels_[static_cast<std::size_t>(slot)]) {
+      !ch_live_[static_cast<std::size_t>(slot)]) {
     return false;
   }
-  const Series& s = *channels_[static_cast<std::size_t>(slot)];
+  const Series& s = channels_[static_cast<std::size_t>(slot)];
   if (first_window != nullptr) *first_window = s.first_window;
   if (out != nullptr) {
     out->clear();
@@ -305,6 +473,7 @@ std::string StallReport::render(const MeshShape& shape) const {
 // --- Export ----------------------------------------------------------------
 
 bool Telemetry::write_csv(const std::string& path, std::int64_t cycles) const {
+  materialize_rings();
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) return false;
   std::fprintf(out, "# lambmesh telemetry v1\n");
@@ -328,7 +497,7 @@ bool Telemetry::write_csv(const std::string& path, std::int64_t cycles) const {
   // channel_total,link,node,dim,dir,vc,total — exact whole-run flit
   // counts (the windowed rows below may have been ring-truncated).
   for (const std::int64_t slot : active_) {
-    const Series& s = *channels_[static_cast<std::size_t>(slot)];
+    const Series& s = channels_[static_cast<std::size_t>(slot)];
     std::fprintf(out, "channel_total,%lld,%lld,%d,%+d,%d,%lld\n",
                  static_cast<long long>(s.link),
                  static_cast<long long>(s.from), s.dim, s.dir, s.vc,
@@ -336,7 +505,7 @@ bool Telemetry::write_csv(const std::string& path, std::int64_t cycles) const {
   }
   // channel,link,node,dim,dir,vc,window,flits,occupancy
   for (const std::int64_t slot : active_) {
-    const Series& s = *channels_[static_cast<std::size_t>(slot)];
+    const Series& s = channels_[static_cast<std::size_t>(slot)];
     for (std::size_t i = 0; i < s.ring.size(); ++i) {
       const ChannelSample& smp = s.ring[(s.head + i) % s.ring.size()];
       std::fprintf(out, "channel,%lld,%lld,%d,%+d,%d,%lld,%u,%u\n",
@@ -349,7 +518,7 @@ bool Telemetry::write_csv(const std::string& path, std::int64_t cycles) const {
   }
   // node,id,window,injected,ejected
   for (const NodeId node : active_nodes_) {
-    const NodeSeries& s = *nodes_[static_cast<std::size_t>(node)];
+    const NodeSeries& s = nodes_[static_cast<std::size_t>(node)];
     for (std::size_t i = 0; i < s.ring.size(); ++i) {
       const auto& smp = s.ring[(s.head + i) % s.ring.size()];
       std::fprintf(out, "node,%lld,%lld,%u,%u\n",
@@ -375,7 +544,8 @@ bool Telemetry::write_csv(const std::string& path, std::int64_t cycles) const {
     std::fprintf(out, "event,%lld,%lld,%s,%lld,%d\n",
                  static_cast<long long>(e.msg),
                  static_cast<long long>(e.cycle), msg_event_name(e.kind),
-                 static_cast<long long>(e.link), e.vc);
+                 static_cast<long long>(e.slot < 0 ? -1 : e.slot / vcs_),
+                 e.slot < 0 ? -1 : static_cast<int>(e.slot % vcs_));
   }
   // route_load,node,count
   for (std::size_t id = 0; id < route_load_.size(); ++id) {
@@ -399,6 +569,7 @@ bool Telemetry::write_csv(const std::string& path, std::int64_t cycles) const {
 }
 
 bool Telemetry::write_json(const std::string& path, std::int64_t cycles) const {
+  materialize_rings();
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) return false;
   std::fprintf(out, "{\n  \"shape\": \"%s\",\n  \"dims\": [",
@@ -415,7 +586,7 @@ bool Telemetry::write_json(const std::string& path, std::int64_t cycles) const {
   std::fputs("  \"channels\": [", out);
   bool first = true;
   for (const std::int64_t slot : active_) {
-    const Series& s = *channels_[static_cast<std::size_t>(slot)];
+    const Series& s = channels_[static_cast<std::size_t>(slot)];
     std::fprintf(out,
                  "%s\n    {\"link\": %lld, \"node\": %lld, \"dim\": %d, "
                  "\"dir\": %d, \"vc\": %d, \"total_flits\": %lld, "
@@ -439,7 +610,7 @@ bool Telemetry::write_json(const std::string& path, std::int64_t cycles) const {
   std::fputs("\n  ],\n  \"nodes\": [", out);
   first = true;
   for (const NodeId node : active_nodes_) {
-    const NodeSeries& s = *nodes_[static_cast<std::size_t>(node)];
+    const NodeSeries& s = nodes_[static_cast<std::size_t>(node)];
     std::fprintf(out,
                  "%s\n    {\"node\": %lld, \"injected\": %lld, "
                  "\"ejected\": %lld, \"first_window\": %lld}",
@@ -469,7 +640,8 @@ bool Telemetry::write_json(const std::string& path, std::int64_t cycles) const {
                  "\"link\": %lld, \"vc\": %d}",
                  first ? "" : ",", static_cast<long long>(e.msg),
                  static_cast<long long>(e.cycle), msg_event_name(e.kind),
-                 static_cast<long long>(e.link), e.vc);
+                 static_cast<long long>(e.slot < 0 ? -1 : e.slot / vcs_),
+                 e.slot < 0 ? -1 : static_cast<int>(e.slot % vcs_));
     first = false;
   }
   std::fputs("\n  ],\n  \"route_load\": [", out);

@@ -70,13 +70,23 @@ enum class MsgEvent : std::uint8_t {
 
 const char* msg_event_name(MsgEvent kind);
 
+// Packed to 16 bytes: saturated runs log one event per channel
+// acquisition and release, so the buffer streams megabytes through the
+// cache — half-width fields halve that traffic. The narrow types cover
+// every reachable value: the buffer caps at max_events (default 1M)
+// long before a sim could overflow an int32 cycle or message id, and no
+// mesh has 2^31 channels. The channel is kept as the flat slot
+// (link * vcs + vc, -1 for endpoint events) exactly as the simulator
+// hands it over — splitting it back into (link, vc) takes an integer
+// division, which belongs in the dump path, not in a hot commit that
+// runs once per acquisition.
 struct LifecycleEvent {
-  std::int64_t msg = 0;
-  std::int64_t cycle = 0;
+  std::int32_t msg = 0;
+  std::int32_t cycle = 0;
+  std::int32_t slot = -1;  // channel slot; -1 for inject/eject/poison
   MsgEvent kind = MsgEvent::kInject;
-  LinkId link = -1;  // -1 for inject/eject
-  int vc = -1;
 };
+static_assert(sizeof(LifecycleEvent) <= 16);
 
 // End-to-end latency decomposition of one delivered message:
 //   queue   = start - inject        (waiting at the source for the head)
@@ -143,14 +153,54 @@ class Telemetry {
   const MeshShape& shape() const { return shape_; }
 
   // --- Recording hooks -----------------------------------------------
+  // Inline: these sit on the simulator's per-flit path (hundreds of
+  // thousands of calls per run), so each must compile down to a flat
+  // array increment at the call site. The cold first-touch and growth
+  // paths stay out of line in the .cpp.
   // A flit traversed (link, vc) out of node `from` this cycle.
-  void on_flit(NodeId from, LinkId link, int vc);
-  // A flit left its source queue / was ejected at its destination.
-  void on_inject_flit(NodeId src);
-  void on_eject_flit(NodeId dst);
+  void on_flit(NodeId from, LinkId link, int vc) {
+    (void)from;  // series_at decodes the source node from the link id
+    const auto slot = static_cast<std::size_t>(link * vcs_ + vc);
+    if (!ch_live_[slot]) series_at(link, vc);
+    ++ch_window_[slot];
+  }
+  // A flit left its source queue / was ejected at its destination. Pure
+  // increments: node discovery happens at the window close, which scans
+  // the flat counters (the close of the window a node's first flit lands
+  // in — the same window hook-time discovery would record).
+  void on_inject_flit(NodeId src) {
+    ++node_inj_window_[static_cast<std::size_t>(src)];
+  }
+  void on_eject_flit(NodeId dst) {
+    ++node_ej_window_[static_cast<std::size_t>(dst)];
+  }
   void on_event(MsgEvent kind, std::int64_t msg, std::int64_t cycle,
-                LinkId link = -1, int vc = -1);
+                std::int64_t slot = -1) {
+    // One predictable branch on the hot path: events_headroom_ folds the
+    // lifecycle-enabled, max_events, and capacity checks into a single
+    // bound (0 when lifecycle is off; min(capacity, max_events) once a
+    // buffer exists), so the slow path only runs on growth or overflow.
+    if (events_.size() >= events_headroom_) {
+      on_event_slow(kind, msg, cycle, slot);
+      return;
+    }
+    events_.push_back(LifecycleEvent{static_cast<std::int32_t>(msg),
+                                     static_cast<std::int32_t>(cycle),
+                                     static_cast<std::int32_t>(slot), kind});
+  }
   void on_delivered(const LatencyRecord& record);
+  // Zero-hook channel feed: `per_slot_flits` points at the simulator's
+  // own cumulative per-(link * vcs + vc) flit counters (one entry per
+  // channel slot, same layout as this collector's series table, must
+  // outlive it). When set, on_flit is never needed — each window close
+  // reads the counter deltas instead, so the simulator's advance path
+  // carries no per-flit telemetry work at all. Window samples land in a
+  // flat arena and are folded into the per-series rings lazily, on the
+  // first read after a close. `occupancy` optionally points at a dense
+  // per-slot buffer occupancy array (one byte per slot), replacing the
+  // end_window probe with a linear skim.
+  void set_flit_source(const std::int32_t* per_slot_flits,
+                       const std::uint8_t* occupancy = nullptr);
   void set_stall_report(StallReport report);
   // Per-node route-construction load (RouteCache/NodeLoad counts), so
   // lamb-induced load concentration is plottable from the same dump.
@@ -162,6 +212,12 @@ class Telemetry {
   // active series per call.
   void end_window(std::int64_t cycle,
                   const std::function<int(LinkId, int)>& occupancy,
+                  bool final = false);
+  // Raw-probe form used by the simulator's per-cycle path: a plain
+  // function pointer plus context avoids std::function dispatch on every
+  // active series at every close. `occ` may be null (occupancy reads 0).
+  using OccupancyProbe = int (*)(void* ctx, LinkId link, int vc);
+  void end_window(std::int64_t cycle, OccupancyProbe occ, void* ctx,
                   bool final = false);
 
   // --- Introspection (tests, exporters) ------------------------------
@@ -194,20 +250,66 @@ class Telemetry {
 
   Series& series_at(LinkId link, int vc);
   NodeSeries& node_series_at(NodeId node);
+  void grow_events();  // out of line: amortized vector growth for events_
+  // Cold path of on_event: lifecycle disabled, buffer growth, or the
+  // max_events drop. Re-derives events_headroom_ after growing.
+  void on_event_slow(MsgEvent kind, std::int64_t msg, std::int64_t cycle,
+                     std::int64_t slot);
+  // Source-fed mode: fold the flat sample arena into the per-series
+  // rings so the read paths (accessors, dumps) see ordinary Series
+  // state. No-op when hook-fed or already current.
+  void materialize_rings() const;
 
   MeshShape shape_;
   int vcs_ = 1;
   TelemetryConfig config_;
   std::int64_t windows_done_ = 0;
 
-  // (link * vcs + vc) -> series, allocated on first flit; active_ lists
-  // the allocated slots so window flushes touch only live channels.
-  std::vector<std::unique_ptr<Series>> channels_;
+  // (link * vcs + vc) -> series, stored by value so window flushes walk
+  // contiguous memory instead of chasing per-slot heap pointers; the
+  // live flags mark first-flit initialization and active_ lists the live
+  // slots so flushes touch only channels that have carried traffic.
+  std::vector<Series> channels_;
+  std::vector<char> ch_live_;
   std::vector<std::int64_t> active_;
-  std::vector<std::unique_ptr<NodeSeries>> nodes_;
+  std::vector<NodeSeries> nodes_;
+  std::vector<char> node_live_;
   std::vector<NodeId> active_nodes_;
 
+  // Flat per-slot counters for the current (still-open) window. The
+  // per-flit hooks touch only these; end_window folds them into the
+  // Series/NodeSeries rings and totals. Keeping the hot path to a plain
+  // array increment holds the telemetry-enabled budget (see
+  // BENCH_wormhole.json telemetry_on_overhead_pct).
+  std::vector<std::int64_t> ch_window_;
+  std::vector<std::int64_t> node_inj_window_;
+  std::vector<std::int64_t> node_ej_window_;
+
+  // External cumulative channel counters (set_flit_source) and the value
+  // of each at the last close; null when channels are hook-fed.
+  const std::int32_t* flit_source_ = nullptr;
+  std::vector<std::int32_t> flit_synced_;
+  // Dense per-slot occupancy feed (set_flit_source); null falls back
+  // to the end_window probe.
+  const std::uint8_t* occ_source_ = nullptr;
+  // Source-fed window samples, window-major: entry w % ring_windows is
+  // window w's buffer, indexed directly by slot. A window's buffer is
+  // written once, sequentially, at its close — row-major layouts put
+  // every slot's sample on its own cache line and turn each close into a
+  // 6000-line miss stream. Buffers are allocated uninitialized at full
+  // slot capacity and recycled in place as the ring wraps.
+  // materialize_rings() folds them into the Series rings when a reader
+  // needs them (tracked by arena_synced_windows_).
+  std::vector<std::unique_ptr<ChannelSample[]>> ring_arena_;
+  std::vector<ChannelSample*> arena_pending_;  // close-time scratch
+  // Per slot, the window the slot's first flit landed in, or -1 once
+  // materialize_rings() has built the slot's Series metadata (the close
+  // sweep defers that cold work to the first read).
+  std::vector<std::int32_t> src_first_window_;
+  mutable std::int64_t arena_synced_windows_ = -1;
+
   std::vector<LifecycleEvent> events_;
+  std::size_t events_headroom_ = 0;  // see on_event
   std::int64_t events_dropped_ = 0;
   std::vector<LatencyRecord> latencies_;
   std::unique_ptr<StallReport> stall_report_;

@@ -1,0 +1,69 @@
+#include "wormhole/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace lamb::wormhole {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kInject: return "inject";
+    case EventKind::kFault: return "fault";
+  }
+  return "?";
+}
+
+void EventQueue::push(std::int64_t cycle, EventKind kind,
+                      std::int64_t payload) {
+  Event ev;
+  ev.cycle = cycle;
+  ev.seq = next_seq_++;
+  ev.kind = kind;
+  ev.payload = payload;
+  heap_.push_back(ev);
+  sift_up(heap_.size() - 1);
+}
+
+const Event& EventQueue::top() const {
+  assert(!heap_.empty());
+  return heap_.front();
+}
+
+Event EventQueue::pop() {
+  assert(!heap_.empty());
+  Event out = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return out;
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  next_seq_ = 0;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!(heap_[i] < heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = left + 1;
+    std::size_t best = i;
+    if (left < n && heap_[left] < heap_[best]) best = left;
+    if (right < n && heap_[right] < heap_[best]) best = right;
+    if (best == i) return;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+}  // namespace lamb::wormhole

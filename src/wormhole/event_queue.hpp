@@ -1,0 +1,70 @@
+// Deterministic discrete-event queue for the event-driven simulator core.
+//
+// A binary min-heap keyed by (cycle, seq) where seq is the push order:
+// events scheduled for the same cycle pop in exactly the order they were
+// scheduled, independent of heap internals, platform, or `--threads`.
+// This is what makes the event engine bit-identical to the cycle-driven
+// loop: arbitration inside a cycle is a pure function of submission
+// order, never of heap layout.
+//
+// The queue carries only *timing* events — message injections and
+// scheduled fault kills. Flit motion itself is driven by the wake lists
+// in Network (credit returns and channel releases wake the worms sleeping
+// on them), so the queue stays small: O(messages + faults) pushes per
+// run, never per flit.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace lamb::wormhole {
+
+enum class EventKind : std::uint8_t {
+  kInject,  // payload: message index; wakes the message at its inject cycle
+  kFault,   // payload: index into the sorted fault schedule
+};
+
+const char* event_kind_name(EventKind kind);
+
+struct Event {
+  std::int64_t cycle = 0;
+  std::uint64_t seq = 0;  // push order; unique per queue lifetime
+  EventKind kind = EventKind::kInject;
+  std::int64_t payload = -1;
+
+  // Strict weak (in fact total) order: earlier cycle first, push order
+  // breaking ties. No two events compare equal.
+  friend bool operator<(const Event& a, const Event& b) {
+    return a.cycle != b.cycle ? a.cycle < b.cycle : a.seq < b.seq;
+  }
+};
+
+class EventQueue {
+ public:
+  // Sentinel returned by next_cycle() on an empty queue.
+  static constexpr std::int64_t kNoEvent =
+      std::numeric_limits<std::int64_t>::max();
+
+  void push(std::int64_t cycle, EventKind kind, std::int64_t payload);
+  // Minimum event by (cycle, seq). Precondition: !empty().
+  const Event& top() const;
+  // Removes and returns the minimum event. Precondition: !empty().
+  Event pop();
+  bool empty() const { return heap_.empty(); }
+  std::int64_t size() const { return static_cast<std::int64_t>(heap_.size()); }
+  std::int64_t next_cycle() const {
+    return heap_.empty() ? kNoEvent : heap_.front().cycle;
+  }
+  // Empties the queue and resets the tie-break counter.
+  void clear();
+
+ private:
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace lamb::wormhole

@@ -15,6 +15,20 @@
 //
 // A watchdog declares deadlock when no flit moves for `deadlock_threshold`
 // cycles while traffic is still in flight.
+//
+// Two interchangeable engines drive the simulation (see docs/SIMULATOR.md):
+//
+//   * Engine::kCycle — the original loop: every cycle, every unfinished
+//     message is polled and every (link, vc) usage bit is cleared. Simple,
+//     and the reference semantics.
+//   * Engine::kEvent — discrete-event core: injections and fault kills are
+//     heap events (EventQueue), and a blocked worm goes to sleep on the
+//     exact buffer it is waiting for, woken by the credit return or channel
+//     release that frees it. Idle routers cost nothing; idle cycles are
+//     skipped wholesale.
+//
+// Both engines share the per-message step function, so they produce
+// bit-identical SimResults on every workload; only wall-clock differs.
 #pragma once
 
 #include <cstdint>
@@ -28,10 +42,23 @@
 #include "obs/telemetry.hpp"
 #include "support/samples.hpp"
 #include "support/stats.hpp"
+#include "wormhole/event_queue.hpp"
 #include "wormhole/fault_schedule.hpp"
 #include "wormhole/route_builder.hpp"
 
 namespace lamb::wormhole {
+
+enum class Engine : std::uint8_t {
+  kCycle,  // poll every message every cycle (reference semantics)
+  kEvent,  // event queue + sleep/wake on credits (default, fast when idle)
+};
+
+const char* engine_name(Engine engine);
+
+// Resolves the LAMBMESH_ENGINE override ("cycle" | "event"); returns
+// `fallback` when the variable is unset or empty. Throws
+// std::invalid_argument on any other value.
+Engine engine_from_env(Engine fallback);
 
 struct SimConfig {
   int vcs_per_link = 2;
@@ -54,6 +81,11 @@ struct SimConfig {
   // (see fault_schedule.hpp). Empty by default; an empty schedule costs
   // one integer comparison per cycle.
   FaultSchedule fault_schedule;
+  // Which core drives the run. LAMBMESH_ENGINE, when set, overrides this
+  // field for every Network constructed in the process — that is how the
+  // engine-equivalence CI lane reruns the whole test suite under each
+  // engine without touching any call site.
+  Engine engine = Engine::kEvent;
 };
 
 // Per-message resolution of a run with live faults.
@@ -83,6 +115,9 @@ struct SimResult {
   std::int64_t total_messages = 0;
   std::int64_t cycles = 0;
   bool deadlocked = false;
+  // The engine that produced this result (after any LAMBMESH_ENGINE
+  // override). Informational: every other field is engine-independent.
+  Engine engine = Engine::kCycle;
   Accumulator latency;        // inject -> tail ejected, delivered messages
   Samples latency_samples;    // same data with exact quantiles
   Accumulator hops;           // route lengths
@@ -143,6 +178,10 @@ class Network {
     std::int64_t owner = -1;  // message index or -1
     int occupancy = 0;
     std::int64_t passed = 0;  // flits that have left this buffer
+    // Event engine: head of the intrusive list (linked through
+    // MessageState::next_waiter) of messages sleeping until this buffer
+    // returns a credit or releases its channel. -1: nobody waits.
+    std::int64_t waiter_head = -1;
   };
 
   struct MessageState {
@@ -151,26 +190,71 @@ class Network {
     // position -1 is the source queue, position H means ejected.
     std::vector<int> count_at;       // size H (positions 0..H-1)
     std::vector<std::int64_t> crossed;  // flits that have traversed hop p
+    // nodes[p] is the node the worm occupies before hop p (nodes[0] is
+    // the source, nodes[H] the destination); precomputed at submit() so
+    // node_before_hop is O(1) instead of an O(p) walk.
+    std::vector<NodeId> nodes;
     int flits_at_source = 0;
     std::int64_t ejected = 0;
     std::int64_t start_cycle = -1;   // first flit left the source queue
     std::int64_t finish_cycle = -1;
     bool started = false;
     DeliveryOutcome outcome = DeliveryOutcome::kPending;
+    // --- Event-engine sleep/wake state (unused by the cycle engine) ----
+    std::int64_t next_waiter = -1;      // intrusive waiter-list link
+    std::int64_t dep_waiter_head = -1;  // messages gated on my delivery
+    std::int64_t asleep_on_buffer = -1; // buffer whose waiter list holds me
+    std::int64_t asleep_on_dep = -1;    // message whose dep list holds me
 
     bool done() const { return ejected == msg.length_flits; }
     // Resolved one way or another: no further simulation work.
     bool finished() const { return outcome != DeliveryOutcome::kPending; }
   };
 
+  // Outcome of a single flit-advance attempt. The distinction matters to
+  // the event engine's sleep rule: kLinkBusy means some other worm moved
+  // on that physical link *this cycle*, so retrying next cycle is always
+  // productive; kVcBusy/kCredit can only clear through a credit return or
+  // channel release on the target buffer — sleep there until it happens.
+  enum class Advance : std::uint8_t { kMoved, kLinkBusy, kVcBusy, kCredit };
+
   std::int64_t buffer_index(NodeId from, const Hop& hop) const;
-  // Attempts to move one flit of message m from position p to p+1.
-  bool try_advance(MessageState& st, int p);
+  // Attempts to move one flit of message m from position p to p+1. On
+  // kVcBusy/kCredit, blocked_buffer_ holds the buffer that refused.
+  Advance try_advance(MessageState& st, int p);
   NodeId node_before_hop(const MessageState& st, int p) const;
+  // One simulation turn for message m at the current cycle: eligibility
+  // checks, ejection, then head-first pipeline advance. Shared verbatim
+  // by both engines — this is what makes their results bit-identical.
+  void step_message(std::int64_t m, SimResult* result);
+  // The idle fast-forward shared by both engines: when nothing moved and
+  // nothing is in flight, jump to the next injection (never past a
+  // scheduled fault). Returns true when it jumped (the caller restarts
+  // its loop without the stagnation/telemetry tail).
+  bool try_fast_forward(std::int64_t* stagnant);
+  // --- Event-engine wake plumbing (no-ops for the cycle engine) -------
+  void wake_message(std::int64_t m);
+  void wake_buffer_waiters(std::int64_t buffer);
+  void wake_dep_waiters(std::int64_t m);
+  // Wakes every sleeper and clears all waiter lists; called after fault
+  // application, whose drains free buffers wholesale.
+  void wake_all_sleepers();
+  void sleep_on_buffer(std::int64_t m, std::int64_t buffer);
+  void sleep_on_dep(std::int64_t m, std::int64_t dep);
+  void clear_awake(std::int64_t m);
   // Channel wait-for snapshot of the current (stalled) state, with any
   // wait-for cycle identified.
   obs::StallReport build_stall_report(std::int64_t stagnant) const;
   void record_delivery(const MessageState& st, SimResult* result);
+  // Cold telemetry commits, kept out of line so the advance and eject
+  // hot loops stay lean when telemetry is enabled (the inlined hook
+  // bodies otherwise cost more in spills and icache than they execute).
+  void commit_advance_telemetry(const MessageState& st, int q,
+                                std::int64_t p, bool acquired,
+                                std::int64_t released_buffer,
+                                std::int64_t target_index);
+  void commit_eject_telemetry(const MessageState& st, std::int64_t index,
+                              bool released);
   // --- Live fault injection (no-ops without a schedule) ---------------
   // Applies every schedule event due at the current cycle: marks the
   // killed channels dead, drains affected messages, cascades losses to
@@ -185,12 +269,37 @@ class Network {
   const MeshShape* shape_;
   const FaultSet* faults_;
   SimConfig config_;
+  Engine engine_ = Engine::kCycle;  // config_.engine after env override
+  bool event_mode_ = false;         // engine_ == Engine::kEvent
   std::vector<MessageState> messages_;
   std::vector<Buffer> buffers_;          // (directed link, vc) -> buffer
   std::vector<char> link_used_;          // per directed link, this cycle
-  std::vector<std::int64_t> link_flits_; // per directed link, whole run
+  // Per (link, vc), whole run. int32: a single channel cannot carry 2^31
+  // flits within the default cycle cap, and the narrow rows halve the
+  // footprint of the telemetry window sweep that reads them.
+  std::vector<std::int32_t> link_flits_;
+  // Telemetry-only shadow of per-slot occupancy, one byte per channel.
+  // The window sweep would otherwise stride through the whole Buffer
+  // array (a cache line per two slots) every close; mirroring the
+  // counter into a dense 6KB array turns that into a linear skim. Empty
+  // (null data) when telemetry is off or buffer_flits overflows a byte —
+  // the sweep then falls back to the strided read.
+  std::vector<std::uint8_t> occ_shadow_;
+  std::uint8_t* occ_mirror_ = nullptr;  // occ_shadow_.data() or null
   std::int64_t cycle_ = 0;
   bool moved_this_cycle_ = false;
+  std::int64_t delivered_ = 0;           // messages delivered this run
+  std::int64_t flits_delivered_ = 0;     // flits ejected this run
+  // Buffer that refused the last kVcBusy/kCredit try_advance.
+  std::int64_t blocked_buffer_ = -1;
+  // --- Event-engine state ---------------------------------------------
+  EventQueue events_;               // injections + scheduled fault kills
+  std::vector<char> awake_;         // per message: scheduled this cycle
+  std::int64_t awake_count_ = 0;
+  // Links whose usage bit was set this cycle; cleared sparsely instead of
+  // the cycle engine's O(links) fill — the event core's win on big idle
+  // meshes.
+  std::vector<LinkId> touched_links_;
   // Live-fault state, allocated only when config_.fault_schedule is
   // nonempty; the hot loop's only cost with an empty schedule is the
   // next_fault_ bounds check.

@@ -51,6 +51,26 @@ TrafficResult generate_traffic_impl(const MeshShape& shape,
   TrafficResult out;
   if (survivors.size() < 2) return out;
 
+  // Injector subset: evenly spaced over the survivor list so a sparse
+  // fraction still spreads sources across the whole mesh. Chosen without
+  // consuming rng state, so fraction == 1.0 reproduces the historical
+  // message stream exactly.
+  std::vector<NodeId> injectors;
+  if (config.injector_fraction < 1.0) {
+    const std::size_t want = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(config.injector_fraction *
+                         static_cast<double>(survivors.size()))));
+    for (std::size_t j = 0; j < want; ++j) {
+      injectors.push_back(survivors[j * survivors.size() / want]);
+    }
+  } else {
+    injectors = survivors;
+  }
+
+  auto pick_injector = [&] {
+    return injectors[rng.below(injectors.size())];
+  };
   auto pick_survivor = [&] {
     return survivors[rng.below(survivors.size())];
   };
@@ -65,7 +85,7 @@ TrafficResult generate_traffic_impl(const MeshShape& shape,
 
   std::int64_t next_id = 0;
   for (std::int64_t i = 0; i < config.num_messages; ++i) {
-    const NodeId src = pick_survivor();
+    const NodeId src = pick_injector();
     NodeId dst = src;
     switch (config.pattern) {
       case Pattern::kUniform:

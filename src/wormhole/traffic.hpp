@@ -34,6 +34,13 @@ struct TrafficConfig {
   // Mean inter-injection gap in cycles (injections are spread uniformly
   // over num_messages * gap cycles).
   double injection_gap = 2.0;
+  // Fraction of survivors eligible to originate traffic. 1.0 (the
+  // default) lets every survivor inject; smaller values pick an evenly
+  // spaced deterministic subset — e.g. 0.01 models a near-idle machine
+  // where 1% of nodes trickle messages across an otherwise quiet mesh
+  // (the event engine's showcase workload; see docs/SIMULATOR.md).
+  // Destinations always range over all survivors.
+  double injector_fraction = 1.0;
 };
 
 struct TrafficResult {

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Enforce the machine-readable performance gates in BENCH_*.json files.
+
+Each bench JSON carries a top-level "gates" array:
+
+    "gates": [
+      {"metric": "telemetry_on_overhead_pct", "max": 15.0},
+      {"metric": "event_idle_speedup_x", "min": 1.0}
+    ]
+
+where "metric" names a top-level numeric key in the same document. A gate
+passes when the measured value is <= max (or >= min). The script prints a
+PASS/FAIL line per gate and exits non-zero if any gate fails, any metric
+is missing, or a file has no gates at all (a bench without gates is a
+bench CI silently stopped watching).
+
+Usage: check_bench_gates.py BENCH_wormhole.json [BENCH_recovery.json ...]
+"""
+
+import json
+import sys
+
+
+def check_file(path: str) -> int:
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    gates = doc.get("gates")
+    if not gates:
+        print(f"FAIL {path}: no gates array (refusing to pass silently)")
+        return 1
+    failures = 0
+    for gate in gates:
+        metric = gate.get("metric")
+        measured = doc.get(metric)
+        if not isinstance(measured, (int, float)):
+            print(f"FAIL {path}: metric '{metric}' missing or non-numeric")
+            failures += 1
+            continue
+        if "max" in gate:
+            ok = measured <= gate["max"]
+            bound = f"<= {gate['max']}"
+        elif "min" in gate:
+            ok = measured >= gate["min"]
+            bound = f">= {gate['min']}"
+        else:
+            print(f"FAIL {path}: gate for '{metric}' has neither max nor min")
+            failures += 1
+            continue
+        status = "PASS" if ok else "FAIL"
+        print(f"{status} {path}: {metric} = {measured:g} (gate {bound})")
+        if not ok:
+            failures += 1
+    return failures
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    total = 0
+    for path in argv[1:]:
+        try:
+            total += check_file(path)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"FAIL {path}: {exc}")
+            total += 1
+    if total:
+        print(f"{total} gate failure(s)")
+    return 1 if total else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
