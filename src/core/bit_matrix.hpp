@@ -61,6 +61,50 @@ class BitMatrix {
   static void multiply_accumulate(const BitMatrix& a, const BitMatrix& b,
                                   BitMatrix* out);
 
+  // Masked product for the incremental chain: recomputes out's row i only
+  // where compute_row[i] != 0 (those rows are cleared first); all other
+  // rows of `out` are left exactly as the caller filled them. `out` must
+  // already be a.rows x b.cols and compute_row must have a.rows entries.
+  static void multiply_rows_into(const BitMatrix& a, const BitMatrix& b,
+                                 const std::vector<std::uint8_t>& compute_row,
+                                 BitMatrix* out);
+
+  // True iff row i equals row `oi` of `other` column-remapped through
+  // `old_col_of_new` (entry -1 = no old column): every new bit must map
+  // to a set old bit and every set old bit must be hit by the map. The
+  // strict both-ways check is what lets a product row be spliced — a row
+  // that merely matches on the mapped columns could still have dropped
+  // old bits.
+  bool row_equals_mapped(std::int64_t i, const BitMatrix& other,
+                         std::int64_t oi,
+                         const std::vector<std::int64_t>& old_col_of_new) const;
+
+  // --- Word-level row-range primitives (the incremental splice paths
+  // turn per-entry copies and compares into a handful of shifted word
+  // operations per run of consecutively mapped columns) ---
+
+  // Copies `len` bits of src row `oi` starting at column `src_start` into
+  // row `i` starting at column `dst_start` (other row-i bits untouched).
+  void copy_row_range(std::int64_t i, std::int64_t dst_start,
+                      const BitMatrix& src, std::int64_t oi,
+                      std::int64_t src_start, std::int64_t len);
+
+  // True iff bits [start, start+len) of row i equal bits
+  // [ostart, ostart+len) of row `oi` of `other`.
+  bool row_range_equals(std::int64_t i, std::int64_t start,
+                        const BitMatrix& other, std::int64_t oi,
+                        std::int64_t ostart, std::int64_t len) const;
+
+  // Popcount of (row i AND mask); mask.size() must equal cols().
+  std::int64_t row_and_count(std::int64_t i, const Bits& mask) const;
+
+  // True iff (row i AND mask) has any set bit.
+  bool row_intersects(std::int64_t i, const Bits& mask) const;
+
+  // Clears every bit of row i that is set in mask; returns how many bits
+  // were actually cleared.
+  std::int64_t row_clear_masked(std::int64_t i, const Bits& mask);
+
   friend bool operator==(const BitMatrix&, const BitMatrix&) = default;
 
  private:

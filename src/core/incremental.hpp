@@ -1,0 +1,107 @@
+// Incremental re-solve (the O(delta) reconfiguration path): when faults
+// arrive a few at a time, the previous certified solve's intermediates —
+// partitions, reachability matrices, and the cover min-cut flow — are
+// mostly still valid, and solve_lambs_incremental recomputes only what
+// the new faults touched. Three reuse layers:
+//
+//   1. Partition repair (core/partition.*): SES/DES membership is
+//      recomputed only in the outer-level peel subtrees a new fault
+//      landed in; untouched subtrees are spliced from the previous
+//      partition. Bails when the damage merges regions.
+//   2. Reach-matrix block reuse (core/reach_matrices.*): an R_t entry is
+//      copied unless a delta fault lies in the bounding box of its
+//      representative pair; chain-product rows are spliced when their
+//      inputs are provably unchanged.
+//   3. Warm-started cover (graph/dinic.*): the previous min-cut flow
+//      decomposition is preloaded into Dinic, which then only augments
+//      the difference.
+//
+// The result is bit-identical to solve_lambs on the same cumulative
+// fault set at any thread count: layers 1 and 2 reproduce the exact
+// matrices, and the cut extracted from any maximum flow is the unique
+// minimal source side, so the warm start cannot change the cover. On any
+// condition that voids the reuse (escalated or uncovered previous
+// outcome, merged partition regions, changed orderings, flood-backend
+// regime, budget exhaustion mid-reuse) the call falls back to the full
+// solve_lambs — the caller always gets a valid SolveOutcome.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/lamb.hpp"
+#include "core/lamb_internal.hpp"
+#include "core/reach_matrices.hpp"
+#include "mesh/fault_set.hpp"
+#include "mesh/mesh.hpp"
+#include "reach/reach_oracle.hpp"
+
+namespace lamb {
+
+// Solver state retained on a SolveOutcome (LambOptions::keep_context).
+// Owns a snapshot of the fault set it was solved against plus the oracle
+// bound to it; on a successful incremental step both are MOVED into the
+// new outcome's context (updated in place with the delta) rather than
+// rebuilt, so the old context is consumed.
+struct SolveContext {
+  // Shared so the FaultSet/oracle pointers into it stay valid when the
+  // ownership of `faults`/`oracle` moves to the next epoch's context.
+  std::shared_ptr<const MeshShape> shape;
+  MultiRoundOrder orders;  // the orders the outcome was certified with
+  std::unique_ptr<FaultSet> faults;     // cumulative set at solve time
+  std::unique_ptr<ReachOracle> oracle;  // bound to *faults
+  internal::LambCapture capture;
+};
+
+// Why an incremental attempt fell back to the full solve (or kNone).
+enum class IncrementalFallback : std::uint8_t {
+  kNone,             // incremental path produced the outcome
+  kNoContext,        // previous outcome carried no context
+  kNotCertified,     // previous outcome was kUncovered
+  kShapeMismatch,    // different mesh, orders, or escalated rounds
+  kNotSuperset,      // new fault set does not contain the previous one
+  kReachBailed,      // partition repair or matrix layer bailed
+  kBudgetExceeded,   // deadline tripped mid-incremental
+};
+
+const char* incremental_fallback_name(IncrementalFallback reason);
+
+// Per-layer accounting of one solve_lambs_incremental call.
+struct IncrementalStats {
+  bool used = false;  // false => full solve ran; see `fallback`
+  IncrementalFallback fallback = IncrementalFallback::kNone;
+  std::int64_t delta_nodes = 0;
+  std::int64_t delta_links = 0;
+  std::int64_t partition_cells_recomputed = 0;
+  std::int64_t partition_cells_reused = 0;
+  std::int64_t blocks_reused = 0;
+  std::int64_t blocks_recomputed = 0;
+  double flow_retained = 0.0;  // fraction of cover flow seeded by hints
+};
+
+// Re-solves after the fault set grew from prev.context's snapshot to
+// `faults` (which must be a superset; anything else falls back). The
+// returned outcome — status, LambResult, everything — is bit-identical
+// to solve_lambs(shape, faults, options, max_rounds). `options` should
+// be the same options the previous solve ran with; keep_context on the
+// options controls whether the NEW outcome carries a context in turn.
+SolveOutcome solve_lambs_incremental(const MeshShape& shape,
+                                     const FaultSet& faults,
+                                     const SolveOutcome& prev,
+                                     const LambOptions& options,
+                                     int max_rounds = 3,
+                                     IncrementalStats* stats = nullptr);
+
+namespace internal {
+
+// Packages a finished solve's capture into a SolveContext (used by
+// solve_lambs when LambOptions::keep_context is set).
+std::shared_ptr<SolveContext> make_context(const MeshShape& shape,
+                                           const FaultSet& faults,
+                                           const MultiRoundOrder& orders,
+                                           LambCapture&& capture);
+
+}  // namespace internal
+
+}  // namespace lamb

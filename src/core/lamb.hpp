@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -63,6 +64,10 @@ struct LambOptions {
   // bit-reproducible runs use 0 (never trips) or a value so small it
   // always trips at the first checkpoint (see docs/RECOVERY.md).
   double budget_seconds = 0.0;
+  // solve_lambs only: retain the solver's intermediates on the returned
+  // SolveOutcome so a later solve_lambs_incremental (core/incremental.hpp)
+  // can reuse them. Costs memory proportional to the matrix chain.
+  bool keep_context = false;
 
   MultiRoundOrder resolved_orders(int dim) const {
     return orders ? *orders : ascending_rounds(dim, rounds);
@@ -114,6 +119,9 @@ enum class SolveStatus : std::uint8_t {
 
 const char* solve_status_name(SolveStatus status);
 
+// Opaque solver state for incremental re-solves (core/incremental.hpp).
+struct SolveContext;
+
 struct SolveOutcome {
   SolveStatus status = SolveStatus::kCertified;
   LambResult result;
@@ -128,6 +136,10 @@ struct SolveOutcome {
 
   // Whether result.lambs carries the full survivor-to-survivor guarantee.
   bool certified() const { return status != SolveStatus::kUncovered; }
+
+  // Set when LambOptions::keep_context was on and the solve left reusable
+  // intermediates; consumed by solve_lambs_incremental. Null otherwise.
+  std::shared_ptr<SolveContext> context;
 };
 
 // Runs lamb1 under options.budget_seconds, degrading instead of

@@ -24,13 +24,143 @@ class PartitionBuilder {
   PartitionBuilder(const MeshShape& shape, std::vector<int> peel)
       : shape_(shape), peel_(std::move(peel)) {}
 
-  EquivPartition run(const FaultSet& faults) {
+  EquivPartition run(const FaultSet& faults, PartitionSpans* spans) {
     std::vector<Point> nodes;
     nodes.reserve(faults.node_faults().size());
     for (NodeId id : faults.node_faults()) nodes.push_back(shape_.point(id));
     EquivPartition out;
     RectSet box(shape_);
-    recurse(0, box, nodes, faults.link_faults(), &out);
+    recurse(0, box, nodes, faults.link_faults(), &out, spans);
+    return out;
+  }
+
+  // Incremental Find-Partition: recompute only the outer-hyperplane
+  // subtrees the delta touches, splice everything else from `prev`.
+  // A subtree with no delta fault in its hyperplane receives the same
+  // fault set as the previous run (the output of recurse depends only on
+  // the set, not the list order), so its previous output span is valid
+  // verbatim. The level-0 intervals are always recomputed (O(width + f)).
+  std::optional<PartitionRepair> repair(
+      const FaultSet& faults, const std::vector<Point>& delta_nodes,
+      const std::vector<LinkFault>& delta_links, const EquivPartition& prev,
+      const PartitionSpans& prev_spans) {
+    if (peel_.size() == 1) return std::nullopt;  // no subtrees to splice
+    const int j = peel_[0];
+    const Coord width = shape_.width(j);
+
+    std::vector<Point> nodes;
+    nodes.reserve(faults.node_faults().size());
+    for (NodeId id : faults.node_faults()) nodes.push_back(shape_.point(id));
+    const std::vector<LinkFault>& links = faults.link_faults();
+
+    std::vector<char> blocked(static_cast<std::size_t>(width), 0);
+    std::vector<char> cut(static_cast<std::size_t>(width), 0);
+    std::vector<char> dirty(static_cast<std::size_t>(width), 0);
+    for (const Point& p : nodes) blocked[static_cast<std::size_t>(p[j])] = 1;
+    for (const LinkFault& lf : links) {
+      if (lf.dim == j) {
+        cut[static_cast<std::size_t>(low_end(lf))] = 1;
+      } else {
+        blocked[static_cast<std::size_t>(lf.from[j])] = 1;
+      }
+    }
+    for (const Point& p : delta_nodes) {
+      dirty[static_cast<std::size_t>(p[j])] = 1;
+    }
+    for (const LinkFault& lf : delta_links) {
+      if (lf.dim != j) dirty[static_cast<std::size_t>(lf.from[j])] = 1;
+    }
+
+    std::vector<std::int64_t> prev_span_at(static_cast<std::size_t>(width), -1);
+    for (std::size_t s = 0; s < prev_spans.coords.size(); ++s) {
+      prev_span_at[static_cast<std::size_t>(prev_spans.coords[s])] =
+          static_cast<std::int64_t>(s);
+    }
+
+    std::int64_t blocked_count = 0;
+    std::int64_t dirty_count = 0;
+    for (Coord c = 0; c < width; ++c) {
+      if (!blocked[static_cast<std::size_t>(c)]) continue;
+      ++blocked_count;
+      if (dirty[static_cast<std::size_t>(c)] ||
+          prev_span_at[static_cast<std::size_t>(c)] < 0) {
+        ++dirty_count;
+      }
+    }
+    // Merged-regions bail: when most hyperplanes are touched, splicing
+    // would redo most of the work with extra bookkeeping on top.
+    if (2 * dirty_count > blocked_count) return std::nullopt;
+
+    PartitionRepair out;
+    RectSet box(shape_);
+    for (Coord c = 0; c < width; ++c) {
+      if (!blocked[static_cast<std::size_t>(c)]) continue;
+      std::vector<Point> sub_nodes;
+      for (const Point& p : nodes) {
+        if (p[j] == c) sub_nodes.push_back(p);
+      }
+      std::vector<LinkFault> sub_links;
+      for (const LinkFault& lf : links) {
+        if (lf.dim != j && lf.from[j] == c) sub_links.push_back(lf);
+      }
+      if (sub_nodes.empty() && sub_links.empty()) continue;  // impossible
+      const std::int64_t prev_span = prev_span_at[static_cast<std::size_t>(c)];
+      const std::int64_t begin =
+          static_cast<std::int64_t>(out.partition.sets.size());
+      if (prev_span >= 0 && !dirty[static_cast<std::size_t>(c)]) {
+        const auto [ob, oe] =
+            prev_spans.spans[static_cast<std::size_t>(prev_span)];
+        for (std::int64_t s = ob; s < oe; ++s) {
+          out.partition.sets.push_back(prev.sets[static_cast<std::size_t>(s)]);
+          out.old_of_new.push_back(s);
+        }
+        out.cells_reused += oe - ob;
+      } else {
+        box.clamp(j, c, c);
+        recurse(1, box, sub_nodes, sub_links, &out.partition, nullptr);
+        box.clamp(j, 0, width - 1);
+        const std::int64_t end =
+            static_cast<std::int64_t>(out.partition.sets.size());
+        out.cells_recomputed += end - begin;
+        if (prev_span >= 0) {
+          const auto [ob, oe] =
+              prev_spans.spans[static_cast<std::size_t>(prev_span)];
+          match_span(prev.sets, ob, oe, out.partition.sets, begin, end,
+                     &out.old_of_new);
+        } else {
+          out.old_of_new.resize(
+              static_cast<std::size_t>(end), -1);
+        }
+      }
+      out.spans.coords.push_back(c);
+      out.spans.spans.emplace_back(
+          begin, static_cast<std::int64_t>(out.partition.sets.size()));
+    }
+
+    const std::int64_t tail_begin =
+        static_cast<std::int64_t>(out.partition.sets.size());
+    out.spans.tail_begin = tail_begin;
+    Coord start = -1;
+    for (Coord c = 0; c <= width; ++c) {
+      const bool usable = c < width && !blocked[static_cast<std::size_t>(c)];
+      if (usable && start < 0) start = c;
+      const bool interval_ends =
+          start >= 0 &&
+          (!usable || (c < width && cut[static_cast<std::size_t>(c)]));
+      if (interval_ends) {
+        const Coord end = usable ? c : c - 1;
+        RectSet set = box;
+        set.clamp(j, start, end);
+        out.partition.sets.push_back(set);
+        start = -1;
+      }
+    }
+    const std::int64_t tail_end =
+        static_cast<std::int64_t>(out.partition.sets.size());
+    out.cells_recomputed += tail_end - tail_begin;
+    match_span(prev.sets, prev_spans.tail_begin,
+               static_cast<std::int64_t>(prev.sets.size()), out.partition.sets,
+               tail_begin, tail_end, &out.old_of_new);
     return out;
   }
 
@@ -41,8 +171,31 @@ class PartitionBuilder {
     return lf.dir == Dir::Pos ? lf.from[lf.dim] : lf.from[lf.dim] - 1;
   }
 
+  // Greedy order-preserving equality match: for each new set in [nb, ne),
+  // find the next equal old set in [ob, oe) at or after the cursor; a new
+  // or changed set gets -1. Appends one entry per new set to old_of_new.
+  static void match_span(const std::vector<RectSet>& old_sets, std::int64_t ob,
+                         std::int64_t oe, const std::vector<RectSet>& new_sets,
+                         std::int64_t nb, std::int64_t ne,
+                         std::vector<std::int64_t>* old_of_new) {
+    std::int64_t cursor = ob;
+    for (std::int64_t t = nb; t < ne; ++t) {
+      std::int64_t found = -1;
+      for (std::int64_t s = cursor; s < oe; ++s) {
+        if (old_sets[static_cast<std::size_t>(s)] ==
+            new_sets[static_cast<std::size_t>(t)]) {
+          found = s;
+          break;
+        }
+      }
+      if (found >= 0) cursor = found + 1;
+      old_of_new->push_back(found);
+    }
+  }
+
   void recurse(std::size_t level, RectSet& box, const std::vector<Point>& nodes,
-               const std::vector<LinkFault>& links, EquivPartition* out) {
+               const std::vector<LinkFault>& links, EquivPartition* out,
+               PartitionSpans* spans) {
     const int j = peel_[level];
     const Coord width = shape_.width(j);
     const bool innermost = level + 1 == peel_.size();
@@ -76,10 +229,21 @@ class PartitionBuilder {
           if (lf.dim != j && lf.from[j] == c) sub_links.push_back(lf);
         }
         if (sub_nodes.empty() && sub_links.empty()) continue;  // impossible
+        const std::int64_t begin =
+            static_cast<std::int64_t>(out->sets.size());
         box.clamp(j, c, c);
-        recurse(level + 1, box, sub_nodes, sub_links, out);
+        recurse(level + 1, box, sub_nodes, sub_links, out, nullptr);
         box.clamp(j, 0, width - 1);
+        if (spans != nullptr) {
+          spans->coords.push_back(c);
+          spans->spans.emplace_back(
+              begin, static_cast<std::int64_t>(out->sets.size()));
+        }
       }
+    }
+
+    if (spans != nullptr) {
+      spans->tail_begin = static_cast<std::int64_t>(out->sets.size());
     }
 
     // Steps 1 / 2(c)+2(d): maximal fault-free intervals over the unblocked
@@ -137,16 +301,29 @@ void require_mesh(const MeshShape& shape) {
 
 EquivPartition find_ses_partition(const MeshShape& shape,
                                   const FaultSet& faults,
-                                  const DimOrder& order) {
+                                  const DimOrder& order,
+                                  PartitionSpans* spans) {
   require_mesh(shape);
-  return PartitionBuilder(shape, peel_for_ses(order)).run(faults);
+  return PartitionBuilder(shape, peel_for_ses(order)).run(faults, spans);
 }
 
 EquivPartition find_des_partition(const MeshShape& shape,
                                   const FaultSet& faults,
-                                  const DimOrder& order) {
+                                  const DimOrder& order,
+                                  PartitionSpans* spans) {
   require_mesh(shape);
-  return PartitionBuilder(shape, peel_for_des(order)).run(faults);
+  return PartitionBuilder(shape, peel_for_des(order)).run(faults, spans);
+}
+
+std::optional<PartitionRepair> repair_partition(
+    const MeshShape& shape, const FaultSet& faults,
+    const std::vector<Point>& delta_nodes,
+    const std::vector<LinkFault>& delta_links, const DimOrder& order,
+    bool des, const EquivPartition& prev, const PartitionSpans& prev_spans) {
+  require_mesh(shape);
+  return PartitionBuilder(shape,
+                          des ? peel_for_des(order) : peel_for_ses(order))
+      .repair(faults, delta_nodes, delta_links, prev, prev_spans);
 }
 
 std::int64_t theorem64_bound(const MeshShape& shape, std::int64_t f,

@@ -19,6 +19,9 @@
 // (the two sides stay source-equivalent only among themselves).
 #pragma once
 
+#include <cstdint>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "mesh/fault_set.hpp"
@@ -40,15 +43,58 @@ struct EquivPartition {
   std::int64_t find(const Point& p) const;
 };
 
+// Structural metadata of one Find-Partition run, recorded at the
+// outermost peel level: which hyperplane coordinates were blocked, the
+// [begin, end) span of output sets each blocked hyperplane's subtree
+// emitted, and where the level-0 maximal intervals start. This is what
+// repair_partition needs to splice a previous partition instead of
+// recomputing it.
+struct PartitionSpans {
+  std::vector<Coord> coords;  // blocked outer coords, ascending
+  std::vector<std::pair<std::int64_t, std::int64_t>> spans;  // per coord
+  std::int64_t tail_begin = 0;  // level-0 intervals occupy [tail_begin, size)
+};
+
 // Source-equivalent-set partition for the 1-round ordering `order`.
+// When `spans` is non-null it receives the splice metadata.
 EquivPartition find_ses_partition(const MeshShape& shape,
                                   const FaultSet& faults,
-                                  const DimOrder& order);
+                                  const DimOrder& order,
+                                  PartitionSpans* spans = nullptr);
 
 // Destination-equivalent-set partition for the 1-round ordering `order`.
 EquivPartition find_des_partition(const MeshShape& shape,
                                   const FaultSet& faults,
-                                  const DimOrder& order);
+                                  const DimOrder& order,
+                                  PartitionSpans* spans = nullptr);
+
+// Result of an incremental partition repair: the repaired partition
+// (byte-identical to a from-scratch Find-Partition over `faults`), fresh
+// splice metadata, and the old-index of every new set (-1 when the set
+// was recomputed or is new). `cells_reused` counts sets spliced from the
+// previous partition, `cells_recomputed` those rebuilt.
+struct PartitionRepair {
+  EquivPartition partition;
+  PartitionSpans spans;
+  std::vector<std::int64_t> old_of_new;
+  std::int64_t cells_reused = 0;
+  std::int64_t cells_recomputed = 0;
+};
+
+// Repairs a previous partition after `delta_nodes` / `delta_links` were
+// added to the fault set (`faults` is the new cumulative set and must
+// contain them). Only the outer-hyperplane subtrees touched by the delta
+// are recomputed; untouched subtrees receive byte-identical inputs and
+// are spliced through verbatim. Returns nullopt — caller must recompute
+// from scratch — when the damage is too widespread (more than half the
+// blocked hyperplanes dirty: the "merged regions" regime where repair
+// would redo most of the work anyway) or the mesh is one-dimensional.
+// `des` selects the DES peel order, as in find_des_partition.
+std::optional<PartitionRepair> repair_partition(
+    const MeshShape& shape, const FaultSet& faults,
+    const std::vector<Point>& delta_nodes,
+    const std::vector<LinkFault>& delta_links, const DimOrder& order,
+    bool des, const EquivPartition& prev, const PartitionSpans& prev_spans);
 
 // The Theorem 6.4 upper bound
 //   B(d, f) = sum_{j=2}^{d} min(2f, n_d n_{d-1} ... n_{j+1} (n_j - 1)) + f + 1

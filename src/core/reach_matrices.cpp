@@ -47,19 +47,14 @@ BitMatrix intersection_matrix(const EquivPartition& des_prev,
   return m;
 }
 
-ReachComputation compute_reachability(const MeshShape& shape,
-                                      const FaultSet& faults,
-                                      const MultiRoundOrder& orders,
-                                      ReachBackend backend) {
-  if (orders.empty()) {
-    throw std::invalid_argument("compute_reachability: need at least 1 round");
-  }
-  ReachComputation out;
-  const int k = static_cast<int>(orders.size());
+namespace {
 
-  // Distinct orderings -> shared partitions and matrices.
+// Distinct orderings -> shared partitions and matrices.
+std::vector<DimOrder> distinct_orders(const MultiRoundOrder& orders,
+                                      std::vector<int>* round_part) {
+  const int k = static_cast<int>(orders.size());
   std::vector<DimOrder> distinct;
-  out.round_part.resize(static_cast<std::size_t>(k));
+  round_part->resize(static_cast<std::size_t>(k));
   for (int t = 0; t < k; ++t) {
     int found = -1;
     for (std::size_t u = 0; u < distinct.size(); ++u) {
@@ -72,15 +67,40 @@ ReachComputation compute_reachability(const MeshShape& shape,
       distinct.push_back(orders[static_cast<std::size_t>(t)]);
       found = static_cast<int>(distinct.size()) - 1;
     }
-    out.round_part[static_cast<std::size_t>(t)] = found;
+    (*round_part)[static_cast<std::size_t>(t)] = found;
   }
+  return distinct;
+}
+
+}  // namespace
+
+ReachComputation compute_reachability(const MeshShape& shape,
+                                      const FaultSet& faults,
+                                      const MultiRoundOrder& orders,
+                                      ReachBackend backend,
+                                      ReachCapture* capture) {
+  if (orders.empty()) {
+    throw std::invalid_argument("compute_reachability: need at least 1 round");
+  }
+  if (capture != nullptr) *capture = ReachCapture{};
+  ReachComputation out;
+  const int k = static_cast<int>(orders.size());
+  const std::vector<DimOrder> distinct = distinct_orders(orders, &out.round_part);
 
   Stopwatch watch;
   {
     obs::ScopedTimer partition_timer("solver.partition");
     for (const DimOrder& order : distinct) {
-      out.ses.push_back(find_ses_partition(shape, faults, order));
-      out.des.push_back(find_des_partition(shape, faults, order));
+      PartitionSpans ses_spans;
+      PartitionSpans des_spans;
+      out.ses.push_back(find_ses_partition(
+          shape, faults, order, capture != nullptr ? &ses_spans : nullptr));
+      out.des.push_back(find_des_partition(
+          shape, faults, order, capture != nullptr ? &des_spans : nullptr));
+      if (capture != nullptr) {
+        capture->ses_spans.push_back(std::move(ses_spans));
+        capture->des_spans.push_back(std::move(des_spans));
+      }
     }
   }
   out.seconds_partition = watch.seconds();
@@ -149,12 +169,547 @@ ReachComputation compute_reachability(const MeshShape& shape,
     }
     BitMatrix::multiply_into(acc, inter, &scratch);
     std::swap(acc, scratch);
+    if (capture != nullptr) {
+      capture->inters.push_back(inter);
+      capture->chain.push_back(acc);
+    }
     BitMatrix::multiply_into(acc, r[static_cast<std::size_t>(next)], &scratch);
     std::swap(acc, scratch);
+    if (capture != nullptr) capture->chain.push_back(acc);
+  }
+  if (capture != nullptr) {
+    capture->distinct = distinct;
+    capture->r = r;
+    capture->valid = true;
   }
   out.rk = std::move(acc);
   out.seconds_matrices = watch.seconds();
   return out;
+}
+
+bool compute_reachability_incremental(
+    const MeshShape& shape, const FaultSet& faults,
+    const MultiRoundOrder& orders, const ReachOracle& oracle,
+    const std::vector<Point>& delta_nodes,
+    const std::vector<LinkFault>& delta_links, const ReachComputation& prev,
+    const ReachCapture& prev_cap, ReachComputation* out, ReachCapture* out_cap,
+    ReachDelta* delta) {
+  if (orders.empty() || !prev_cap.valid) return false;
+  // The bounding-box dirty test below assumes routes stay inside the box
+  // of their endpoints; torus routes may wrap, so the incremental path
+  // only handles plain meshes.
+  if (shape.wraps()) return false;
+  const int k = static_cast<int>(orders.size());
+
+  ReachComputation res;
+  const std::vector<DimOrder> distinct = distinct_orders(orders, &res.round_part);
+  if (distinct != prev_cap.distinct || res.round_part != prev.round_part) {
+    return false;
+  }
+  const std::size_t nu = distinct.size();
+  assert(prev_cap.r.size() == nu && prev_cap.ses_spans.size() == nu &&
+         prev_cap.des_spans.size() == nu);
+
+  ReachCapture cap;
+  cap.distinct = distinct;
+
+  // Layer 1: local partition repair. Bails (and we fall back to the full
+  // solve) when the new damage merges previously independent regions.
+  Stopwatch watch;
+  std::vector<std::vector<std::int64_t>> ses_map(nu);
+  std::vector<std::vector<std::int64_t>> des_map(nu);
+  {
+    obs::ScopedTimer partition_timer("solver.partition");
+    for (std::size_t u = 0; u < nu; ++u) {
+      auto sr = repair_partition(shape, faults, delta_nodes, delta_links,
+                                 distinct[u], /*des=*/false, prev.ses[u],
+                                 prev_cap.ses_spans[u]);
+      if (!sr) return false;
+      auto dr = repair_partition(shape, faults, delta_nodes, delta_links,
+                                 distinct[u], /*des=*/true, prev.des[u],
+                                 prev_cap.des_spans[u]);
+      if (!dr) return false;
+      delta->partition_cells_reused += sr->cells_reused + dr->cells_reused;
+      delta->partition_cells_recomputed +=
+          sr->cells_recomputed + dr->cells_recomputed;
+      res.ses.push_back(std::move(sr->partition));
+      res.des.push_back(std::move(dr->partition));
+      cap.ses_spans.push_back(std::move(sr->spans));
+      cap.des_spans.push_back(std::move(dr->spans));
+      ses_map[u] = std::move(sr->old_of_new);
+      des_map[u] = std::move(dr->old_of_new);
+    }
+  }
+  res.seconds_partition = watch.seconds();
+
+  watch.reset();
+  obs::ScopedTimer matrices_timer("solver.reach_matrices");
+  {
+    // Same heuristic as kAuto: once the fault count grows into the flood
+    // backend's regime, hand back to the full computation.
+    const double q = static_cast<double>(res.last_des().size());
+    const double flood_cost = 2.0 * static_cast<double>(k) * shape.dim() *
+                              static_cast<double>(shape.size());
+    if (q * q / 64.0 > flood_cost) return false;
+  }
+
+  // Delta endpoints for the bounding-box dirty test. A dimension-ordered
+  // route from v to w never leaves box(v, w), so entry (i, j) can only
+  // change if a delta node lies in the box — or, for a link, both of its
+  // endpoints do (a traversed link has both endpoints on the route).
+  std::vector<std::pair<Point, Point>> dpts;
+  dpts.reserve(delta_nodes.size() + delta_links.size());
+  for (const Point& p : delta_nodes) dpts.emplace_back(p, p);
+  for (const LinkFault& lf : delta_links) {
+    Point b = lf.from;
+    b[lf.dim] += lf.dir == Dir::Pos ? 1 : -1;
+    dpts.emplace_back(lf.from, b);
+  }
+
+  // The old-of-new maps from partition repair are monotone, so they
+  // decompose into a handful of identity-with-offset runs. Every splice
+  // and row comparison below works run-by-run at word granularity; the
+  // per-entry loops this replaces cost as much as the oracle calls they
+  // saved, which is why the incremental path used to break even.
+  struct MapRuns {
+    struct Run {
+      std::int64_t dst;  // first new index of the run
+      std::int64_t src;  // first old index of the run
+      std::int64_t len;
+    };
+    std::vector<Run> runs;
+    Bits unmapped_new;   // new indices with no old counterpart
+    Bits unmatched_old;  // old indices the map dropped
+  };
+  auto make_runs = [](const std::vector<std::int64_t>& old_of_new,
+                      std::int64_t old_size) {
+    MapRuns mr;
+    const std::int64_t n = static_cast<std::int64_t>(old_of_new.size());
+    mr.unmapped_new = Bits(n);
+    mr.unmatched_old = Bits(old_size);
+    for (std::int64_t o = 0; o < old_size; ++o) mr.unmatched_old.set(o);
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::int64_t o = old_of_new[static_cast<std::size_t>(j)];
+      if (o < 0) {
+        mr.unmapped_new.set(j);
+        continue;
+      }
+      mr.unmatched_old.reset(o);
+      if (!mr.runs.empty() && mr.runs.back().dst + mr.runs.back().len == j &&
+          mr.runs.back().src + mr.runs.back().len == o) {
+        ++mr.runs.back().len;
+      } else {
+        mr.runs.push_back({j, o, 1});
+      }
+    }
+    return mr;
+  };
+  // Content maps: R entries depend only on the representatives and the
+  // fault set, never on cell extents, so a new cell whose representative
+  // matches an old cell's (the usual outcome of a split — one piece keeps
+  // the lower corner) reuses that row or column by value. Cell-identity
+  // maps are kept alongside for the intersection splice, which does
+  // depend on extents.
+  std::vector<std::vector<std::int64_t>> cses_map = ses_map;
+  std::vector<std::vector<std::int64_t>> cdes_map = des_map;
+  auto upgrade_by_rep = [&shape](const EquivPartition& old_part,
+                                 const EquivPartition& new_part,
+                                 std::vector<std::int64_t>* map) {
+    // Cells are disjoint and the representative is the lower corner, so
+    // representatives are unique on both sides and the map stays
+    // injective. Unmapped cells are rare (a handful per repair), so a
+    // linear scan over the old representatives beats building an index.
+    for (std::size_t i = 0; i < map->size(); ++i) {
+      if ((*map)[i] >= 0) continue;
+      const NodeId target =
+          shape.index(new_part.rep(static_cast<std::int64_t>(i)));
+      for (std::int64_t o = 0; o < old_part.size(); ++o) {
+        if (shape.index(old_part.rep(o)) == target) {
+          (*map)[i] = o;
+          break;
+        }
+      }
+    }
+  };
+  // Parent maps: the old-partition cell containing a new cell's
+  // representative. By the partition's uniformity guarantee, reach under
+  // the OLD fault set between any members of two old cells equals reach
+  // between their representatives — so even a brand-new cell (a split
+  // piece that kept neither corner) sources its row or column from the
+  // parent's, and the delta masks below apply the new faults exactly.
+  // Unlike the content maps these are not injective (several pieces may
+  // share a parent), so they are value-reuse only, never splice or flag
+  // bookkeeping.
+  auto parent_of = [](const EquivPartition& old_part,
+                      const Point& rep) -> std::int64_t {
+    for (std::int64_t o = 0; o < old_part.size(); ++o) {
+      if (old_part.sets[static_cast<std::size_t>(o)].contains(rep)) return o;
+    }
+    return -1;
+  };
+  std::vector<MapRuns> ses_runs(nu);
+  std::vector<MapRuns> cdes_runs(nu);
+  std::vector<std::vector<std::int64_t>> pses_map(nu);
+  std::vector<std::vector<std::int64_t>> pdes_map(nu);
+  for (std::size_t u = 0; u < nu; ++u) {
+    upgrade_by_rep(prev.ses[u], res.ses[u], &cses_map[u]);
+    upgrade_by_rep(prev.des[u], res.des[u], &cdes_map[u]);
+    ses_runs[u] = make_runs(ses_map[u], prev.ses[u].size());
+    cdes_runs[u] = make_runs(cdes_map[u], prev.des[u].size());
+    pses_map[u].assign(cses_map[u].size(), -1);
+    pdes_map[u].assign(cdes_map[u].size(), -1);
+    for (std::size_t i = 0; i < cses_map[u].size(); ++i) {
+      if (cses_map[u][i] < 0) {
+        pses_map[u][i] =
+            parent_of(prev.ses[u], res.ses[u].rep(static_cast<std::int64_t>(i)));
+      }
+    }
+    for (std::size_t j = 0; j < cdes_map[u].size(); ++j) {
+      if (cdes_map[u][j] < 0) {
+        pdes_map[u][j] =
+            parent_of(prev.des[u], res.des[u].rep(static_cast<std::int64_t>(j)));
+      }
+    }
+  }
+
+
+  // Layer 2: per-ordering R_u with entry-level reuse.
+  const int d = shape.dim();
+  std::vector<BitMatrix> r(nu);
+  std::vector<std::vector<std::uint8_t>> r_changed(nu);
+  for (std::size_t u = 0; u < nu; ++u) {
+    const EquivPartition& ses = res.ses[u];
+    const EquivPartition& des = res.des[u];
+    const BitMatrix& old_r = prev_cap.r[u];
+    const std::vector<std::int64_t>& smap = cses_map[u];
+    const std::vector<std::int64_t>& pses = pses_map[u];
+    const std::vector<std::int64_t>& pdes = pdes_map[u];
+    const std::int64_t p = ses.size();
+    const std::int64_t q = des.size();
+    std::vector<Point> des_reps;
+    des_reps.reserve(static_cast<std::size_t>(q));
+    for (std::int64_t j = 0; j < q; ++j) des_reps.push_back(des.rep(j));
+
+    // Per delta endpoint e and dimension dd: DES columns whose
+    // representative has coord dd >= the endpoint's (ge), <= it (le), or
+    // equal (eq). These turn "endpoint on the dimension-ordered route
+    // from v to rep_j" into a few word-wide ANDs per row below; only the
+    // coordinates the delta actually touches get a mask, not full
+    // per-coordinate tables.
+    const std::int64_t ne = 2 * static_cast<std::int64_t>(dpts.size());
+    std::vector<Bits> ge_ep(static_cast<std::size_t>(ne * d), Bits(q));
+    std::vector<Bits> le_ep(static_cast<std::size_t>(ne * d), Bits(q));
+    std::vector<Bits> eq_ep(static_cast<std::size_t>(ne * d), Bits(q));
+    for (std::int64_t e = 0; e < ne; ++e) {
+      const Point& x = (e & 1) == 0 ? dpts[static_cast<std::size_t>(e >> 1)].first
+                                    : dpts[static_cast<std::size_t>(e >> 1)].second;
+      for (int dd = 0; dd < d; ++dd) {
+        Bits& gmask = ge_ep[static_cast<std::size_t>(e * d + dd)];
+        Bits& lmask = le_ep[static_cast<std::size_t>(e * d + dd)];
+        Bits& emask = eq_ep[static_cast<std::size_t>(e * d + dd)];
+        for (std::int64_t j = 0; j < q; ++j) {
+          const Coord c = des_reps[static_cast<std::size_t>(j)][dd];
+          if (c >= x[dd]) gmask.set(j);
+          if (c <= x[dd]) lmask.set(j);
+          if (c == x[dd]) emask.set(j);
+        }
+      }
+    }
+    Bits all_cols(q);
+    for (std::int64_t j = 0; j < q; ++j) all_cols.set(j);
+    const std::size_t num_node_dpts = delta_nodes.size();
+
+    r[u] = BitMatrix(p, q);
+    r_changed[u].assign(static_cast<std::size_t>(p), 0);
+    std::vector<std::int64_t> recomputed(static_cast<std::size_t>(p), 0);
+    const MapRuns& druns = cdes_runs[u];
+    BitMatrix& ru = r[u];
+    // Row bands, each writing disjoint rows and its own counters:
+    // deterministic at any thread count.
+    par::parallel_for(0, p, 0, [&](std::int64_t i0, std::int64_t i1) {
+      // Scratch masks live outside the row loop so the copy-assignments
+      // below reuse their buffers instead of reallocating per row.
+      Bits node_dirty(q);
+      Bits link_dirty(q);
+      Bits m(q);
+      Bits m2(q);
+      Bits pe(q);
+      Bits term(q);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const std::int64_t oic = smap[static_cast<std::size_t>(i)];
+        const std::int64_t oi =
+            oic >= 0 ? oic : pses[static_cast<std::size_t>(i)];
+        const Point v = ses.rep(i);
+        if (oi < 0) {
+          // No old counterpart and no parent (defensive; the old
+          // partition covers every then-good node): full oracle row.
+          for (std::int64_t j = 0; j < q; ++j) {
+            if (oracle.reach1(v, des_reps[static_cast<std::size_t>(j)],
+                              distinct[u])) {
+              ru.set(i, j);
+            }
+          }
+          r_changed[u][static_cast<std::size_t>(i)] = 1;
+          recomputed[static_cast<std::size_t>(i)] = q;
+          continue;
+        }
+        // Columns j whose dimension-ordered route from v to rep_j passes
+        // through endpoint x. The route corrects dimensions in `order`;
+        // x sits on the segment at position t iff the already-corrected
+        // coordinates match x on the destination side (eq masks), the
+        // not-yet-corrected ones match x on the source side (scalar
+        // compares against v), and x's coordinate in the segment
+        // dimension lies between v's and the destination's.
+        auto route_mask = [&](std::int64_t e, const Point& x, Bits* out) {
+          out->clear();
+          int t_min = 0;
+          for (int t = 0; t < d; ++t) {
+            if (v[distinct[u].at(t)] != x[distinct[u].at(t)]) t_min = t;
+          }
+          pe = all_cols;
+          for (int t = 0; t < d; ++t) {
+            const int dd = distinct[u].at(t);
+            if (t >= t_min) {
+              term = pe;
+              if (x[dd] > v[dd]) {
+                term &= ge_ep[static_cast<std::size_t>(e * d + dd)];
+              } else if (x[dd] < v[dd]) {
+                term &= le_ep[static_cast<std::size_t>(e * d + dd)];
+              }
+              *out |= term;
+            }
+            if (t + 1 < d) {
+              pe &= eq_ep[static_cast<std::size_t>(e * d + dd)];
+              if (!pe.any()) break;
+            }
+          }
+        };
+        node_dirty.clear();
+        link_dirty.clear();
+        for (std::size_t dp = 0; dp < dpts.size(); ++dp) {
+          if (dp < num_node_dpts) {
+            route_mask(static_cast<std::int64_t>(2 * dp), dpts[dp].first, &m);
+            node_dirty |= m;
+          } else {
+            // Traversing the faulted link requires both of its endpoints
+            // on the route: the mask intersection is a sound superset.
+            route_mask(static_cast<std::int64_t>(2 * dp), dpts[dp].first, &m);
+            route_mask(static_cast<std::int64_t>(2 * dp + 1), dpts[dp].second,
+                       &m2);
+            m &= m2;
+            link_dirty |= m;
+          }
+        }
+        // Clean mapped entries are copied run-by-run at word granularity;
+        // the row itself may be a parent copy (oic < 0), which is the old
+        // reachability of every member of the parent cell, v included.
+        for (const auto& run : druns.runs) {
+          ru.copy_row_range(i, run.dst, old_r, oi, run.src, run.len);
+        }
+        bool changed = oic < 0;
+        std::int64_t rec = 0;
+        // Brand-new columns source their old value from the parent cell
+        // the same way; only a parentless column (defensive) asks the
+        // oracle.
+        druns.unmapped_new.for_each([&](std::int64_t j) {
+          const std::int64_t pj = pdes[static_cast<std::size_t>(j)];
+          if (pj >= 0) {
+            if (old_r.get(oi, pj)) ru.set(i, j);
+          } else if (oracle.reach1(v, des_reps[static_cast<std::size_t>(j)],
+                                   distinct[u])) {
+            ru.set(i, j);
+          }
+          ++rec;
+        });
+        // Node deltas need no oracle at all: the route point set is
+        // fault-independent, so a copied 1 whose route passes through a
+        // newly faulted node flips to 0 deterministically, and a copied 0
+        // stays 0 by monotonicity (the incremental path only adds
+        // faults).
+        const std::int64_t cleared = ru.row_clear_masked(i, node_dirty);
+        if (cleared > 0) {
+          changed = true;
+          rec += cleared;
+        }
+        // Link deltas keep the oracle check on surviving 1s: the mask is
+        // a superset of actual traversals, and link direction matters.
+        if (link_dirty.any()) {
+          link_dirty.for_each([&](std::int64_t j) {
+            if (!ru.get(i, j)) return;
+            if (!oracle.reach1(v, des_reps[static_cast<std::size_t>(j)],
+                               distinct[u])) {
+              ru.reset(i, j);
+              changed = true;
+            }
+            ++rec;
+          });
+        }
+        // The copied runs match the old row by construction, so the only
+        // remaining differences are bits in brand-new columns or old bits
+        // in columns the map dropped; that keeps the flag exactly the
+        // strict both-ways equality the chain splice relies on.
+        if (!changed) {
+          changed = ru.row_intersects(i, druns.unmapped_new) ||
+                    old_r.row_intersects(oi, druns.unmatched_old);
+        }
+        recomputed[static_cast<std::size_t>(i)] = rec;
+        r_changed[u][static_cast<std::size_t>(i)] = changed ? 1 : 0;
+      }
+    });
+    for (std::int64_t i = 0; i < p; ++i) {
+      delta->blocks_recomputed += recomputed[static_cast<std::size_t>(i)];
+      delta->blocks_reused += q - recomputed[static_cast<std::size_t>(i)];
+    }
+  }
+
+
+  // Layer 2b: the product chain, splicing rows whose inputs are provably
+  // unchanged. A row splices when its left-factor row strictly equals the
+  // old one (row_equals_mapped) and touches no changed right-factor row;
+  // the copied row is the old product row remapped through the right
+  // factor's column map. Changed flags for the next step are derived by
+  // strict comparison of the recomputed rows, not conservatively.
+  BitMatrix acc = r[static_cast<std::size_t>(res.round_part[0])];
+  std::vector<std::uint8_t> acc_changed =
+      r_changed[static_cast<std::size_t>(res.round_part[0])];
+  const std::vector<std::int64_t>& acc_row_map =
+      cses_map[static_cast<std::size_t>(res.round_part[0])];
+  std::size_t chain_idx = 0;
+
+  auto chain_step = [&](const BitMatrix& b,
+                        const std::vector<std::uint8_t>& b_row_changed,
+                        const MapRuns& bruns) {
+    // For narrow right factors the word-parallel product outruns the
+    // per-row splice bookkeeping (several scattered loads per row versus
+    // a couple of OR words), so small steps just multiply. The bits are
+    // identical either way; only the reuse accounting differs. The
+    // all-ones flags stay sound for later steps: a 1 only forces a
+    // recompute.
+    constexpr std::int64_t kSpliceMinWords = 4;
+    if ((b.cols() + 63) / 64 < kSpliceMinWords) {
+      BitMatrix prod;
+      BitMatrix::multiply_into(acc, b, &prod);
+      acc = std::move(prod);
+      acc_changed.assign(static_cast<std::size_t>(acc.rows()), 1);
+      delta->blocks_recomputed += acc.rows();
+      cap.chain.push_back(acc);
+      ++chain_idx;
+      return;
+    }
+    const BitMatrix& prev_out = prev_cap.chain[chain_idx];
+    BitMatrix nout(acc.rows(), b.cols());
+    std::vector<std::uint8_t> compute(static_cast<std::size_t>(acc.rows()), 0);
+    std::vector<std::uint8_t> nchanged(static_cast<std::size_t>(acc.rows()), 0);
+    Bits changed_rows(b.rows());
+    for (std::int64_t rr = 0; rr < b.rows(); ++rr) {
+      if (b_row_changed[static_cast<std::size_t>(rr)] != 0) {
+        changed_rows.set(rr);
+      }
+    }
+    for (std::int64_t i = 0; i < acc.rows(); ++i) {
+      const std::int64_t old_i = acc_row_map[static_cast<std::size_t>(i)];
+      if (acc_changed[static_cast<std::size_t>(i)] != 0 || old_i < 0 ||
+          acc.row_intersects(i, changed_rows)) {
+        compute[static_cast<std::size_t>(i)] = 1;
+        continue;
+      }
+      for (const auto& run : bruns.runs) {
+        nout.copy_row_range(i, run.dst, prev_out, old_i, run.src, run.len);
+      }
+      // The spliced content is exact, but the row still counts as changed
+      // if the old product row had bits in columns the map dropped — a
+      // later splice keyed on this flag would resurrect them.
+      nchanged[static_cast<std::size_t>(i)] =
+          prev_out.row_intersects(old_i, bruns.unmatched_old) ? 1 : 0;
+      delta->blocks_reused += 1;
+    }
+    BitMatrix::multiply_rows_into(acc, b, compute, &nout);
+    for (std::int64_t i = 0; i < acc.rows(); ++i) {
+      if (compute[static_cast<std::size_t>(i)] == 0) continue;
+      delta->blocks_recomputed += 1;
+      const std::int64_t old_i = acc_row_map[static_cast<std::size_t>(i)];
+      bool changed = old_i < 0;
+      for (const auto& run : bruns.runs) {
+        if (changed) break;
+        changed = !nout.row_range_equals(i, run.dst, prev_out, old_i,
+                                         run.src, run.len);
+      }
+      if (!changed) {
+        changed = nout.row_intersects(i, bruns.unmapped_new) ||
+                  prev_out.row_intersects(old_i, bruns.unmatched_old);
+      }
+      nchanged[static_cast<std::size_t>(i)] = changed ? 1 : 0;
+    }
+    acc = std::move(nout);
+    acc_changed = std::move(nchanged);
+    cap.chain.push_back(acc);
+    ++chain_idx;
+  };
+
+  for (int t = 1; t < k; ++t) {
+    const std::size_t pu =
+        static_cast<std::size_t>(res.round_part[static_cast<std::size_t>(t - 1)]);
+    const std::size_t su =
+        static_cast<std::size_t>(res.round_part[static_cast<std::size_t>(t)]);
+    const BitMatrix& old_inter = prev_cap.inters[static_cast<std::size_t>(t - 1)];
+    const MapRuns& sruns = ses_runs[su];
+    const EquivPartition& dprev = res.des[pu];
+    const EquivPartition& snext = res.ses[su];
+    // A mapped cell is the old RectSet verbatim (the repair either splices
+    // it or equality-matches it), so mapped-row x mapped-col intersection
+    // entries are the old entries: splice them and call intersects only
+    // for brand-new rows and columns.
+    BitMatrix inter(dprev.size(), snext.size());
+    std::vector<std::int64_t> new_cols;
+    sruns.unmapped_new.for_each(
+        [&](std::int64_t j) { new_cols.push_back(j); });
+    std::vector<std::uint8_t> ichanged(static_cast<std::size_t>(inter.rows()), 0);
+    for (std::int64_t rr = 0; rr < inter.rows(); ++rr) {
+      const std::int64_t orr = des_map[pu][static_cast<std::size_t>(rr)];
+      if (orr < 0) {
+        for (std::int64_t j = 0; j < inter.cols(); ++j) {
+          if (RectSet::intersects(dprev.sets[static_cast<std::size_t>(rr)],
+                                  snext.sets[static_cast<std::size_t>(j)])) {
+            inter.set(rr, j);
+          }
+        }
+        ichanged[static_cast<std::size_t>(rr)] = 1;
+        continue;
+      }
+      for (const auto& run : sruns.runs) {
+        inter.copy_row_range(rr, run.dst, old_inter, orr, run.src, run.len);
+      }
+      for (const std::int64_t j : new_cols) {
+        if (RectSet::intersects(dprev.sets[static_cast<std::size_t>(rr)],
+                                snext.sets[static_cast<std::size_t>(j)])) {
+          inter.set(rr, j);
+        }
+      }
+      // Mapped columns match the old row verbatim, so the row changed only
+      // if a new column intersects or the map dropped an old column that
+      // held a bit.
+      ichanged[static_cast<std::size_t>(rr)] =
+          inter.row_intersects(rr, sruns.unmapped_new) ||
+                  old_inter.row_intersects(orr, sruns.unmatched_old)
+              ? 1
+              : 0;
+    }
+    cap.inters.push_back(inter);
+    chain_step(inter, ichanged, sruns);
+    chain_step(r[su], r_changed[su], cdes_runs[su]);
+  }
+
+  cap.r = std::move(r);
+  cap.valid = true;
+  delta->rk_row_old_of_new =
+      cses_map[static_cast<std::size_t>(res.round_part.front())];
+  delta->rk_col_old_of_new =
+      cdes_map[static_cast<std::size_t>(res.round_part.back())];
+  res.rk = acc;
+  res.seconds_matrices = watch.seconds();
+  *out = std::move(res);
+  *out_cap = std::move(cap);
+  return true;
 }
 
 }  // namespace lamb

@@ -52,13 +52,67 @@ struct ReachComputation {
 //            the estimated flood cost 2 k d N per representative.
 enum class ReachBackend { kAuto, kMatrix, kFlood };
 
+// Intermediate state of one matrix-backend Find-Reachability run, kept so
+// a later solve over a superset fault set can reuse it (the incremental
+// reconfiguration path). `valid` is false when the flood backend ran —
+// floods keep no reusable intermediates.
+struct ReachCapture {
+  bool valid = false;
+  std::vector<DimOrder> distinct;          // distinct orderings, in order
+  std::vector<PartitionSpans> ses_spans;   // per distinct ordering
+  std::vector<PartitionSpans> des_spans;
+  std::vector<BitMatrix> r;                // R_u per distinct ordering
+  std::vector<BitMatrix> inters;           // I_t per chain step t = 1..k-1
+  std::vector<BitMatrix> chain;            // acc after every product (2(k-1))
+};
+
+// Per-layer reuse counters of one incremental Find-Reachability run.
+struct ReachDelta {
+  std::int64_t partition_cells_reused = 0;
+  std::int64_t partition_cells_recomputed = 0;
+  // "Blocks" are the splice units of the matrix layer: R_t entries copied
+  // from the previous run plus chain-product rows spliced wholesale,
+  // versus entries re-queried / rows re-multiplied.
+  std::int64_t blocks_reused = 0;
+  std::int64_t blocks_recomputed = 0;
+  // Content maps for the R^(k) index spaces (rows = first-round SES cells,
+  // columns = last-round DES cells): for each new index, the old index
+  // whose cell has the same representative, or -1. Injective, since
+  // representatives are unique within a partition. Lets the caller carry
+  // per-cell state (e.g. a flow decomposition) across the repair.
+  std::vector<std::int64_t> rk_row_old_of_new;
+  std::vector<std::int64_t> rk_col_old_of_new;
+};
+
 // Runs Find-SES/DES-Partition for each distinct ordering in `orders` and
 // computes R^(k) with the chosen backend. Identical orderings share one
 // partition and one R_t, the simplification the paper notes at the end
-// of Section 6.2.
+// of Section 6.2. When `capture` is non-null and the matrix backend runs,
+// the intermediates are recorded for incremental reuse.
 ReachComputation compute_reachability(const MeshShape& shape,
                                       const FaultSet& faults,
                                       const MultiRoundOrder& orders,
-                                      ReachBackend backend = ReachBackend::kAuto);
+                                      ReachBackend backend = ReachBackend::kAuto,
+                                      ReachCapture* capture = nullptr);
+
+// Incremental Find-Reachability: recomputes `prev` (captured as
+// `prev_cap`) after `delta_nodes` / `delta_links` were added, producing
+// exactly what compute_reachability(shape, faults, orders, kMatrix)
+// would. `faults` is the new cumulative set and `oracle` must already be
+// bound to it. Partitions are repaired locally; an R_t entry is copied
+// whenever both its representatives survived the repair unchanged and no
+// delta fault lies in the bounding box of the pair (a dimension-ordered
+// route never leaves that box); chain-product rows are spliced when their
+// inputs are provably unchanged. Returns false — caller must fall back to
+// the full computation — when the partition repair bails, the orderings
+// do not match the capture, or the fault count has grown into the flood
+// backend's regime.
+bool compute_reachability_incremental(
+    const MeshShape& shape, const FaultSet& faults,
+    const MultiRoundOrder& orders, const ReachOracle& oracle,
+    const std::vector<Point>& delta_nodes,
+    const std::vector<LinkFault>& delta_links, const ReachComputation& prev,
+    const ReachCapture& prev_cap, ReachComputation* out, ReachCapture* out_cap,
+    ReachDelta* delta);
 
 }  // namespace lamb

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/incremental.hpp"
 #include "core/lamb.hpp"
 #include "core/lamb_internal.hpp"
 #include "core/verifier.hpp"
@@ -53,7 +54,9 @@ SolveOutcome solve_lambs(const MeshShape& shape, const FaultSet& faults,
                        kMinBudget)
             : 0.0;
     try {
-      outcome.result = lamb1(shape, faults, attempt);
+      internal::LambCapture capture;
+      outcome.result = internal::lamb1_core(
+          shape, faults, attempt, options.keep_context ? &capture : nullptr);
       outcome.rounds = rounds;
       outcome.escalations = rounds - base_rounds;
       outcome.status = outcome.escalations == 0 ? SolveStatus::kCertified
@@ -62,6 +65,11 @@ SolveOutcome solve_lambs(const MeshShape& shape, const FaultSet& faults,
       if (outcome.escalations > 0) {
         obs::counter("solver.degrade.escalations")
             .add(outcome.escalations);
+      }
+      if (options.keep_context && capture.valid) {
+        outcome.context = internal::make_context(shape, faults,
+                                                 *attempt.orders,
+                                                 std::move(capture));
       }
       span.arg("rounds", rounds);
       span.arg("escalations", outcome.escalations);

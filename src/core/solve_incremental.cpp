@@ -1,0 +1,279 @@
+// The incremental re-solve path (see core/incremental.hpp for the
+// contract). The previous context is CONSUMED by an attempt that gets as
+// far as folding the delta into it: its fault snapshot and oracle are
+// updated in place and either move into the new outcome's context or,
+// when a later layer bails, are left behind with the capture invalidated
+// so a stale context can never be reused against newer matrices.
+#include "core/incremental.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "graph/dinic.hpp"
+#include "obs/obs.hpp"
+#include "support/stats.hpp"
+
+namespace lamb {
+
+const char* incremental_fallback_name(IncrementalFallback reason) {
+  switch (reason) {
+    case IncrementalFallback::kNone: return "none";
+    case IncrementalFallback::kNoContext: return "no_context";
+    case IncrementalFallback::kNotCertified: return "not_certified";
+    case IncrementalFallback::kShapeMismatch: return "shape_mismatch";
+    case IncrementalFallback::kNotSuperset: return "not_superset";
+    case IncrementalFallback::kReachBailed: return "reach_bailed";
+    case IncrementalFallback::kBudgetExceeded: return "budget_exceeded";
+  }
+  return "?";
+}
+
+namespace internal {
+
+std::shared_ptr<SolveContext> make_context(const MeshShape& shape,
+                                           const FaultSet& faults,
+                                           const MultiRoundOrder& orders,
+                                           LambCapture&& capture) {
+  auto ctx = std::make_shared<SolveContext>();
+  ctx->shape = std::make_shared<const MeshShape>(shape);
+  ctx->orders = orders;
+  ctx->capture = std::move(capture);
+  // Own copy of the fault set, bound to the shared shape: replaying the
+  // adds reproduces the same sorted node list and link order.
+  ctx->faults = std::make_unique<FaultSet>(*ctx->shape);
+  for (NodeId id : faults.node_faults()) ctx->faults->add_node(id);
+  for (const LinkFault& lf : faults.link_faults()) {
+    if (lf.bidirectional) {
+      ctx->faults->add_link(lf.from, lf.dim, lf.dir);
+    } else {
+      ctx->faults->add_directed_link(lf.from, lf.dim, lf.dir);
+    }
+  }
+  ctx->oracle = std::make_unique<ReachOracle>(*ctx->shape, *ctx->faults);
+  return ctx;
+}
+
+}  // namespace internal
+
+SolveOutcome solve_lambs_incremental(const MeshShape& shape,
+                                     const FaultSet& faults,
+                                     const SolveOutcome& prev,
+                                     const LambOptions& options,
+                                     int max_rounds,
+                                     IncrementalStats* stats) {
+  obs::Span span("solver.solve_incremental", "solver");
+  IncrementalStats local;
+  IncrementalStats& st = stats != nullptr ? *stats : local;
+  st = IncrementalStats{};
+
+  auto fall_back = [&](IncrementalFallback reason) {
+    st.used = false;
+    st.fallback = reason;
+    obs::counter("solver.incremental.fallback").add();
+    span.arg("fallback", static_cast<double>(reason));
+    return solve_lambs(shape, faults, options, max_rounds);
+  };
+
+  if (prev.context == nullptr || !prev.context->capture.valid ||
+      prev.context->faults == nullptr || prev.context->oracle == nullptr) {
+    return fall_back(IncrementalFallback::kNoContext);
+  }
+  if (!prev.certified()) return fall_back(IncrementalFallback::kNotCertified);
+  SolveContext& ctx = *prev.context;
+  if (!(*ctx.shape == shape)) {
+    return fall_back(IncrementalFallback::kShapeMismatch);
+  }
+  const MultiRoundOrder orders = options.resolved_orders(shape.dim());
+  // An escalated previous outcome stored its escalated orders; those
+  // differ from the caller's base orders, so escalation lands here too.
+  if (orders != ctx.orders) {
+    return fall_back(IncrementalFallback::kShapeMismatch);
+  }
+
+  // The delta: faults present now but not in the context's snapshot. The
+  // snapshot must be a subset or the reuse arguments do not hold.
+  std::vector<Point> delta_nodes;
+  {
+    const std::vector<NodeId>& now = faults.node_faults();
+    const std::vector<NodeId>& then = ctx.faults->node_faults();
+    std::size_t a = 0;  // both sorted unique: one merge pass
+    for (NodeId id : now) {
+      if (a < then.size() && then[a] == id) {
+        ++a;
+      } else {
+        delta_nodes.push_back(shape.point(id));
+      }
+    }
+    if (a != then.size()) return fall_back(IncrementalFallback::kNotSuperset);
+  }
+  std::vector<LinkFault> delta_links;
+  {
+    const std::vector<LinkFault>& now = faults.link_faults();
+    const std::vector<LinkFault>& then = ctx.faults->link_faults();
+    for (const LinkFault& lf : now) {
+      if (std::find(then.begin(), then.end(), lf) == then.end()) {
+        delta_links.push_back(lf);
+      }
+    }
+    for (const LinkFault& lf : then) {
+      if (std::find(now.begin(), now.end(), lf) == now.end()) {
+        return fall_back(IncrementalFallback::kNotSuperset);
+      }
+    }
+  }
+  st.delta_nodes = static_cast<std::int64_t>(delta_nodes.size());
+  st.delta_links = static_cast<std::int64_t>(delta_links.size());
+
+  // Point of no return: fold the delta into the context's fault snapshot
+  // and oracle. The old context is consumed — mark its capture invalid so
+  // a retry can never pair the mutated snapshot with the old matrices.
+  ctx.capture.valid = false;
+  for (const Point& p : delta_nodes) {
+    ctx.faults->add_node(p);
+    ctx.oracle->apply_node_fault(p);
+  }
+  for (const LinkFault& lf : delta_links) {
+    // Directions that actually turn faulty now (another logical fault may
+    // already cover one of them) get the O(width) prefix update.
+    struct DirectedLink {
+      Point from;
+      Dir dir;
+    };
+    std::vector<DirectedLink> fresh;
+    auto consider = [&](const Point& from, Dir dir) {
+      if (!ctx.faults->link_faulty(from, lf.dim, dir)) {
+        fresh.push_back(DirectedLink{from, dir});
+      }
+    };
+    consider(lf.from, lf.dir);
+    if (lf.bidirectional) {
+      Point nb = lf.from;
+      const Coord w = shape.width(lf.dim);
+      nb[lf.dim] = static_cast<Coord>(
+          ((nb[lf.dim] + dir_sign(lf.dir)) % w + w) % w);
+      consider(nb, opposite(lf.dir));
+    }
+    if (lf.bidirectional) {
+      ctx.faults->add_link(lf.from, lf.dim, lf.dir);
+    } else {
+      ctx.faults->add_directed_link(lf.from, lf.dim, lf.dir);
+    }
+    for (const DirectedLink& dl : fresh) {
+      ctx.oracle->apply_directed_link_fault(dl.from, lf.dim, dl.dir);
+    }
+  }
+
+  const std::vector<NodeId> predetermined =
+      internal::checked_predetermined(faults, options);
+
+  Stopwatch watch;
+  const internal::Deadline deadline(options.budget_seconds);
+  LambOptions attempt = options;
+  attempt.orders = orders;
+  SolveOutcome outcome;
+  internal::LambCapture ncap;
+  ReachDelta rdelta;
+  try {
+    deadline.check("setup");
+    ReachComputation reach;
+    if (!compute_reachability_incremental(
+            shape, faults, orders, *ctx.oracle, delta_nodes, delta_links,
+            ctx.capture.reach, ctx.capture.rcap, &reach, &ncap.rcap,
+            &rdelta)) {
+      return fall_back(IncrementalFallback::kReachBailed);
+    }
+    deadline.check("reachability");
+
+    // The captured flow decomposition lives in the PREVIOUS epoch's R^(k)
+    // index space; after a partition repair the cell indices shift, so
+    // translate each hint through the repair's content maps before the
+    // cover phase looks them up against the new R^(k). Hints on cells
+    // that split or vanished are dropped, and the residual clamp in the
+    // cover solver keeps any surviving preload legal, so this only
+    // affects how much flow is retained — never the cover itself.
+    std::vector<FlowHint> warm;
+    {
+      auto invert = [](const std::vector<std::int64_t>& old_of_new,
+                       std::int64_t old_size) {
+        std::vector<std::int64_t> new_of_old(
+            static_cast<std::size_t>(old_size), -1);
+        for (std::size_t n = 0; n < old_of_new.size(); ++n) {
+          const std::int64_t o = old_of_new[n];
+          if (o >= 0 && o < old_size) {
+            new_of_old[static_cast<std::size_t>(o)] =
+                static_cast<std::int64_t>(n);
+          }
+        }
+        return new_of_old;
+      };
+      const std::int64_t old_rows = ctx.capture.reach.rk.rows();
+      const std::int64_t old_cols = ctx.capture.reach.rk.cols();
+      const std::vector<std::int64_t> row_new_of_old =
+          invert(rdelta.rk_row_old_of_new, old_rows);
+      const std::vector<std::int64_t> col_new_of_old =
+          invert(rdelta.rk_col_old_of_new, old_cols);
+      warm.reserve(ctx.capture.flow.size());
+      for (const FlowHint& h : ctx.capture.flow) {
+        if (h.left < 0 || h.left >= old_rows || h.right < 0 ||
+            h.right >= old_cols) {
+          continue;
+        }
+        const std::int64_t nl = row_new_of_old[static_cast<std::size_t>(h.left)];
+        const std::int64_t nr =
+            col_new_of_old[static_cast<std::size_t>(h.right)];
+        if (nl < 0 || nr < 0) continue;
+        warm.push_back(
+            FlowHint{static_cast<int>(nl), static_cast<int>(nr), h.amount});
+      }
+    }
+
+    LambResult result =
+        internal::cover_phase(shape, reach, attempt, predetermined, deadline,
+                              &warm, &ncap);
+    result.stats.seconds_partition = reach.seconds_partition;
+    result.stats.seconds_matrices = reach.seconds_matrices;
+    ncap.reach = std::move(reach);
+    ncap.valid = ncap.rcap.valid;
+
+    outcome.result = std::move(result);
+    outcome.status = SolveStatus::kCertified;
+    outcome.rounds = static_cast<int>(orders.size());
+    outcome.escalations = 0;
+    outcome.seconds = watch.seconds();
+  } catch (const SolveBudgetExceeded&) {
+    return fall_back(IncrementalFallback::kBudgetExceeded);
+  }
+
+  st.used = true;
+  st.fallback = IncrementalFallback::kNone;
+  st.partition_cells_recomputed = rdelta.partition_cells_recomputed;
+  st.partition_cells_reused = rdelta.partition_cells_reused;
+  st.blocks_reused = rdelta.blocks_reused;
+  st.blocks_recomputed = rdelta.blocks_recomputed;
+  st.flow_retained = ncap.flow_total > Dinic::kEps
+                         ? ncap.flow_preloaded / ncap.flow_total
+                         : 0.0;
+  obs::counter("solver.incremental.used").add();
+  obs::counter("solver.incremental.partition_cells_recomputed")
+      .add(st.partition_cells_recomputed);
+  obs::counter("solver.incremental.blocks_reused").add(st.blocks_reused);
+  obs::counter("solver.incremental.blocks_recomputed")
+      .add(st.blocks_recomputed);
+  obs::gauge("solver.incremental.flow_retained").set(st.flow_retained);
+  span.arg("blocks_reused", static_cast<double>(st.blocks_reused));
+  span.arg("flow_retained", st.flow_retained);
+
+  if (options.keep_context) {
+    auto nctx = std::make_shared<SolveContext>();
+    nctx->shape = ctx.shape;
+    nctx->orders = orders;
+    nctx->faults = std::move(ctx.faults);
+    nctx->oracle = std::move(ctx.oracle);
+    nctx->capture = std::move(ncap);
+    outcome.context = std::move(nctx);
+  }
+  return outcome;
+}
+
+}  // namespace lamb

@@ -21,7 +21,9 @@ class Dinic {
   // Adds a directed edge u -> v with the given capacity and returns its id.
   int add_edge(int u, int v, double capacity);
 
-  // Computes the maximum flow from s to t.
+  // Computes the maximum flow from s to t. Flow already preloaded with
+  // push_flow is respected: the return value is only the augmentation
+  // found here, and the residual network afterwards reflects the total.
   double max_flow(int s, int t);
 
   // After max_flow: vertices reachable from s in the residual network
@@ -29,6 +31,14 @@ class Dinic {
   std::vector<bool> min_cut_side() const;
 
   double flow_on(int edge_id) const;
+
+  // Remaining forward capacity of an edge.
+  double residual(int edge_id) const;
+
+  // Warm-start primitive: forces `amount` units through an edge before
+  // max_flow runs. The caller must push along entire s-t paths (equal
+  // amounts on every edge of the path) or conservation is violated.
+  void push_flow(int edge_id, double amount);
 
  private:
   struct Arc {

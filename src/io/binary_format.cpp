@@ -476,6 +476,12 @@ void encode(ByteWriter& w, const manager::EpochReport& report) {
   w.i32(report.route_load_max);
   w.f64(report.route_load_mean);
   w.i64(report.route_load_hottest);
+  w.u8(report.incremental ? 1 : 0);
+  w.i64(report.partition_cells_recomputed);
+  w.i64(report.blocks_reused);
+  w.f64(report.flow_retained);
+  w.i64(report.routes_retained);
+  w.i64(report.routes_dropped);
 }
 
 bool decode(ByteReader& r, manager::EpochReport* out) {
@@ -494,6 +500,13 @@ bool decode(ByteReader& r, manager::EpochReport* out) {
       !r.i64(&report.route_load_hottest)) {
     return false;
   }
+  std::uint8_t incremental = 0;
+  if (!r.u8(&incremental) || !r.i64(&report.partition_cells_recomputed) ||
+      !r.i64(&report.blocks_reused) || !r.f64(&report.flow_retained) ||
+      !r.i64(&report.routes_retained) || !r.i64(&report.routes_dropped)) {
+    return false;
+  }
+  report.incremental = incremental != 0;
   if (status > static_cast<std::uint8_t>(SolveStatus::kUncovered)) {
     return r.fail(LoadError::Code::kMalformed, "bad solve status");
   }

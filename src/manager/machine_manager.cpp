@@ -4,8 +4,11 @@
 #include <cmath>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
+#include "core/incremental.hpp"
 #include "obs/obs.hpp"
+#include "support/env.hpp"
 #include "support/stats.hpp"
 
 namespace lamb::manager {
@@ -42,6 +45,14 @@ MachineManager::MachineManager(const MeshShape& shape, LambOptions options,
     throw std::invalid_argument(
         "MachineManager: max_rounds below the configured routing rounds");
   }
+  incremental_enabled_ = env_long("LAMBMESH_INCREMENTAL", 1) != 0;
+}
+
+void MachineManager::set_incremental(bool enabled) {
+  incremental_enabled_ = enabled;
+  // Disabling releases the kept solver context immediately (it holds the
+  // reach matrices — the memory the toggle exists to reclaim).
+  if (!enabled) last_outcome_.context.reset();
 }
 
 void MachineManager::report_node_fault(const Point& p) {
@@ -57,6 +68,7 @@ void MachineManager::report_node_fault(const Point& p) {
     journal_append(w.data());
   }
   faults_.add_node(p);
+  cache_delta_nodes_.push_back(shape_->index(p));
   pending_ = true;
 }
 
@@ -85,7 +97,9 @@ void MachineManager::report_link_fault(const Point& from, int dim, Dir dir) {
     throw std::invalid_argument(
         "report_link_fault: link leaves the mesh");
   }
-  if (state_ != nullptr && !faults_.link_faulty(from, dim, dir)) {
+  const bool fwd_new = !faults_.link_faulty(from, dim, dir);
+  const bool rev_new = !faults_.link_faulty(neighbor, dim, opposite(dir));
+  if (state_ != nullptr && fwd_new) {
     io::ByteWriter w;
     w.u8(kRecLinkFault);
     w.i64(shape_->index(from));
@@ -94,6 +108,9 @@ void MachineManager::report_link_fault(const Point& from, int dim, Dir dir) {
     journal_append(w.data());
   }
   faults_.add_link(from, dim, dir);
+  if (fwd_new || rev_new) {
+    cache_delta_links_.push_back(LinkFault{from, dim, dir, true});
+  }
   pending_ = true;
 }
 
@@ -152,11 +169,21 @@ EpochReport MachineManager::reconfigure() {
   for (NodeId id : lambs_) {
     if (faults_.node_good(id)) options.predetermined.push_back(id);
   }
+  options.keep_context = incremental_enabled_;
+  const int rounds_before = rounds();
 
   Stopwatch watch;
-  const SolveOutcome outcome =
-      solve_lambs(*shape_, faults_, options, max_rounds_);
+  IncrementalStats inc;
+  SolveOutcome outcome =
+      incremental_enabled_
+          ? solve_lambs_incremental(*shape_, faults_, last_outcome_, options,
+                                    max_rounds_, &inc)
+          : solve_lambs(*shape_, faults_, options, max_rounds_);
   const LambResult& result = outcome.result;
+  report.incremental = inc.used;
+  report.partition_cells_recomputed = inc.partition_cells_recomputed;
+  report.blocks_reused = inc.blocks_reused;
+  report.flow_retained = inc.flow_retained;
   report.solve_seconds = watch.seconds();
   report.partition_seconds = result.stats.seconds_partition;
   report.matrices_seconds = result.stats.seconds_matrices;
@@ -182,33 +209,63 @@ EpochReport MachineManager::reconfigure() {
 
   report.survivors = 0;
   report.survivor_value = 0.0;
+  // lambs_ is sorted: one merge-style walk instead of a binary search per
+  // node keeps this O(N) — reconfigure latency is on the recovery path.
+  auto next_lamb = lambs_.begin();
   for (NodeId id = 0; id < shape_->size(); ++id) {
+    while (next_lamb != lambs_.end() && *next_lamb < id) ++next_lamb;
     if (faults_.node_faulty(id) ||
-        std::binary_search(lambs_.begin(), lambs_.end(), id)) {
+        (next_lamb != lambs_.end() && *next_lamb == id)) {
       continue;
     }
     ++report.survivors;
     report.survivor_value += values_[static_cast<std::size_t>(id)];
   }
 
-  rebuild_routes();
+  // Route cache: when the routing rounds are unchanged, the cached floods
+  // were built against the same orders and only the newly reported faults
+  // can have changed them — invalidate selectively. Escalation (or no
+  // cache yet) forces a rebuild.
+  if (routes_ != nullptr && rounds() == rounds_before) {
+    const wormhole::RouteCache::InvalidateStats cache_stats =
+        routes_->invalidate(cache_delta_nodes_, cache_delta_links_);
+    report.routes_retained = cache_stats.retained;
+    report.routes_dropped = cache_stats.dropped;
+  } else {
+    if (routes_ != nullptr) report.routes_dropped = routes_->cached_entries();
+    rebuild_routes();
+  }
+  cache_delta_nodes_.clear();
+  cache_delta_links_.clear();
+  last_outcome_ = std::move(outcome);
   pending_ = false;
   history_.push_back(report);
   if (state_ != nullptr) persist_snapshot();
 
-  obs::counter("manager.epochs").add();
+  // Cached handles: the registry find-or-create takes a lock per name,
+  // and reconfigure is on the recovery latency path.
+  static obs::Counter& c_epochs = obs::counter("manager.epochs");
+  static obs::Counter& c_inc = obs::counter("manager.incremental_epochs");
+  static obs::Counter& c_degraded = obs::counter("manager.degraded_epochs");
+  static obs::Counter& c_new_faults = obs::counter("manager.new_faults");
+  static obs::Gauge& g_rounds = obs::gauge("manager.rounds");
+  static obs::Gauge& g_faults = obs::gauge("manager.faults");
+  static obs::Gauge& g_lambs = obs::gauge("manager.lambs");
+  static obs::Gauge& g_survivors = obs::gauge("manager.survivors");
+  static obs::Gauge& g_load_max = obs::gauge("manager.route_load.max");
+  static obs::Gauge& g_load_mean = obs::gauge("manager.route_load.mean");
+  c_epochs.add();
+  if (report.incremental) c_inc.add();
   if (report.solve_status != SolveStatus::kCertified) {
-    obs::counter("manager.degraded_epochs").add();
+    c_degraded.add();
   }
-  obs::gauge("manager.rounds").set(static_cast<double>(rounds()));
-  obs::counter("manager.new_faults")
-      .add(report.new_node_faults + report.new_link_faults);
-  obs::gauge("manager.faults").set(static_cast<double>(report.total_faults));
-  obs::gauge("manager.lambs").set(static_cast<double>(report.lambs_total));
-  obs::gauge("manager.survivors").set(static_cast<double>(report.survivors));
-  obs::gauge("manager.route_load.max")
-      .set(static_cast<double>(report.route_load_max));
-  obs::gauge("manager.route_load.mean").set(report.route_load_mean);
+  g_rounds.set(static_cast<double>(rounds()));
+  c_new_faults.add(report.new_node_faults + report.new_link_faults);
+  g_faults.set(static_cast<double>(report.total_faults));
+  g_lambs.set(static_cast<double>(report.lambs_total));
+  g_survivors.set(static_cast<double>(report.survivors));
+  g_load_max.set(static_cast<double>(report.route_load_max));
+  g_load_mean.set(report.route_load_mean);
   span.arg("epoch", report.epoch);
   span.arg("faults", static_cast<double>(report.total_faults));
   span.arg("lambs", static_cast<double>(report.lambs_total));
@@ -279,6 +336,16 @@ void MachineManager::apply_state(const Checkpoint& snapshot) {
     load_.reset();
   }
   routes_vended_ = snapshot.routes_vended;
+  // The kept solver context survives the roll-back: it records the exact
+  // fault set it was solved for, and solve_lambs_incremental falls back
+  // on its own whenever the restored timeline is not a superset of that
+  // snapshot (kNotSuperset) or diverges in orders/rounds. The recovery
+  // loop's roll-back restores precisely the state the context was solved
+  // at, so the post-roll-back reconfigure — the recovery critical path —
+  // stays incremental. The route-cache delta, by contrast, is relative
+  // to the abandoned timeline and must go.
+  cache_delta_nodes_.clear();
+  cache_delta_links_.clear();
   rebuild_routes();
   // Epoch 0 only exists once reconfigure() establishes it, and a durable
   // snapshot taken while reports were pending restores that obligation.

@@ -61,6 +61,16 @@ struct EpochReport {
   std::int32_t route_load_max = 0;
   double route_load_mean = 0.0;  // over nodes that carried any route
   NodeId route_load_hottest = -1;
+  // Incremental-reconfigure telemetry: whether the O(delta) path produced
+  // this epoch (false = full solve, including every fallback), the
+  // per-layer reuse counters (see core/incremental.hpp), and how the
+  // route cache fared under selective invalidation.
+  bool incremental = false;
+  std::int64_t partition_cells_recomputed = 0;
+  std::int64_t blocks_reused = 0;
+  double flow_retained = 0.0;
+  std::int64_t routes_retained = 0;
+  std::int64_t routes_dropped = 0;
 };
 
 // A full snapshot of the manager's configuration state — the paper's
@@ -194,6 +204,15 @@ class MachineManager {
   // counts to obs::Telemetry::set_route_load for dump export.
   const wormhole::NodeLoad& route_load() const { return load_; }
 
+  // --- Incremental reconfiguration (core/incremental.hpp) ---
+  // When enabled (default; env LAMBMESH_INCREMENTAL=0 disables), each
+  // reconfigure() keeps the solver's context and the next one re-solves
+  // incrementally from it, falling back to the full solve whenever any
+  // reuse condition fails. Results are bit-identical either way; the
+  // toggle only trades memory for reconfigure latency.
+  void set_incremental(bool enabled);
+  bool incremental_enabled() const { return incremental_enabled_; }
+
   // --- Durability (crash-safe state; docs/RECOVERY.md "Durability") ---
   // Attaches a state directory and writes an initial snapshot. From then
   // on every accepted diagnostic report is appended to the write-ahead
@@ -243,6 +262,19 @@ class MachineManager {
   std::int64_t seen_link_faults_ = 0;
   bool pending_ = true;  // epoch 0 must be established by reconfigure()
   std::unique_ptr<io::StateDir> state_;  // null when not durable
+  // Incremental path: previous solve outcome (carries the SolveContext
+  // when incremental is enabled) and the faults newly reported since the
+  // route cache was last built/invalidated. The outcome survives
+  // restore() — its context knows the fault set it was solved for, and
+  // the solver falls back by itself when a restored timeline diverges
+  // from it — so the recovery loop's roll-back → report → reconfigure
+  // stays incremental. The route-cache delta is cleared on restore (it
+  // is relative to the abandoned timeline); a reopened manager starts
+  // with no context either way.
+  bool incremental_enabled_ = true;
+  SolveOutcome last_outcome_;
+  std::vector<NodeId> cache_delta_nodes_;
+  std::vector<LinkFault> cache_delta_links_;
 };
 
 }  // namespace lamb::manager

@@ -7,8 +7,6 @@
 namespace lamb {
 
 RectSet::RectSet(const MeshShape& shape) : dim_(shape.dim()) {
-  lo_.assign(static_cast<std::size_t>(dim_), 0);
-  hi_.resize(static_cast<std::size_t>(dim_));
   for (int j = 0; j < dim_; ++j) {
     hi_[static_cast<std::size_t>(j)] = shape.width(j) - 1;
   }

@@ -6,6 +6,7 @@
 // becomes simply the per-dimension lower corner.
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -64,7 +65,12 @@ class RectSet {
     p[j] = lo(j);
   }
 
-  std::vector<Coord> lo_, hi_;
+  // Fixed-capacity storage like Point: partitions copy RectSets by the
+  // hundred on the repair path, and a heap-backed box made every copy an
+  // allocator round-trip. Unused trailing entries stay zero so the
+  // defaulted operator== remains exact.
+  std::array<Coord, kMaxDim> lo_{};
+  std::array<Coord, kMaxDim> hi_{};
   int dim_ = 0;
 };
 

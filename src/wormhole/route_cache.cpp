@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
+#include <vector>
 
 #include "obs/obs.hpp"
 #include "reach/flood_oracle.hpp"
@@ -72,6 +74,44 @@ void RouteCache::reconfigure() {
   obs::counter("wormhole.route_cache.reconfigures").add();
   forward_.clear();
   backward_.clear();
+}
+
+RouteCache::InvalidateStats RouteCache::invalidate(
+    const std::vector<NodeId>& delta_nodes,
+    const std::vector<LinkFault>& delta_links) {
+  obs::counter("wormhole.route_cache.invalidates").add();
+  // Pre-resolve the link endpoints once (delta is tiny, caches are not).
+  std::vector<std::pair<NodeId, NodeId>> link_ends;
+  link_ends.reserve(delta_links.size());
+  for (const LinkFault& lf : delta_links) {
+    Point nb;
+    if (!shape_->neighbor(lf.from, lf.dim, lf.dir, &nb)) continue;
+    link_ends.emplace_back(shape_->index(lf.from), shape_->index(nb));
+  }
+  auto stale = [&](const Bits& flood) {
+    for (NodeId id : delta_nodes) {
+      if (flood.test(id)) return true;
+    }
+    for (const auto& [a, b] : link_ends) {
+      if (flood.test(a) && flood.test(b)) return true;
+    }
+    return false;
+  };
+  InvalidateStats stats;
+  for (auto* cache : {&forward_, &backward_}) {
+    for (auto it = cache->begin(); it != cache->end();) {
+      if (stale(it->second)) {
+        it = cache->erase(it);
+        ++stats.dropped;
+      } else {
+        ++it;
+        ++stats.retained;
+      }
+    }
+  }
+  obs::counter("wormhole.route_cache.retained").add(stats.retained);
+  obs::counter("wormhole.route_cache.dropped").add(stats.dropped);
+  return stats;
 }
 
 const Bits& RouteCache::forward_of(NodeId src) {

@@ -57,6 +57,30 @@ class RouteCache {
   // changes — the referenced FaultSet must reflect the new state).
   void reconfigure();
 
+  // Outcome of a selective invalidation: how many cached floods survived
+  // and how many had to be dropped.
+  struct InvalidateStats {
+    std::int64_t retained = 0;
+    std::int64_t dropped = 0;
+  };
+
+  // Selective invalidation for the incremental reconfigure path: drops
+  // only the cached floods that could have traversed a newly dead node or
+  // link, keeping the rest. A flood is dropped when it contains a delta
+  // node, or both endpoints of a delta link — any route through the dead
+  // element would put it (or both its endpoints) in the flood, so a flood
+  // failing the test is provably unchanged. The referenced FaultSet must
+  // already reflect the new cumulative state; `delta_links` uses the
+  // logical LinkFault records (both endpoints are checked regardless of
+  // direction). Orders and shape must be unchanged since the floods were
+  // built — callers that changed them must use reconfigure() instead.
+  InvalidateStats invalidate(const std::vector<NodeId>& delta_nodes,
+                             const std::vector<LinkFault>& delta_links);
+
+  std::int64_t cached_entries() const {
+    return static_cast<std::int64_t>(forward_.size() + backward_.size());
+  }
+
   std::int64_t hits() const { return hits_; }
   std::int64_t misses() const { return misses_; }
 

@@ -1,0 +1,540 @@
+// Equivalence suite for the incremental re-solve path
+// (core/incremental.hpp): solve_lambs_incremental must be bit-identical
+// to solve_lambs on the same cumulative fault set — across seeded
+// multi-fault storms, at several thread-pool widths, through every
+// fallback, and at the manager level including route tables and the
+// selectively invalidated route cache.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/incremental.hpp"
+#include "core/lamb.hpp"
+#include "graph/bipartite_wvc.hpp"
+#include "manager/machine_manager.hpp"
+#include "mesh/fault_set.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+#include "wormhole/route_cache.hpp"
+
+namespace lamb {
+namespace {
+
+void expect_identical(const SolveOutcome& inc, const SolveOutcome& full) {
+  EXPECT_EQ(inc.status, full.status);
+  EXPECT_EQ(inc.rounds, full.rounds);
+  EXPECT_EQ(inc.escalations, full.escalations);
+  EXPECT_EQ(inc.result.lambs, full.result.lambs);
+  EXPECT_EQ(inc.result.stats.p, full.result.stats.p);
+  EXPECT_EQ(inc.result.stats.q, full.result.stats.q);
+  EXPECT_EQ(inc.result.stats.relevant_ses, full.result.stats.relevant_ses);
+  EXPECT_EQ(inc.result.stats.relevant_des, full.result.stats.relevant_des);
+  // Exact double equality: the warm-started cover must extract the very
+  // same cut, not a same-weight one.
+  EXPECT_EQ(inc.result.stats.cover_weight, full.result.stats.cover_weight);
+  EXPECT_EQ(inc.uncovered_pairs, full.uncovered_pairs);
+}
+
+NodeId random_good_node(const MeshShape& shape, const FaultSet& faults,
+                        Rng& rng) {
+  for (;;) {
+    const NodeId id =
+        static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(shape.size())));
+    if (faults.node_good(id)) return id;
+  }
+}
+
+// Adds one random not-yet-faulty bidirectional link fault.
+void add_random_link(const MeshShape& shape, FaultSet& faults, Rng& rng) {
+  for (;;) {
+    const Point from = shape.point(
+        static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(shape.size()))));
+    const int dim = static_cast<int>(rng.below(
+        static_cast<std::uint64_t>(shape.dim())));
+    const Dir dir = rng.below(2) == 0 ? Dir::Pos : Dir::Neg;
+    Point nb;
+    if (!shape.neighbor(from, dim, dir, &nb)) continue;
+    if (faults.link_faulty(from, dim, dir) &&
+        faults.link_faulty(nb, dim, opposite(dir))) {
+      continue;
+    }
+    faults.add_link(from, dim, dir);
+    return;
+  }
+}
+
+// Runs a storm: `initial` node faults up front, then `epochs` epochs of
+// `per_epoch` new faults each, chaining solve_lambs_incremental and
+// checking it against a from-scratch solve every epoch. Returns how many
+// epochs the incremental path actually produced (vs fell back).
+int run_storm(const MeshShape& shape, std::uint64_t seed, int initial,
+              int epochs, int per_epoch, bool with_links) {
+  Rng rng(seed);
+  FaultSet faults(shape);
+  for (int i = 0; i < initial; ++i) {
+    faults.add_node(random_good_node(shape, faults, rng));
+  }
+  LambOptions options;
+  options.keep_context = true;
+  SolveOutcome prev = solve_lambs(shape, faults, options);
+  EXPECT_NE(prev.context, nullptr);
+  int used = 0;
+  for (int e = 0; e < epochs; ++e) {
+    for (int i = 0; i < per_epoch; ++i) {
+      if (with_links && rng.below(2) == 0) {
+        add_random_link(shape, faults, rng);
+      } else {
+        faults.add_node(random_good_node(shape, faults, rng));
+      }
+    }
+    IncrementalStats stats;
+    SolveOutcome next =
+        solve_lambs_incremental(shape, faults, prev, options, 3, &stats);
+    LambOptions cold = options;
+    cold.keep_context = false;
+    const SolveOutcome full = solve_lambs(shape, faults, cold);
+    expect_identical(next, full);
+    if (stats.used) {
+      ++used;
+      EXPECT_EQ(stats.fallback, IncrementalFallback::kNone);
+      EXPECT_GT(stats.partition_cells_reused, 0);
+    }
+    prev = std::move(next);
+  }
+  return used;
+}
+
+TEST(Incremental, NodeStormMatchesFullSolve) {
+  const int used = run_storm(MeshShape::cube(2, 16), 901, 10, 8, 1, false);
+  // The point of the suite is equivalence, but it is vacuous if the
+  // incremental path never engages.
+  EXPECT_GT(used, 0);
+}
+
+TEST(Incremental, LinkStormMatchesFullSolve) {
+  const int used = run_storm(MeshShape::cube(2, 14), 902, 8, 8, 1, true);
+  EXPECT_GT(used, 0);
+}
+
+TEST(Incremental, BurstStormMatchesFullSolve) {
+  // Multi-fault epochs stress the bail-to-full region-merge logic.
+  run_storm(MeshShape::cube(2, 16), 903, 6, 5, 4, true);
+}
+
+TEST(Incremental, ThreeDimensionalStormMatchesFullSolve) {
+  const int used = run_storm(MeshShape::cube(3, 8), 904, 8, 6, 1, false);
+  EXPECT_GT(used, 0);
+}
+
+TEST(Incremental, EquivalentAtEveryPoolWidth) {
+  for (const int threads : {1, 4, 16}) {
+    SCOPED_TRACE(threads);
+    par::set_threads(threads);
+    const int used = run_storm(MeshShape::cube(2, 16), 905, 10, 5, 1, false);
+    EXPECT_GT(used, 0);
+  }
+  par::set_threads(0);
+}
+
+TEST(Incremental, NoContextFallsBack) {
+  const MeshShape shape = MeshShape::cube(2, 12);
+  Rng rng(906);
+  FaultSet faults(shape);
+  for (int i = 0; i < 6; ++i) {
+    faults.add_node(random_good_node(shape, faults, rng));
+  }
+  LambOptions options;  // keep_context off: prev carries no context
+  const SolveOutcome prev = solve_lambs(shape, faults, options);
+  EXPECT_EQ(prev.context, nullptr);
+  faults.add_node(random_good_node(shape, faults, rng));
+  IncrementalStats stats;
+  const SolveOutcome next =
+      solve_lambs_incremental(shape, faults, prev, options, 3, &stats);
+  EXPECT_FALSE(stats.used);
+  EXPECT_EQ(stats.fallback, IncrementalFallback::kNoContext);
+  expect_identical(next, solve_lambs(shape, faults, options));
+}
+
+TEST(Incremental, NotSupersetFallsBack) {
+  const MeshShape shape = MeshShape::cube(2, 12);
+  FaultSet solved(shape);
+  solved.add_node(Point{3, 3});
+  solved.add_node(Point{8, 8});
+  LambOptions options;
+  options.keep_context = true;
+  const SolveOutcome prev = solve_lambs(shape, solved, options);
+  ASSERT_NE(prev.context, nullptr);
+  // A fault the context knows about is gone: roll-back, not growth.
+  FaultSet rolled(shape);
+  rolled.add_node(Point{3, 3});
+  rolled.add_node(Point{5, 9});
+  IncrementalStats stats;
+  const SolveOutcome next =
+      solve_lambs_incremental(shape, rolled, prev, options, 3, &stats);
+  EXPECT_FALSE(stats.used);
+  EXPECT_EQ(stats.fallback, IncrementalFallback::kNotSuperset);
+  expect_identical(next, solve_lambs(shape, rolled, options));
+}
+
+TEST(Incremental, ChangedOrdersFallBack) {
+  const MeshShape shape = MeshShape::cube(2, 12);
+  FaultSet faults(shape);
+  faults.add_node(Point{4, 4});
+  LambOptions options;
+  options.keep_context = true;
+  const SolveOutcome prev = solve_lambs(shape, faults, options);
+  ASSERT_NE(prev.context, nullptr);
+  faults.add_node(Point{9, 2});
+  LambOptions three = options;
+  three.rounds = 3;
+  IncrementalStats stats;
+  const SolveOutcome next =
+      solve_lambs_incremental(shape, faults, prev, three, 3, &stats);
+  EXPECT_FALSE(stats.used);
+  EXPECT_EQ(stats.fallback, IncrementalFallback::kShapeMismatch);
+  expect_identical(next, solve_lambs(shape, faults, three));
+}
+
+TEST(Incremental, TinyBudgetFallsBackAndDegradesIdentically) {
+  const MeshShape shape = MeshShape::cube(2, 12);
+  Rng rng(907);
+  FaultSet faults(shape);
+  for (int i = 0; i < 6; ++i) {
+    faults.add_node(random_good_node(shape, faults, rng));
+  }
+  LambOptions options;
+  options.keep_context = true;
+  const SolveOutcome prev = solve_lambs(shape, faults, options);
+  ASSERT_NE(prev.context, nullptr);
+  faults.add_node(random_good_node(shape, faults, rng));
+  // A budget this small trips at the first cooperative checkpoint, so the
+  // run is still deterministic (see LambOptions::budget_seconds).
+  LambOptions strangled = options;
+  strangled.budget_seconds = 1e-12;
+  IncrementalStats stats;
+  const SolveOutcome next =
+      solve_lambs_incremental(shape, faults, prev, strangled, 3, &stats);
+  EXPECT_FALSE(stats.used);
+  EXPECT_EQ(stats.fallback, IncrementalFallback::kBudgetExceeded);
+  expect_identical(next, solve_lambs(shape, faults, strangled));
+  EXPECT_EQ(next.status, SolveStatus::kUncovered);
+}
+
+TEST(Incremental, DegradedValuesMidStormStayEquivalent) {
+  const MeshShape shape = MeshShape::cube(2, 14);
+  Rng rng(908);
+  FaultSet faults(shape);
+  std::vector<double> values(static_cast<std::size_t>(shape.size()), 1.0);
+  for (int i = 0; i < 8; ++i) {
+    faults.add_node(random_good_node(shape, faults, rng));
+  }
+  LambOptions options;
+  options.keep_context = true;
+  options.node_values = &values;
+  SolveOutcome prev = solve_lambs(shape, faults, options);
+  ASSERT_NE(prev.context, nullptr);
+  for (int e = 0; e < 4; ++e) {
+    faults.add_node(random_good_node(shape, faults, rng));
+    // The matrices are value-independent, so re-weighting between epochs
+    // must not void the reuse (the cover phase recomputes weights).
+    values[static_cast<std::size_t>(random_good_node(shape, faults, rng))] =
+        0.25;
+    IncrementalStats stats;
+    SolveOutcome next =
+        solve_lambs_incremental(shape, faults, prev, options, 3, &stats);
+    LambOptions cold = options;
+    cold.keep_context = false;
+    expect_identical(next, solve_lambs(shape, faults, cold));
+    prev = std::move(next);
+  }
+}
+
+TEST(Incremental, WarmCoverMatchesCold) {
+  Rng rng(909);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int nl = 2 + static_cast<int>(rng.below(6));
+    const int nr = 2 + static_cast<int>(rng.below(6));
+    std::vector<double> lw, rw;
+    for (int i = 0; i < nl; ++i) {
+      lw.push_back(0.05 + 0.95 * rng.uniform01());
+    }
+    for (int i = 0; i < nr; ++i) {
+      rw.push_back(0.05 + 0.95 * rng.uniform01());
+    }
+    std::vector<BipartiteEdge> edges;
+    for (int l = 0; l < nl; ++l) {
+      for (int r = 0; r < nr; ++r) {
+        if (rng.below(3) != 0) edges.push_back({l, r});
+      }
+    }
+    CoverFlow flow;
+    const BipartiteCover cold =
+        min_weight_bipartite_cover(lw, rw, edges, nullptr, &flow);
+    // Replaying the instance's own flow decomposition must reproduce the
+    // same cover with no further augmentation.
+    CoverFlow warm_flow;
+    const BipartiteCover warm =
+        min_weight_bipartite_cover(lw, rw, edges, &flow.paths, &warm_flow);
+    EXPECT_EQ(cold.left, warm.left);
+    EXPECT_EQ(cold.right, warm.right);
+    EXPECT_EQ(cold.weight, warm.weight);
+    EXPECT_DOUBLE_EQ(warm_flow.preloaded, warm_flow.total);
+    // A perturbed instance (one vertex cheaper, an edge added) with the
+    // now-stale hints: hints get clamped, the cover must equal cold.
+    lw[static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(nl)))] *=
+        0.5;
+    edges.push_back({static_cast<int>(rng.below(static_cast<std::uint64_t>(nl))),
+                     static_cast<int>(rng.below(static_cast<std::uint64_t>(nr)))});
+    const BipartiteCover cold2 = min_weight_bipartite_cover(lw, rw, edges);
+    const BipartiteCover warm2 =
+        min_weight_bipartite_cover(lw, rw, edges, &flow.paths, nullptr);
+    EXPECT_EQ(cold2.left, warm2.left);
+    EXPECT_EQ(cold2.right, warm2.right);
+    EXPECT_EQ(cold2.weight, warm2.weight);
+  }
+}
+
+TEST(Incremental, WarmStartRetainsFlowAcrossRepair) {
+  // The hints are captured in the previous epoch's R^(k) index space and
+  // must be translated through the repair's content maps; if that remap
+  // is broken they bind to the wrong cells and preload nothing. Checked
+  // on the direct API: in the manager's monotone-growth loop the previous
+  // cover becomes predetermined, which zeroes exactly the hinted cells,
+  // so retention is structurally nil there (see docs/RECOVERY.md).
+  const MeshShape shape = MeshShape::cube(2, 16);
+  Rng rng(901);
+  FaultSet faults(shape);
+  for (int i = 0; i < 10; ++i) {
+    faults.add_node(random_good_node(shape, faults, rng));
+  }
+  LambOptions options;
+  options.keep_context = true;
+  SolveOutcome prev = solve_lambs(shape, faults, options);
+  double best = 0.0;
+  for (int e = 0; e < 8; ++e) {
+    faults.add_node(random_good_node(shape, faults, rng));
+    IncrementalStats stats;
+    SolveOutcome next =
+        solve_lambs_incremental(shape, faults, prev, options, 3, &stats);
+    if (stats.used) best = std::max(best, stats.flow_retained);
+    prev = std::move(next);
+  }
+  EXPECT_GT(best, 0.0);
+}
+
+// --------------------------------------------------- route-cache layer
+
+void expect_same_route(const std::optional<wormhole::Route>& a,
+                       const std::optional<wormhole::Route>& b) {
+  ASSERT_EQ(a.has_value(), b.has_value());
+  if (!a) return;
+  EXPECT_EQ(a->src, b->src);
+  EXPECT_EQ(a->dst, b->dst);
+  EXPECT_EQ(a->intermediates, b->intermediates);
+  ASSERT_EQ(a->hops.size(), b->hops.size());
+  for (std::size_t i = 0; i < a->hops.size(); ++i) {
+    EXPECT_EQ(a->hops[i].dim, b->hops[i].dim);
+    EXPECT_EQ(a->hops[i].dir, b->hops[i].dir);
+    EXPECT_EQ(a->hops[i].vc, b->hops[i].vc);
+  }
+}
+
+TEST(Incremental, RouteCacheSelectiveInvalidation) {
+  const MeshShape shape = MeshShape::cube(2, 10);
+  FaultSet faults(shape);
+  // (8,9) and (9,8) cut the corner (9,9) off from the rest of the mesh
+  // under XY routing, in both directions.
+  faults.add_node(Point{8, 9});
+  faults.add_node(Point{9, 8});
+  wormhole::RouteCache cache(shape, faults, ascending_rounds(2, 2));
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  Rng pick(910);
+  while (pairs.size() < 12) {
+    const NodeId s = random_good_node(shape, faults, pick);
+    const NodeId d = random_good_node(shape, faults, pick);
+    const Point sp = shape.point(s);
+    const Point dp = shape.point(d);
+    if (s == d || sp[0] > 7 || sp[1] > 7 || dp[0] > 7 || dp[1] > 7) continue;
+    pairs.emplace_back(s, d);
+  }
+  Rng warmup(911);
+  for (const auto& [s, d] : pairs) cache.build(s, d, warmup);
+  const std::int64_t before = cache.cached_entries();
+  EXPECT_GT(before, 0);
+
+  // The shielded corner dies: no cached flood can contain it, so the
+  // whole cache survives.
+  faults.add_node(Point{9, 9});
+  const auto corner = cache.invalidate({shape.index(Point{9, 9})}, {});
+  EXPECT_EQ(corner.retained, before);
+  EXPECT_EQ(corner.dropped, 0);
+
+  // A central link dies: floods holding both endpoints must go.
+  faults.add_link(Point{1, 1}, 0, Dir::Pos);
+  const auto central = cache.invalidate(
+      {}, {LinkFault{Point{1, 1}, 0, Dir::Pos, true}});
+  EXPECT_EQ(central.retained + central.dropped, before);
+  EXPECT_GT(central.dropped, 0);
+
+  // Every route the invalidated cache now vends matches a cache built
+  // from scratch against the new fault set, under identical rng streams.
+  wormhole::RouteCache fresh(shape, faults, ascending_rounds(2, 2));
+  Rng ra(912), rb(912);
+  for (const auto& [s, d] : pairs) {
+    expect_same_route(cache.build(s, d, ra), fresh.build(s, d, rb));
+  }
+}
+
+// ------------------------------------------------------- manager layer
+
+TEST(Incremental, ManagerMatchesFullSolveManager) {
+  const MeshShape shape = MeshShape::cube(2, 12);
+  manager::MachineManager inc(shape);
+  manager::MachineManager full(shape);
+  inc.set_incremental(true);
+  full.set_incremental(false);
+  inc.reconfigure();
+  full.reconfigure();
+  Rng rng(913);
+  int incremental_epochs = 0;
+  for (int e = 0; e < 6; ++e) {
+    for (int i = 0; i < 2; ++i) {
+      const NodeId id = random_good_node(shape, inc.faults(), rng);
+      inc.report_node_fault(id);
+      full.report_node_fault(id);
+    }
+    const auto ri = inc.reconfigure();
+    const auto rf = full.reconfigure();
+    EXPECT_FALSE(rf.incremental);
+    if (ri.incremental) ++incremental_epochs;
+    EXPECT_EQ(inc.lambs(), full.lambs());
+    EXPECT_EQ(ri.lambs_total, rf.lambs_total);
+    EXPECT_EQ(ri.survivors, rf.survivors);
+    EXPECT_EQ(ri.rounds, rf.rounds);
+    EXPECT_EQ(ri.survivor_value, rf.survivor_value);
+    // Route tables: identical rng streams must yield identical routes.
+    Rng ra(1000 + static_cast<std::uint64_t>(e));
+    Rng rb(1000 + static_cast<std::uint64_t>(e));
+    for (int t = 0; t < 10; ++t) {
+      const NodeId s = random_good_node(shape, inc.faults(), ra);
+      const NodeId d = random_good_node(shape, inc.faults(), rb);
+      if (!inc.is_survivor(s) || !inc.is_survivor(d) || s == d) continue;
+      expect_same_route(inc.route(s, d, ra), full.route(s, d, rb));
+    }
+  }
+  EXPECT_GT(incremental_epochs, 0);
+}
+
+TEST(Incremental, ManagerCountsRetainedAndDroppedRoutes) {
+  const MeshShape shape = MeshShape::cube(2, 10);
+  manager::MachineManager mgr(shape);
+  mgr.set_incremental(true);
+  // Shield the corner (9,9) first (see RouteCacheSelectiveInvalidation).
+  mgr.report_node_fault(Point{8, 9});
+  mgr.report_node_fault(Point{9, 8});
+  mgr.reconfigure();
+  Rng rng(914);
+  int vended = 0;
+  while (vended < 20) {
+    const NodeId s = random_good_node(shape, mgr.faults(), rng);
+    const NodeId d = random_good_node(shape, mgr.faults(), rng);
+    const Point sp = shape.point(s);
+    const Point dp = shape.point(d);
+    if (s == d || sp[0] > 7 || sp[1] > 7 || dp[0] > 7 || dp[1] > 7) continue;
+    if (!mgr.is_survivor(s) || !mgr.is_survivor(d)) continue;
+    if (mgr.route(s, d, rng)) ++vended;
+  }
+  // The shielded corner dies: every cached flood survives.
+  mgr.report_node_fault(Point{9, 9});
+  const auto quiet = mgr.reconfigure();
+  EXPECT_GT(quiet.routes_retained, 0);
+  EXPECT_EQ(quiet.routes_dropped, 0);
+  // A central node dies: it sits in (nearly) every flood.
+  mgr.report_node_fault(Point{5, 5});
+  const auto loud = mgr.reconfigure();
+  EXPECT_GT(loud.routes_dropped, 0);
+}
+
+TEST(Incremental, RestoreForcesFullSolve) {
+  const MeshShape shape = MeshShape::cube(2, 12);
+  manager::MachineManager mgr(shape);
+  mgr.set_incremental(true);
+  mgr.reconfigure();
+  mgr.report_node_fault(Point{3, 3});
+  mgr.reconfigure();
+  const auto checkpoint = mgr.checkpoint();
+  mgr.report_node_fault(Point{7, 7});
+  const auto before = mgr.reconfigure();
+  EXPECT_TRUE(before.incremental);
+  mgr.restore(checkpoint);
+  // The rolled-back fault set is NOT a superset of the solved context's
+  // ({3,3}+{7,7}): the solver's own kNotSuperset guard must reject the
+  // surviving context and re-solve fully and correctly.
+  mgr.report_node_fault(Point{9, 4});
+  const auto after = mgr.reconfigure();
+  EXPECT_FALSE(after.incremental);
+  manager::MachineManager fresh(shape);
+  fresh.set_incremental(false);
+  fresh.report_node_fault(Point{3, 3});
+  fresh.report_node_fault(Point{9, 4});
+  fresh.reconfigure();
+  EXPECT_EQ(mgr.lambs(), fresh.lambs());
+}
+
+TEST(Incremental, RollbackThenSupersetStaysIncremental) {
+  // The recovery loop's shape: checkpoint right after a reconfigure,
+  // roll back to it, report the storm faults, reconfigure. The restored
+  // state is exactly what the kept context was solved for, so this
+  // reconfigure — the recovery critical path — must use the O(delta)
+  // path, and still match the from-scratch solve bit for bit.
+  const MeshShape shape = MeshShape::cube(2, 12);
+  const std::vector<Point> background = {Point{3, 3}, Point{6, 2},
+                                         Point{9, 8}, Point{1, 5}};
+  const std::vector<Point> storm = {Point{7, 7}, Point{10, 4}};
+  manager::MachineManager mgr(shape);
+  mgr.set_incremental(true);
+  for (const Point& p : background) mgr.report_node_fault(p);
+  mgr.reconfigure();
+  const auto checkpoint = mgr.checkpoint();
+  mgr.restore(checkpoint);
+  for (const Point& p : storm) mgr.report_node_fault(p);
+  const auto after = mgr.reconfigure();
+  EXPECT_TRUE(after.incremental);
+  manager::MachineManager fresh(shape);
+  fresh.set_incremental(false);
+  for (const Point& p : background) fresh.report_node_fault(p);
+  for (const Point& p : storm) fresh.report_node_fault(p);
+  fresh.reconfigure();
+  EXPECT_EQ(mgr.lambs(), fresh.lambs());
+}
+
+TEST(Incremental, ToggleIsBitIdenticalAndDropsContext) {
+  const MeshShape shape = MeshShape::cube(2, 12);
+  manager::MachineManager mgr(shape);
+  mgr.set_incremental(true);
+  EXPECT_TRUE(mgr.incremental_enabled());
+  mgr.reconfigure();
+  mgr.report_node_fault(Point{2, 9});
+  mgr.reconfigure();
+  mgr.set_incremental(false);
+  EXPECT_FALSE(mgr.incremental_enabled());
+  mgr.report_node_fault(Point{10, 1});
+  const auto off = mgr.reconfigure();
+  EXPECT_FALSE(off.incremental);
+  // Re-enabling after the context was dropped: first epoch falls back,
+  // later ones go incremental again.
+  mgr.set_incremental(true);
+  mgr.report_node_fault(Point{6, 6});
+  const auto first = mgr.reconfigure();
+  EXPECT_FALSE(first.incremental);
+  manager::MachineManager fresh(shape);
+  fresh.set_incremental(false);
+  for (const Point p : {Point{2, 9}, Point{10, 1}, Point{6, 6}}) {
+    fresh.report_node_fault(p);
+  }
+  fresh.reconfigure();
+  EXPECT_EQ(mgr.lambs(), fresh.lambs());
+}
+
+}  // namespace
+}  // namespace lamb

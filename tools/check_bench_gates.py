@@ -5,14 +5,16 @@ Each bench JSON carries a top-level "gates" array:
 
     "gates": [
       {"metric": "telemetry_on_overhead_pct", "max": 15.0},
-      {"metric": "event_idle_speedup_x", "min": 1.0}
+      {"metric": "event_idle_speedup_x", "min": 1.0},
+      {"metric": "incremental_equivalent", "equals": 1}
     ]
 
 where "metric" names a top-level numeric key in the same document. A gate
-passes when the measured value is <= max (or >= min). The script prints a
-PASS/FAIL line per gate and exits non-zero if any gate fails, any metric
-is missing, or a file has no gates at all (a bench without gates is a
-bench CI silently stopped watching).
+passes when the measured value is <= max, >= min, or == equals (exact
+match, for boolean invariants like bit-identical equivalence flags). The
+script prints a PASS/FAIL line per gate and exits non-zero if any gate
+fails, any metric is missing, or a file has no gates at all (a bench
+without gates is a bench CI silently stopped watching).
 
 Usage: check_bench_gates.py BENCH_wormhole.json [BENCH_recovery.json ...]
 """
@@ -42,8 +44,11 @@ def check_file(path: str) -> int:
         elif "min" in gate:
             ok = measured >= gate["min"]
             bound = f">= {gate['min']}"
+        elif "equals" in gate:
+            ok = measured == gate["equals"]
+            bound = f"== {gate['equals']}"
         else:
-            print(f"FAIL {path}: gate for '{metric}' has neither max nor min")
+            print(f"FAIL {path}: gate for '{metric}' has no max/min/equals")
             failures += 1
             continue
         status = "PASS" if ok else "FAIL"

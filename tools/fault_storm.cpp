@@ -28,11 +28,13 @@
 //   fault_storm run --mesh 16x16 --epochs 4 --node-kills 3 --link-kills 2
 //   fault_storm run --trials 5 --budget 1e-6   # exercise degradation
 //   fault_storm run --trials 8 --state /tmp/storm-state
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <utility>
@@ -76,6 +78,8 @@ using Args = io::CliArgs;
                "  --state DIR       crash-safe mode: persist progress and\n"
                "                    the manager's durable state under DIR;\n"
                "                    rerunning resumes after a kill\n"
+               "  --json PATH       write outcome totals, digest, and the\n"
+               "                    reconfigure-latency percentiles as JSON\n"
                "  --threads T       worker threads; result is identical\n"
                "                    at any value\n"
                "  --verbose         per-epoch log lines\n");
@@ -94,6 +98,18 @@ struct Digest {
     }
   }
 };
+
+// Nearest-rank percentile over an unsorted sample (copied; the caller
+// keeps insertion order for the per-epoch log).
+double percentile(std::vector<double> xs, double pct) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double n = static_cast<double>(xs.size());
+  const double pos = pct / 100.0 * n;
+  std::size_t rank = pos <= 1.0 ? 0 : static_cast<std::size_t>(pos - 1e-9);
+  if (rank >= xs.size()) rank = xs.size() - 1;
+  return xs[rank];
+}
 
 struct TrialTotals {
   std::int64_t attempts = 0;
@@ -205,6 +221,12 @@ int cmd_run(const Args& args) {
   const long horizon = args.get_long("horizon", 400);
   const bool verbose = args.has("verbose");
   const std::string state_dir = args.get("state", "");
+  const std::string json_path = args.get("json", "");
+  // Closing-reconfigure latency of every completed epoch, in process
+  // order. Timing is measurement, not outcome: the percentiles are
+  // reported beside the digest but never mixed into it (a resumed run
+  // only samples the epochs it ran itself).
+  std::vector<double> reconfigure_seconds;
 
   LambOptions lamb_options;
   lamb_options.budget_seconds = args.get_double("budget", 0.0);
@@ -401,6 +423,7 @@ int cmd_run(const Args& args) {
       totals.unroutable += out.messages_unroutable;
       totals.replayed += out.messages_replayed;
       const auto& report = mgr->history().back();
+      reconfigure_seconds.push_back(report.solve_seconds);
       if (report.solve_status != SolveStatus::kCertified) {
         ++totals.degraded_epochs;
       }
@@ -456,8 +479,32 @@ int cmd_run(const Args& args) {
               static_cast<long long>(totals.unroutable),
               static_cast<long long>(totals.replayed),
               static_cast<long long>(totals.degraded_epochs));
+  const double p50 = percentile(reconfigure_seconds, 50.0) * 1e6;
+  const double p95 = percentile(reconfigure_seconds, 95.0) * 1e6;
+  const double p99 = percentile(reconfigure_seconds, 99.0) * 1e6;
+  std::printf("reconfigure latency: p50 %.1f us, p95 %.1f us, p99 %.1f us "
+              "(%zu epochs)\n",
+              p50, p95, p99, reconfigure_seconds.size());
   std::printf("digest: %016llx\n",
               static_cast<unsigned long long>(digest.h));
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    char digest_hex[17];
+    std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
+                  static_cast<unsigned long long>(digest.h));
+    out << "{\n  \"tool\": \"fault_storm\",\n"
+        << "  \"mesh\": \"" << shape.to_string() << "\",\n"
+        << "  \"trials\": " << trials << ",\n"
+        << "  \"epochs_per_trial\": " << epochs << ",\n"
+        << "  \"digest\": \"" << digest_hex << "\",\n"
+        << "  \"failures\": " << totals.failures << ",\n"
+        << "  \"degraded_epochs\": " << totals.degraded_epochs << ",\n"
+        << "  \"delivered\": " << totals.delivered << ",\n"
+        << "  \"reconfigure_latency_us\": {\"count\": "
+        << reconfigure_seconds.size() << ", \"p50\": " << p50
+        << ", \"p95\": " << p95 << ", \"p99\": " << p99 << "}\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   if (totals.failures > 0) {
     std::printf("FAILED: %lld epoch(s) incomplete\n",
                 static_cast<long long>(totals.failures));
@@ -477,7 +524,7 @@ int main(int argc, char** argv) {
     args.require_known({"mesh", "trials", "seed", "initial-faults",
                         "epochs", "messages", "node-kills", "link-kills",
                         "horizon", "flits", "max-attempts", "budget",
-                        "state", "threads", "verbose", "telemetry"});
+                        "state", "threads", "verbose", "telemetry", "json"});
     if (args.has("threads")) {
       par::set_threads(args.get_int("threads", 0));
     }
