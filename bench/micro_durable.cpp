@@ -28,6 +28,7 @@
 #include "manager/recovery.hpp"
 #include "obs/obs.hpp"
 #include "support/env.hpp"
+#include "support/machine_info.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "wormhole/fault_schedule.hpp"
@@ -221,6 +222,7 @@ void write_json(const std::string& path, const std::vector<Result>& results,
                 double nofsync_pct, double fsync_pct) {
   std::ofstream out(path);
   out << "{\n  \"bench\": \"micro_durable\",\n"
+      << support::machine_info_json()
       << "  \"workload\": \"abl07 uniform, M_3(8), 2 rounds, 2 VCs, "
          "8-flit messages; storm = 3 node + 1 link kills\",\n"
       << "  \"durable_nofsync_overhead_pct\": " << nofsync_pct << ",\n"

@@ -18,6 +18,7 @@
 #include "io/cli_args.hpp"
 #include "obs/obs.hpp"
 #include "support/env.hpp"
+#include "support/machine_info.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -91,6 +92,7 @@ void write_json(const std::string& path, const std::vector<Result>& results) {
   const unsigned hw = std::thread::hardware_concurrency();
   std::ofstream out(path);
   out << "{\n  \"bench\": \"micro_parallel\",\n"
+      << support::machine_info_json()
       << "  \"hardware_concurrency\": " << hw << ",\n";
   if (hw < 4) {
     out << "  \"note\": \"machine-limited: fewer than 4 hardware threads, "

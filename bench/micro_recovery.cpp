@@ -18,6 +18,7 @@
 #include "manager/recovery.hpp"
 #include "obs/obs.hpp"
 #include "support/env.hpp"
+#include "support/machine_info.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "wormhole/fault_schedule.hpp"
@@ -174,6 +175,7 @@ void write_json(const std::string& path, const std::vector<Result>& results,
                 double incremental_speedup, bool equivalent) {
   std::ofstream out(path);
   out << "{\n  \"bench\": \"micro_recovery\",\n"
+      << support::machine_info_json()
       << "  \"workload\": \"abl07 uniform, M_3(8), 2 rounds, 2 VCs, "
          "8-flit messages; storm = 3 node + 1 link kills; k-series = 20 "
          "background node faults + 1 node per epoch\",\n"

@@ -23,6 +23,7 @@
 #include "io/cli_args.hpp"
 #include "obs/obs.hpp"
 #include "support/env.hpp"
+#include "support/machine_info.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "wormhole/network.hpp"
@@ -51,6 +52,7 @@ struct Variant {
   const char* mode;
   wormhole::Engine engine;
   const obs::TelemetryConfig* telemetry;
+  bool recorder = true;  // flight recorder is always-on in production
 };
 
 // Times a set of variants over the same workload, interleaved rep by rep
@@ -74,6 +76,7 @@ std::vector<Result> time_variants(const std::vector<Variant>& variants,
       config.buffer_flits = 4;
       config.telemetry = *variants[v].telemetry;
       config.engine = variants[v].engine;
+      obs::FlightRecorder::global().set_enabled(variants[v].recorder);
       wormhole::Network net(shape, faults, config);
       for (const auto& m : messages) net.submit(m);
       Stopwatch watch;
@@ -104,6 +107,7 @@ void write_json(const std::string& path, const std::vector<Result>& results,
                 const std::vector<Gate>& gates) {
   std::ofstream out(path);
   out << "{\n  \"bench\": \"micro_wormhole\",\n"
+      << support::machine_info_json()
       << "  \"workloads\": {\n"
       << "    \"saturated\": \"abl07 uniform, M_3(8), 2 rounds, 2 VCs, "
          "8-flit messages, gap 0.25\",\n"
@@ -194,12 +198,14 @@ int main(int argc, char** argv) {
   on.enabled = true;  // sampling + lifecycle + watchdog, no dump I/O
 
   {
-    const auto sat = time_variants({{"telemetry_off", kEvent, &off},
-                                    {"telemetry_on", kEvent, &on},
-                                    {"saturated_cycle", kCycle, &off},
-                                    {"saturated_event", kEvent, &off}},
-                                   sat_shape, sat_faults,
-                                   sat_traffic.messages, sat_reps);
+    const auto sat =
+        time_variants({{"telemetry_off", kEvent, &off},
+                       {"telemetry_on", kEvent, &on},
+                       {"saturated_cycle", kCycle, &off},
+                       {"saturated_event", kEvent, &off},
+                       {"recorder_off", kEvent, &off, /*recorder=*/false},
+                       {"recorder_on", kEvent, &off, /*recorder=*/true}},
+                      sat_shape, sat_faults, sat_traffic.messages, sat_reps);
     results.insert(results.end(), sat.begin(), sat.end());
   }
   const double telemetry_overhead =
@@ -214,6 +220,15 @@ int main(int argc, char** argv) {
           : 0.0;
   gates.push_back({"event_saturated_overhead_pct", "max", 2.0,
                    saturated_overhead});
+  // Flight recorder (docs/OBSERVABILITY.md): always-on in production, so
+  // its enabled-path tax on the same saturated abl07 workload is held to
+  // a number the way telemetry's is.
+  const double recorder_overhead =
+      results[4].seconds > 0
+          ? (results[5].seconds / results[4].seconds - 1.0) * 100.0
+          : 0.0;
+  gates.push_back({"recorder_on_overhead_pct", "max", 2.0,
+                   recorder_overhead});
 
   // --- Idle-mesh workload: M_3(16), 1% active injectors ----------------
   // Long gaps and few sources: the mesh is almost always quiet, with a
@@ -254,7 +269,7 @@ int main(int argc, char** argv) {
     results.insert(results.end(), idle.begin(), idle.end());
   }
   const double idle_speedup =
-      results[5].seconds > 0 ? results[4].seconds / results[5].seconds : 0.0;
+      results[7].seconds > 0 ? results[6].seconds / results[7].seconds : 0.0;
   // CI gate: never slower than the cycle engine. The measured value (the
   // >= 5x claim) is recorded in the JSON for the trajectory.
   gates.push_back({"event_idle_speedup_x", "min", 1.0, idle_speedup});
@@ -264,6 +279,8 @@ int main(int argc, char** argv) {
               telemetry_overhead);
   std::printf("  event saturated overhead:  %+.1f%% (gate <= +2%%)\n",
               saturated_overhead);
+  std::printf("  recorder-on overhead:      %+.1f%% (gate <= +2%%)\n",
+              recorder_overhead);
   std::printf("  event idle-mesh speedup:   %.1fx (gate >= 1.0x)\n",
               idle_speedup);
 

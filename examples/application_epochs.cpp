@@ -14,6 +14,7 @@
 #include "io/cli_args.hpp"
 #include "manager/machine_manager.hpp"
 #include "manager/recovery.hpp"
+#include "obs/obs.hpp"
 #include "support/rng.hpp"
 #include "wormhole/fault_schedule.hpp"
 #include "wormhole/route_builder.hpp"
@@ -21,6 +22,9 @@
 using namespace lamb;
 
 int main(int argc, char** argv) {
+  // obs::init wires LAMBMESH_SERVE/--serve into the live /metrics
+  // endpoint so the recovery loop below can be scraped while it runs.
+  obs::init(argc, argv);
   io::init_threads(argc, argv);
   manager::MachineManager mgr(MeshShape::cube(3, 10));  // 1000 nodes
   Rng rng(20020416);

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "manager/machine_manager.hpp"
+#include "support/crc32c.hpp"
 
 namespace lamb::io {
 
@@ -14,21 +15,6 @@ namespace {
 // allocations: each width and the node count must stay reasonable.
 constexpr std::int64_t kMaxDecodedWidth = std::int64_t{1} << 20;
 constexpr std::int64_t kMaxDecodedNodes = std::int64_t{1} << 31;
-
-const std::uint32_t* crc32c_table() {
-  static const auto table = [] {
-    static std::uint32_t t[256];
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t crc = i;
-      for (int k = 0; k < 8; ++k) {
-        crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0);  // Castagnoli
-      }
-      t[i] = crc;
-    }
-    return t;
-  }();
-  return table;
-}
 
 }  // namespace
 
@@ -54,12 +40,9 @@ std::string LoadError::to_string() const {
 }
 
 std::uint32_t crc32c(std::string_view data, std::uint32_t seed) {
-  const std::uint32_t* table = crc32c_table();
-  std::uint32_t crc = ~seed;
-  for (unsigned char c : data) {
-    crc = (crc >> 8) ^ table[(crc ^ c) & 0xff];
-  }
-  return ~crc;
+  // Single implementation in support/ (the flight recorder seals crash
+  // dumps below the io layer); this forward keeps io's API stable.
+  return support::crc32c(data, seed);
 }
 
 // ------------------------------------------------------------ ByteWriter

@@ -69,6 +69,8 @@ void MachineManager::report_node_fault(const Point& p) {
   }
   faults_.add_node(p);
   cache_delta_nodes_.push_back(shape_->index(p));
+  obs::FlightRecorder::global().record(obs::FlightEventType::kFaultApplied,
+                                       0, shape_->index(p));
   pending_ = true;
 }
 
@@ -110,6 +112,9 @@ void MachineManager::report_link_fault(const Point& from, int dim, Dir dir) {
   faults_.add_link(from, dim, dir);
   if (fwd_new || rev_new) {
     cache_delta_links_.push_back(LinkFault{from, dim, dir, true});
+    obs::FlightRecorder::global().record(
+        obs::FlightEventType::kFaultApplied, 1, shape_->index(from),
+        dim * 2 + (dir == Dir::Pos ? 0 : 1));
   }
   pending_ = true;
 }
@@ -137,6 +142,10 @@ void MachineManager::degrade_node(NodeId id, double value) {
 
 EpochReport MachineManager::reconfigure() {
   obs::Span span("manager.reconfigure", "manager");
+  obs::FlightRecorder::global().record(
+      obs::FlightEventType::kReconfigureBegin, 0,
+      faults_.num_node_faults() - seen_node_faults_,
+      faults_.num_link_faults() - seen_link_faults_);
   if (state_ != nullptr) {
     // Intent record: if we crash mid-solve, recovery re-runs the
     // reconfigure (the solve is deterministic given the same state). On
@@ -270,6 +279,27 @@ EpochReport MachineManager::reconfigure() {
   span.arg("faults", static_cast<double>(report.total_faults));
   span.arg("lambs", static_cast<double>(report.lambs_total));
   span.arg("survivors", static_cast<double>(report.survivors));
+
+  obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+  recorder.set_epoch(static_cast<std::uint32_t>(report.epoch));
+  recorder.record(
+      obs::FlightEventType::kReconfigureEnd,
+      static_cast<std::uint16_t>(
+          static_cast<unsigned>(report.solve_status) |
+          (report.incremental ? 1u << 8 : 0u)),
+      static_cast<std::int64_t>(report.solve_seconds * 1e9),
+      report.blocks_reused);
+  if (report.solve_status != SolveStatus::kCertified) {
+    recorder.record(obs::FlightEventType::kDegradeRung,
+                    static_cast<std::uint16_t>(report.solve_status),
+                    report.rounds, report.uncovered_pairs);
+  }
+  // The reconfigure-latency objective counts the whole epoch turnaround
+  // (solve + route-cache rebuild + snapshot), which is what recovery
+  // blocks on.
+  static obs::Slo* slo_latency =
+      obs::SloTracker::global().find(obs::kSloReconfigureLatency);
+  if (slo_latency != nullptr) slo_latency->observe_latency(watch.seconds());
   return report;
 }
 
@@ -277,6 +307,8 @@ Checkpoint MachineManager::checkpoint() const {
   require_configured();
   Checkpoint snapshot = snapshot_state();
   obs::counter("manager.checkpoints").add();
+  obs::FlightRecorder::global().record(obs::FlightEventType::kCheckpoint, 0,
+                                       snapshot.epoch);
   return snapshot;
 }
 
@@ -304,6 +336,9 @@ void MachineManager::restore(const Checkpoint& snapshot) {
   // rolled-back timeline.
   if (state_ != nullptr) persist_snapshot();
   obs::counter("manager.restores").add();
+  obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+  recorder.set_epoch(static_cast<std::uint32_t>(std::max(0, snapshot.epoch)));
+  recorder.record(obs::FlightEventType::kRollback, 0, snapshot.epoch);
   span.arg("epoch", snapshot.epoch);
 }
 
@@ -381,8 +416,14 @@ std::vector<NodeId> MachineManager::survivors() const {
 std::optional<wormhole::Route> MachineManager::route(NodeId src, NodeId dst,
                                                      Rng& rng) {
   require_configured();
+  Stopwatch watch;
   auto route = routes_->build(src, dst, rng, &load_);
   if (route) ++routes_vended_;
+  obs::FlightRecorder::global().record(
+      obs::FlightEventType::kRouteVend, route ? 1 : 0, src, dst);
+  static obs::Slo* slo_vend =
+      obs::SloTracker::global().find(obs::kSloRouteVendLatency);
+  if (slo_vend != nullptr) slo_vend->observe_latency(watch.seconds());
   return route;
 }
 
@@ -396,10 +437,14 @@ std::string MachineManager::encode_state() const {
 }
 
 void MachineManager::persist_snapshot() {
-  const io::LoadError err = state_->write_snapshot(encode_state());
+  const std::string bytes = encode_state();
+  const io::LoadError err = state_->write_snapshot(bytes);
   if (!err.ok()) {
     throw std::runtime_error("durable snapshot failed: " + err.to_string());
   }
+  obs::FlightRecorder::global().record(
+      obs::FlightEventType::kSnapshotWrite, 0,
+      static_cast<std::int64_t>(bytes.size()));
 }
 
 void MachineManager::journal_append(std::string_view record) {
@@ -408,6 +453,9 @@ void MachineManager::journal_append(std::string_view record) {
     throw std::runtime_error("durable journal append failed: " +
                              err.to_string());
   }
+  obs::FlightRecorder::global().record(
+      obs::FlightEventType::kJournalWrite, 0,
+      static_cast<std::int64_t>(record.size()));
 }
 
 void MachineManager::compact() {
@@ -564,6 +612,15 @@ std::unique_ptr<MachineManager> MachineManager::open(
     report->compacted = true;
   }
   obs::counter("manager.opens").add();
+  obs::FlightRecorder::global().set_epoch(
+      static_cast<std::uint32_t>(std::max(0, manager->epoch())));
+  // A restart that dropped a torn tail or rejected records lost
+  // journaled work; that is exactly what the replay-loss objective
+  // budgets.
+  if (obs::Slo* slo = obs::SloTracker::global().find(obs::kSloReplayLoss)) {
+    slo->record(!report->journal_tail_dropped &&
+                report->records_rejected == 0);
+  }
   span.arg("epoch", manager->epoch());
   span.arg("replayed", static_cast<double>(report->records_replayed));
   return manager;

@@ -18,6 +18,8 @@ RecoveryOutcome RecoveryDriver::run_epoch(
   obs::Span span("recovery.epoch", "manager");
   RecoveryOutcome out;
   out.messages_requested = static_cast<std::int64_t>(pairs.size());
+  obs::FlightRecorder::global().record(obs::FlightEventType::kEpochBegin, 0,
+                                       out.messages_requested);
 
   std::int64_t backoff = 0;  // first attempt injects immediately
   for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
@@ -153,10 +155,24 @@ RecoveryOutcome RecoveryDriver::run_epoch(
   }
 
   out.final_epoch = manager_->epoch();
+  obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+  recorder.record(obs::FlightEventType::kEpochEnd, out.completed ? 1 : 0,
+                  out.messages_delivered, out.attempts);
+  if (obs::Slo* slo =
+          obs::SloTracker::global().find(obs::kSloEpochCompletion)) {
+    slo->record(out.completed);
+  }
   if (!out.completed) {
     // max_attempts exhausted with messages still undelivered: the caller
-    // sees completed == false, and operators see the counter tick.
+    // sees completed == false, and operators see the counter tick. The
+    // flight ring at this moment — the attempts, rollbacks, and fault
+    // deltas that led here — is the post-mortem, so dump it.
     obs::counter("recovery.gave_up").add();
+    recorder.record(
+        obs::FlightEventType::kGiveUp, 0,
+        out.messages_requested - out.messages_delivered - out.messages_dropped,
+        out.attempts);
+    recorder.dump_auto(obs::DumpReason::kGiveUp);
   }
   obs::gauge("recovery.last_attempts").set(static_cast<double>(out.attempts));
   span.arg("attempts", out.attempts);

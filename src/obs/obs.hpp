@@ -4,6 +4,9 @@
 #pragma once
 
 #include "obs/export.hpp"  // IWYU pragma: export
+#include "obs/expose.hpp"  // IWYU pragma: export
 #include "obs/metrics.hpp"  // IWYU pragma: export
+#include "obs/recorder.hpp"  // IWYU pragma: export
+#include "obs/slo.hpp"  // IWYU pragma: export
 #include "obs/telemetry.hpp"  // IWYU pragma: export
 #include "obs/trace.hpp"  // IWYU pragma: export

@@ -1,0 +1,35 @@
+#include "support/crc32c.hpp"
+
+namespace lamb::support {
+
+namespace {
+
+const std::uint32_t* crc32c_table() {
+  static const auto table = [] {
+    static std::uint32_t t[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0);  // Castagnoli
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::string_view data, std::uint32_t seed) {
+  const std::uint32_t* table = crc32c_table();
+  std::uint32_t crc = ~seed;
+  for (unsigned char c : data) {
+    crc = (crc >> 8) ^ table[(crc ^ c) & 0xff];
+  }
+  return ~crc;
+}
+
+void crc32c_warmup() { crc32c_table(); }
+
+}  // namespace lamb::support

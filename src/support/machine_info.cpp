@@ -1,0 +1,53 @@
+#include "support/machine_info.hpp"
+
+#include <unistd.h>
+
+#include <sstream>
+#include <thread>
+
+namespace lamb::support {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+MachineInfo machine_info() {
+  MachineInfo info;
+  char host[256] = {};
+  if (::gethostname(host, sizeof(host) - 1) == 0 && host[0] != '\0') {
+    info.hostname = host;
+  } else {
+    info.hostname = "unknown";
+  }
+  info.hardware_concurrency = std::thread::hardware_concurrency();
+#ifdef NDEBUG
+  info.build_type = "Release";
+#else
+  info.build_type = "Debug";
+#endif
+  info.pointer_bits = static_cast<int>(8 * sizeof(void*));
+  return info;
+}
+
+std::string machine_info_json() {
+  const MachineInfo info = machine_info();
+  std::ostringstream os;
+  os << "  \"schema_version\": " << kBenchSchemaVersion << ",\n"
+     << "  \"machine\": {\"hostname\": \"" << json_escape(info.hostname)
+     << "\", \"hardware_concurrency\": " << info.hardware_concurrency
+     << ", \"build_type\": \"" << info.build_type
+     << "\", \"pointer_bits\": " << info.pointer_bits << "},\n";
+  return os.str();
+}
+
+}  // namespace lamb::support

@@ -1,0 +1,33 @@
+// Machine / build identification block shared by every JSON emitter
+// (fault_storm --json and the BENCH_*.json microbenches). The bench
+// trajectory is tracked across PRs and across machines; without the
+// hostname / core count / build type stamped into the document, a
+// regression on a 1-core CI runner is indistinguishable from one on a
+// 64-core dev box.
+#pragma once
+
+#include <string>
+
+namespace lamb::support {
+
+// Version of the shared bench/storm JSON envelope (schema_version +
+// machine block + gates array). Bump when the envelope shape changes.
+inline constexpr int kBenchSchemaVersion = 2;
+
+struct MachineInfo {
+  std::string hostname;          // gethostname(), "unknown" on failure
+  unsigned hardware_concurrency = 0;
+  std::string build_type;        // "Release" (NDEBUG) or "Debug"
+  int pointer_bits = 0;
+};
+
+MachineInfo machine_info();
+
+// The envelope fragment every emitter embeds right after its opening
+// brace, using the repo's two-space JSON indent:
+//   "schema_version": 2,
+//   "machine": {"hostname": ..., "hardware_concurrency": ..., ...},
+// The trailing comma is included so call sites just stream it.
+std::string machine_info_json();
+
+}  // namespace lamb::support

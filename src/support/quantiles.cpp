@@ -1,0 +1,37 @@
+#include "support/quantiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lamb::support {
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+double quantile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  return quantile_sorted(xs, q);
+}
+
+QuantileSummary summarize(std::vector<double>* xs) {
+  QuantileSummary out;
+  if (xs == nullptr || xs->empty()) return out;
+  std::sort(xs->begin(), xs->end());
+  out.count = static_cast<std::int64_t>(xs->size());
+  double sum = 0.0;
+  for (double v : *xs) sum += v;
+  out.mean = sum / static_cast<double>(xs->size());
+  out.min = xs->front();
+  out.max = xs->back();
+  out.p50 = quantile_sorted(*xs, 0.50);
+  out.p95 = quantile_sorted(*xs, 0.95);
+  out.p99 = quantile_sorted(*xs, 0.99);
+  return out;
+}
+
+}  // namespace lamb::support

@@ -1,0 +1,38 @@
+// The repo's single exact-quantile implementation (nearest-rank over the
+// full sample). Samples, the fault_storm / telemetry_report CLIs, and the
+// SLO window all report p50/p95/p99 of heavy-tailed latency data; they
+// used to carry four hand-rolled copies of the same sort-and-index, which
+// had already drifted in interpolation rule. Everything now goes through
+// these helpers so "p99" means the same number everywhere.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lamb::support {
+
+// Exact q-quantile, q in [0, 1], nearest-rank rule: the smallest sample
+// whose cumulative proportion is >= q. 0 when empty. The input must be
+// sorted ascending.
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+// Copying convenience for callers that need their sample's original
+// order preserved (sorts the copy).
+double quantile(std::vector<double> xs, double q);
+
+// One pass over a sample for the standard report row.
+struct QuantileSummary {
+  std::int64_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+// Sorts `xs` in place (callers that need the original order should pass
+// a copy) and fills every field of the summary.
+QuantileSummary summarize(std::vector<double>* xs);
+
+}  // namespace lamb::support

@@ -1,7 +1,8 @@
 #include "support/samples.hpp"
 
 #include <algorithm>
-#include <cmath>
+
+#include "support/quantiles.hpp"
 
 namespace lamb {
 
@@ -30,13 +31,8 @@ double Samples::max() const {
 }
 
 double Samples::quantile(double q) const {
-  if (values_.empty()) return 0.0;
   ensure_sorted();
-  q = std::clamp(q, 0.0, 1.0);
-  // Nearest-rank: smallest value with cumulative proportion >= q.
-  const std::size_t rank = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(values_.size())));
-  return values_[rank == 0 ? 0 : rank - 1];
+  return support::quantile_sorted(values_, q);
 }
 
 }  // namespace lamb

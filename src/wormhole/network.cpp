@@ -496,6 +496,9 @@ SimResult Network::run() {
   SimResult result;
   result.engine = engine_;
   result.total_messages = static_cast<std::int64_t>(messages_.size());
+  obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+  recorder.record(obs::FlightEventType::kRunBegin, 0, result.total_messages,
+                  config_.max_cycles);
   for (const MessageState& st : messages_) {
     result.hops.add(static_cast<double>(st.msg.route.length()));
     result.turns.add(static_cast<double>(st.msg.route.turns()));
@@ -552,10 +555,15 @@ SimResult Network::run() {
         result.stall_report =
             std::make_shared<const obs::StallReport>(report);
         telemetry_->set_stall_report(std::move(report));
+        recorder.record(obs::FlightEventType::kWatchdog, 0, stagnant,
+                        cycle_);
+        recorder.dump_auto(obs::DumpReason::kWatchdog);
       }
     }
     if (stagnant >= config_.deadlock_threshold) {
       result.deadlocked = true;
+      recorder.record(obs::FlightEventType::kDeadlock, 0, stagnant, cycle_);
+      recorder.dump_auto(obs::DumpReason::kDeadlock);
       return true;
     }
     return false;
@@ -728,6 +736,8 @@ SimResult Network::run() {
   }
   span.arg("messages", static_cast<double>(result.total_messages));
   span.arg("cycles", static_cast<double>(cycle_));
+  recorder.record(obs::FlightEventType::kRunEnd,
+                  result.deadlocked ? 1 : 0, cycle_, delivered_);
   return result;
 }
 
@@ -739,6 +749,12 @@ std::int64_t Network::apply_due_faults(SimResult* result) {
     applied = true;
     ++result->faults_applied;
     result->applied_faults.push_back(ev);
+    obs::FlightRecorder::global().record(
+        obs::FlightEventType::kFaultApplied,
+        ev.kind == FaultEvent::Kind::kNode ? 0 : 1, ev.node,
+        ev.kind == FaultEvent::Kind::kNode
+            ? 0
+            : ev.dim * 2 + (ev.dir == Dir::Pos ? 0 : 1));
     auto kill_directed = [&](NodeId from, int dim, Dir dir) {
       Point to;
       if (!shape_->neighbor(shape_->point(from), dim, dir, &to)) return;

@@ -1,10 +1,19 @@
 // Tests for the observability layer (src/obs): counter / gauge /
 // histogram semantics, exact concurrent sums through the sharded
-// counters, zero recording in disabled mode, exporter output, and
-// Chrome-trace JSON with correctly nested spans.
+// counters, zero recording in disabled mode, exporter output,
+// Chrome-trace JSON with correctly nested spans, Prometheus text
+// exposition (incl. scrape-during-mutation), the embedded HTTP server,
+// and SLO burn tracking.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -296,6 +305,261 @@ TEST(Trace, ChromeJsonIsWellFormed) {
   EXPECT_EQ(braces, 0);
   EXPECT_EQ(brackets, 0);
   std::remove(path.c_str());
+}
+
+TEST(Prometheus, NameAndEscape) {
+  EXPECT_EQ(prometheus_name("reconfigure.ms"), "lambmesh_reconfigure_ms");
+  EXPECT_EQ(prometheus_name("cache.hit-rate"), "lambmesh_cache_hit_rate");
+  EXPECT_EQ(prometheus_escape("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+}
+
+TEST(Prometheus, RenderConformance) {
+  MetricsRegistry reg(/*enabled=*/true);
+  reg.counter("scrape.events").add(42);
+  reg.gauge("scrape.level").set(2.5);
+  Histogram& h = reg.histogram("scrape.lat", {1.0, 2.0});
+  for (double x : {0.5, 1.5, 9.0}) h.observe(x);
+
+  const std::string text = render_prometheus(reg);
+  // Counters: TYPE before the sample, name carries _total.
+  const auto type_pos =
+      text.find("# TYPE lambmesh_scrape_events_total counter");
+  const auto sample_pos = text.find("lambmesh_scrape_events_total 42");
+  ASSERT_NE(type_pos, std::string::npos) << text;
+  ASSERT_NE(sample_pos, std::string::npos) << text;
+  EXPECT_LT(type_pos, sample_pos);
+  EXPECT_NE(text.find("# TYPE lambmesh_scrape_level gauge"),
+            std::string::npos);
+  // Histogram: cumulative le buckets, +Inf bucket == _count.
+  EXPECT_NE(text.find("# TYPE lambmesh_scrape_lat histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("lambmesh_scrape_lat_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("lambmesh_scrape_lat_bucket{le=\"2\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("lambmesh_scrape_lat_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("lambmesh_scrape_lat_count 3"), std::string::npos);
+  EXPECT_NE(text.find("lambmesh_scrape_lat_sum 11"), std::string::npos);
+  // Exposition ends in a newline (required by the text format).
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Prometheus, ScrapeDuringMutationStaysParseableAndMonotone) {
+  MetricsRegistry reg(/*enabled=*/true);
+  Counter& c = reg.counter("scrape.mut");
+  Histogram& h = reg.histogram("scrape.mut.lat", {1.0, 4.0});
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::int64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      c.add();
+      h.observe(static_cast<double>(i++ % 8));
+    }
+  });
+  std::int64_t prev = -1;
+  for (int scrape = 0; scrape < 200; ++scrape) {
+    const std::string text = render_prometheus(reg);
+    // Leading \n anchors the sample line (the HELP line also contains
+    // the metric name, but never at line start).
+    const std::string needle = "\nlambmesh_scrape_mut_total ";
+    const auto pos = text.find(needle);
+    ASSERT_NE(pos, std::string::npos);
+    const std::int64_t value =
+        std::stoll(text.substr(pos + needle.size()));
+    EXPECT_GE(value, prev) << "counter went backwards mid-scrape";
+    prev = value;
+    // The histogram's +Inf bucket must equal its _count even while a
+    // writer races the scrape (the render snapshots buckets once).
+    const std::string inf_needle =
+        "lambmesh_scrape_mut_lat_bucket{le=\"+Inf\"} ";
+    const std::string count_needle = "lambmesh_scrape_mut_lat_count ";
+    const auto inf_pos = text.find(inf_needle);
+    const auto count_pos = text.find(count_needle);
+    ASSERT_NE(inf_pos, std::string::npos);
+    ASSERT_NE(count_pos, std::string::npos);
+    EXPECT_EQ(std::stoll(text.substr(inf_pos + inf_needle.size())),
+              std::stoll(text.substr(count_pos + count_needle.size())));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+}
+
+TEST(Expose, ParseServeSpec) {
+  std::string host;
+  int port = -1;
+  EXPECT_TRUE(parse_serve_spec(":9464", &host, &port));
+  EXPECT_EQ(host, "");
+  EXPECT_EQ(port, 9464);
+  EXPECT_TRUE(parse_serve_spec("9464", &host, &port));
+  EXPECT_EQ(port, 9464);
+  EXPECT_TRUE(parse_serve_spec("127.0.0.1:8080", &host, &port));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 8080);
+  EXPECT_TRUE(parse_serve_spec(":0", &host, &port));
+  EXPECT_EQ(port, 0);
+  EXPECT_FALSE(parse_serve_spec("", &host, &port));
+  EXPECT_FALSE(parse_serve_spec("host:", &host, &port));
+  EXPECT_FALSE(parse_serve_spec("not-a-port", &host, &port));
+  EXPECT_FALSE(parse_serve_spec(":99999", &host, &port));
+}
+
+TEST(Expose, HandleRoutesWithoutSockets) {
+  MetricsRegistry reg(/*enabled=*/true);
+  reg.counter("route.test").add(5);
+  SloTracker slo(&reg);
+  slo.declare({"probe", "test objective", 0.9, 0.0, 8});
+  slo.find("probe")->record(true);
+  FlightRecorder rec(/*capacity=*/8);
+  rec.record(FlightEventType::kRunBegin, 0, 1, 2);
+  rec.record(FlightEventType::kRunEnd, 0, 3, 4);
+  const ExposeServer server(&reg, &slo, &rec);
+
+  const auto metrics = server.handle("/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_EQ(metrics.content_type,
+            "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_NE(metrics.body.find("lambmesh_route_test_total 5"),
+            std::string::npos);
+
+  const auto healthz = server.handle("/healthz");
+  EXPECT_EQ(healthz.status, 200);
+  EXPECT_EQ(healthz.body, "ok\n");
+
+  const auto slo_resp = server.handle("/slo");
+  EXPECT_EQ(slo_resp.status, 200);
+  EXPECT_NE(slo_resp.body.find("\"probe\""), std::string::npos);
+  EXPECT_NE(slo_resp.body.find("\"burn\""), std::string::npos);
+
+  const auto recorder_resp = server.handle("/recorder?n=1");
+  EXPECT_EQ(recorder_resp.status, 200);
+  EXPECT_NE(recorder_resp.body.find("\"events\""), std::string::npos);
+  // n=1 keeps only the newest event (seq 1).
+  EXPECT_EQ(recorder_resp.body.find("\"seq\": 0"), std::string::npos);
+  EXPECT_NE(recorder_resp.body.find("\"seq\": 1"), std::string::npos);
+
+  EXPECT_EQ(server.handle("/nope").status, 404);
+}
+
+// Issues one real HTTP GET against a started server.
+std::string http_get(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(Expose, ServerEndToEndOnEphemeralPort) {
+  MetricsRegistry reg(/*enabled=*/true);
+  reg.counter("e2e.hits").add(7);
+  SloTracker slo(&reg);
+  FlightRecorder rec(/*capacity=*/8);
+  ExposeServer server(&reg, &slo, &rec);
+  std::string err;
+  ASSERT_TRUE(server.start("127.0.0.1", 0, &err)) << err;
+  ASSERT_TRUE(server.running());
+  ASSERT_GT(server.port(), 0);
+
+  const std::string health = http_get(server.port(), "/healthz");
+  EXPECT_NE(health.find("200"), std::string::npos);
+  EXPECT_NE(health.find("ok\n"), std::string::npos);
+  const std::string metrics = http_get(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("lambmesh_e2e_hits_total 7"), std::string::npos);
+  EXPECT_NE(metrics.find("version=0.0.4"), std::string::npos);
+  const std::string missing = http_get(server.port(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(Slo, BurnMathAndMetricsExport) {
+  MetricsRegistry reg(/*enabled=*/true);
+  SloTracker tracker(&reg);
+  // 0.875 keeps the error budget (1 - objective = 0.125) exact in
+  // binary, so burn-at-budget is exactly 1.0.
+  Slo* slo = tracker.declare({"math", "burn math", 0.875, 0.0, 8});
+  for (int i = 0; i < 7; ++i) slo->record(true);
+  slo->record(false);
+  SloSnapshot snap = slo->snapshot();
+  EXPECT_EQ(snap.good, 7u);
+  EXPECT_EQ(snap.bad, 1u);
+  EXPECT_DOUBLE_EQ(snap.bad_fraction, 0.125);
+  EXPECT_DOUBLE_EQ(snap.burn, 1.0);
+  EXPECT_TRUE(snap.met);
+  slo->record(false);  // window slides: 6 good, 2 bad
+  snap = slo->snapshot();
+  EXPECT_DOUBLE_EQ(snap.burn, 2.0);
+  EXPECT_FALSE(snap.met);
+  // The registry sees the same story.
+  EXPECT_EQ(reg.counter("slo.math.good").value(), 7);
+  EXPECT_EQ(reg.counter("slo.math.bad").value(), 2);
+  EXPECT_DOUBLE_EQ(reg.gauge("slo.math.burn").value(), 2.0);
+}
+
+TEST(Slo, WindowSlidesOldFailuresOut) {
+  MetricsRegistry reg(/*enabled=*/true);
+  SloTracker tracker(&reg);
+  Slo* slo = tracker.declare({"slide", "window", 0.5, 0.0, 4});
+  for (int i = 0; i < 4; ++i) slo->record(false);
+  EXPECT_FALSE(slo->snapshot().met);
+  for (int i = 0; i < 4; ++i) slo->record(true);
+  const SloSnapshot snap = slo->snapshot();
+  EXPECT_EQ(snap.bad, 0u);
+  EXPECT_DOUBLE_EQ(snap.burn, 0.0);
+  EXPECT_TRUE(snap.met);
+  EXPECT_EQ(snap.total_bad, 4u);  // lifetime totals never slide
+  EXPECT_EQ(snap.total_good, 4u);
+}
+
+TEST(Slo, LatencyThresholdClassifies) {
+  MetricsRegistry reg(/*enabled=*/true);
+  SloTracker tracker(&reg);
+  Slo* slo = tracker.declare({"lat", "latency", 0.5, 0.25, 8});
+  slo->observe_latency(0.1);   // good
+  slo->observe_latency(0.25);  // good (inclusive)
+  slo->observe_latency(0.9);   // bad
+  const SloSnapshot snap = slo->snapshot();
+  EXPECT_EQ(snap.good, 2u);
+  EXPECT_EQ(snap.bad, 1u);
+}
+
+TEST(Slo, TrackerJsonAndGlobalObjectives) {
+  MetricsRegistry reg(/*enabled=*/true);
+  SloTracker tracker(&reg);
+  tracker.declare({"j1", "first", 0.99, 0.0, 8});
+  tracker.declare({"j2", "second", 0.9, 0.5, 8});
+  tracker.find("j1")->record(true);
+  const std::string json = tracker.render_json("  ");
+  EXPECT_NE(json.find("\"j1\""), std::string::npos);
+  EXPECT_NE(json.find("\"j2\""), std::string::npos);
+  EXPECT_NE(json.find("\"objective\": 0.99"), std::string::npos);
+  EXPECT_NE(json.find("\"met\": true"), std::string::npos);
+  // declare() is find-or-create: re-declaring returns the same Slo.
+  EXPECT_EQ(tracker.declare({"j1", "first", 0.99, 0.0, 8}),
+            tracker.find("j1"));
+  // The global tracker pre-declares the standard objectives.
+  EXPECT_NE(SloTracker::global().find(kSloReconfigureLatency), nullptr);
+  EXPECT_NE(SloTracker::global().find(kSloRouteVendLatency), nullptr);
+  EXPECT_NE(SloTracker::global().find(kSloEpochCompletion), nullptr);
+  EXPECT_NE(SloTracker::global().find(kSloReplayLoss), nullptr);
 }
 
 TEST(Init, MetricsFlagEnablesCollection) {

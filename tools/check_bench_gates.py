@@ -9,7 +9,10 @@ Each bench JSON carries a top-level "gates" array:
       {"metric": "incremental_equivalent", "equals": 1}
     ]
 
-where "metric" names a top-level numeric key in the same document. A gate
+where "metric" names a numeric key in the same document — either
+top-level or a dotted path into nested objects (fault_storm's
+"slo.epoch_completion.burn" reaches doc["slo"]["epoch_completion"]
+["burn"]; a literal top-level key wins over a path split). A gate
 passes when the measured value is <= max, >= min, or == equals (exact
 match, for boolean invariants like bit-identical equivalence flags). The
 script prints a PASS/FAIL line per gate and exits non-zero if any gate
@@ -23,6 +26,20 @@ import json
 import sys
 
 
+def lookup(doc, metric):
+    """Resolve a gate metric: literal top-level key, else dotted path."""
+    if not isinstance(metric, str):
+        return None
+    if metric in doc:
+        return doc[metric]
+    node = doc
+    for part in metric.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
 def check_file(path: str) -> int:
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
@@ -33,7 +50,7 @@ def check_file(path: str) -> int:
     failures = 0
     for gate in gates:
         metric = gate.get("metric")
-        measured = doc.get(metric)
+        measured = lookup(doc, metric)
         if not isinstance(measured, (int, float)):
             print(f"FAIL {path}: metric '{metric}' missing or non-numeric")
             failures += 1

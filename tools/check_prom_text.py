@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-format (0.0.4) exposition.
+
+Checks the contract the /metrics endpoint (src/obs/expose.cpp) promises:
+
+  * every non-comment line parses as `name[{labels}] value`
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*
+  * at most one # TYPE per metric family, emitted before its samples,
+    with a known type (counter | gauge | histogram | summary | untyped)
+  * # HELP at most once per family
+  * counter sample names end in _total
+  * histogram buckets are cumulative (non-decreasing in le order), end
+    with le="+Inf", and the +Inf bucket equals <name>_count
+  * all sample values parse as floats (+Inf/-Inf/NaN allowed)
+
+With --against SNAPSHOT.json (a LAMBMESH_METRICS=json:PATH dump) it also
+checks monotonic consistency: every counter scraped live must be <= the
+end-of-run value in the snapshot (a live scrape happens mid-run, so its
+counters can only be behind, never ahead). Dotted registry names map to
+the exposition as lambmesh_<dots_to_underscores>_total.
+
+Usage: check_prom_text.py METRICS.txt [--against SNAPSHOT.json]
+Exits 0 iff every check passes; prints one line per violation.
+"""
+
+import json
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# name, optional {labels}, value, optional timestamp
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(.*)\})?"
+    r"\s+(\S+)"
+    r"(?:\s+(-?\d+))?$"
+)
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+KNOWN_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def family_of(sample_name, families):
+    """Map a sample name to its TYPE family (histogram suffix aware)."""
+    for suffix in ("_bucket", "_sum", "_count", "_total", ""):
+        if suffix and sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in families:
+                return base
+        elif sample_name in families:
+            return sample_name
+    return None
+
+
+def parse_value(text):
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)  # raises ValueError on garbage
+
+
+def check(lines):
+    errors = []
+    types = {}  # family -> type
+    helps = set()
+    samples_seen = set()  # families that already emitted a sample
+    samples = {}  # full sample key -> value
+    buckets = {}  # family -> list of (le, count) in emission order
+
+    for lineno, raw in enumerate(lines, 1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                errors.append(f"line {lineno}: malformed HELP")
+                continue
+            name = parts[2]
+            if name in helps:
+                errors.append(f"line {lineno}: duplicate HELP for {name}")
+            helps.add(name)
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                errors.append(f"line {lineno}: malformed TYPE")
+                continue
+            name, kind = parts[2], parts[3]
+            if kind not in KNOWN_TYPES:
+                errors.append(f"line {lineno}: unknown type '{kind}'")
+            if name in types:
+                errors.append(f"line {lineno}: duplicate TYPE for {name}")
+            if name in samples_seen:
+                errors.append(
+                    f"line {lineno}: TYPE for {name} after its samples")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal
+
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name, labels_text, value_text = m.group(1), m.group(2), m.group(3)
+        if not NAME_RE.match(name):
+            errors.append(f"line {lineno}: bad metric name {name!r}")
+            continue
+        labels = {}
+        if labels_text:
+            for part in re.split(r",(?=[a-zA-Z_])", labels_text.strip(",")):
+                lm = LABEL_RE.match(part.strip())
+                if lm is None:
+                    errors.append(
+                        f"line {lineno}: bad label pair {part!r} in {name}")
+                else:
+                    labels[lm.group(1)] = lm.group(2)
+        try:
+            value = parse_value(value_text)
+        except ValueError:
+            errors.append(
+                f"line {lineno}: bad value {value_text!r} for {name}")
+            continue
+
+        family = family_of(name, types)
+        if family is not None:
+            samples_seen.add(family)
+            kind = types[family]
+            if kind == "counter" and not name.endswith("_total"):
+                errors.append(
+                    f"line {lineno}: counter sample {name} lacks _total")
+            if kind == "counter" and value < 0:
+                errors.append(f"line {lineno}: counter {name} negative")
+            if kind == "histogram" and name.endswith("_bucket"):
+                le = labels.get("le")
+                if le is None:
+                    errors.append(
+                        f"line {lineno}: bucket of {family} missing le")
+                else:
+                    buckets.setdefault(family, []).append(
+                        (parse_value(le), value))
+        samples[(name, tuple(sorted(labels.items())))] = value
+
+    for family, rows in buckets.items():
+        les = [le for le, _ in rows]
+        counts = [c for _, c in rows]
+        if sorted(les) != les:
+            errors.append(f"{family}: bucket le bounds not ascending")
+        if sorted(counts) != counts:
+            errors.append(f"{family}: bucket counts not cumulative")
+        if not les or les[-1] != float("inf"):
+            errors.append(f"{family}: final bucket is not le=\"+Inf\"")
+        else:
+            count = samples.get((family + "_count", ()))
+            if count is not None and counts[-1] != count:
+                errors.append(
+                    f"{family}: +Inf bucket {counts[-1]:g} != _count "
+                    f"{count:g}")
+    return errors, samples
+
+
+def prom_counter_name(dotted):
+    return "lambmesh_" + re.sub(r"[^a-zA-Z0-9_:]", "_", dotted) + "_total"
+
+
+def check_against(samples, snapshot_path):
+    """Live-scrape counters must not exceed the end-of-run snapshot."""
+    with open(snapshot_path, "r", encoding="utf-8") as fh:
+        snap = json.load(fh)
+    errors = []
+    compared = 0
+    for dotted, final in snap.get("counters", {}).items():
+        scraped = samples.get((prom_counter_name(dotted), ()))
+        if scraped is None:
+            continue  # counter born after the scrape: fine
+        compared += 1
+        if scraped > final:
+            errors.append(
+                f"counter {dotted}: scraped {scraped:g} > final {final:g} "
+                f"(counters must be monotonic)")
+    if compared == 0:
+        errors.append(
+            f"--against {snapshot_path}: no overlapping counters "
+            f"(wrong snapshot?)")
+    return errors, compared
+
+
+def main(argv):
+    args = [a for a in argv[1:] if a != "--against"]
+    against = None
+    if "--against" in argv:
+        idx = argv.index("--against")
+        if idx + 1 >= len(argv):
+            print("error: --against needs a path", file=sys.stderr)
+            return 2
+        against = argv[idx + 1]
+        args = [a for a in argv[1:] if a not in ("--against", against)]
+    if len(args) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    with open(args[0], "r", encoding="utf-8") as fh:
+        lines = fh.readlines()
+    errors, samples = check(lines)
+    n_samples = len(samples)
+    if against is not None:
+        more, compared = check_against(samples, against)
+        errors.extend(more)
+        if not more:
+            print(f"OK {against}: {compared} counter(s) consistent")
+    for err in errors:
+        print(f"FAIL {args[0]}: {err}")
+    if not errors:
+        print(f"OK {args[0]}: {n_samples} sample(s) valid")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

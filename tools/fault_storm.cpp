@@ -47,7 +47,10 @@
 #include "manager/machine_manager.hpp"
 #include "manager/recovery.hpp"
 #include "obs/obs.hpp"
+#include "support/env.hpp"
+#include "support/machine_info.hpp"
 #include "support/parallel.hpp"
+#include "support/quantiles.hpp"
 #include "support/rng.hpp"
 #include "wormhole/fault_schedule.hpp"
 
@@ -80,6 +83,14 @@ using Args = io::CliArgs;
                "                    rerunning resumes after a kill\n"
                "  --json PATH       write outcome totals, digest, and the\n"
                "                    reconfigure-latency percentiles as JSON\n"
+               "  --serve SPEC      serve /metrics, /healthz, /slo, and\n"
+               "                    /recorder over HTTP while the storm\n"
+               "                    runs (SPEC like :9464; port 0 is\n"
+               "                    ephemeral, printed to stderr)\n"
+               "  --flight PATH     back the flight-recorder ring with a\n"
+               "                    mmap'd file at PATH (decodable by\n"
+               "                    lambmesh_blackbox even after SIGKILL);\n"
+               "                    auto-dumps land at PATH.dump\n"
                "  --threads T       worker threads; result is identical\n"
                "                    at any value\n"
                "  --verbose         per-epoch log lines\n");
@@ -99,16 +110,11 @@ struct Digest {
   }
 };
 
-// Nearest-rank percentile over an unsorted sample (copied; the caller
-// keeps insertion order for the per-epoch log).
-double percentile(std::vector<double> xs, double pct) {
-  if (xs.empty()) return 0.0;
-  std::sort(xs.begin(), xs.end());
-  const double n = static_cast<double>(xs.size());
-  const double pos = pct / 100.0 * n;
-  std::size_t rank = pos <= 1.0 ? 0 : static_cast<std::size_t>(pos - 1e-9);
-  if (rank >= xs.size()) rank = xs.size() - 1;
-  return xs[rank];
+// Nearest-rank percentile (shared support::quantiles implementation;
+// copies because the caller keeps insertion order for the per-epoch
+// log).
+double percentile(const std::vector<double>& xs, double pct) {
+  return support::quantile(xs, pct / 100.0);
 }
 
 struct TrialTotals {
@@ -493,6 +499,7 @@ int cmd_run(const Args& args) {
     std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
                   static_cast<unsigned long long>(digest.h));
     out << "{\n  \"tool\": \"fault_storm\",\n"
+        << support::machine_info_json()
         << "  \"mesh\": \"" << shape.to_string() << "\",\n"
         << "  \"trials\": " << trials << ",\n"
         << "  \"epochs_per_trial\": " << epochs << ",\n"
@@ -502,7 +509,15 @@ int cmd_run(const Args& args) {
         << "  \"delivered\": " << totals.delivered << ",\n"
         << "  \"reconfigure_latency_us\": {\"count\": "
         << reconfigure_seconds.size() << ", \"p50\": " << p50
-        << ", \"p95\": " << p95 << ", \"p99\": " << p99 << "}\n}\n";
+        << ", \"p95\": " << p95 << ", \"p99\": " << p99 << "},\n"
+        << "  \"slo\": " << obs::SloTracker::global().render_json("  ")
+        << ",\n"
+        // Machine-enforceable outcome gates, same shape as the BENCH
+        // documents; check_bench_gates.py resolves the dotted SLO paths.
+        << "  \"gates\": [\n"
+        << "    {\"metric\": \"failures\", \"equals\": 0},\n"
+        << "    {\"metric\": \"slo.epoch_completion.burn\", \"max\": 1.0}\n"
+        << "  ]\n}\n";
     std::printf("wrote %s\n", json_path.c_str());
   }
   if (totals.failures > 0) {
@@ -524,12 +539,41 @@ int main(int argc, char** argv) {
     args.require_known({"mesh", "trials", "seed", "initial-faults",
                         "epochs", "messages", "node-kills", "link-kills",
                         "horizon", "flits", "max-attempts", "budget",
-                        "state", "threads", "verbose", "telemetry", "json"});
+                        "state", "threads", "verbose", "telemetry", "json",
+                        "serve", "flight"});
     if (args.has("threads")) {
       par::set_threads(args.get_int("threads", 0));
     }
   } catch (const io::ArgError& e) {
     usage(e.what());
+  }
+  // Observability plane. Neither the recorder nor the server touches
+  // simulation state, so the digest is bit-identical with both enabled.
+  if (args.has("flight")) {
+    obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+    const std::string flight_path = args.get("flight");
+    std::string err;
+    if (recorder.open_file(flight_path, &err)) {
+      recorder.set_dump_path(flight_path + ".dump");
+      obs::FlightRecorder::install_crash_handler();
+    } else {
+      std::fprintf(stderr, "warning: --flight: %s (recording in memory)\n",
+                   err.c_str());
+    }
+  }
+  const std::string serve_spec =
+      args.get("serve", env_string("LAMBMESH_SERVE", ""));
+  if (!serve_spec.empty()) {
+    obs::MetricsRegistry::global().set_enabled(true);
+    std::string err;
+    obs::ExposeServer* server = obs::serve_global(serve_spec, &err);
+    if (server->running()) {
+      std::fprintf(stderr, "fault_storm: serving metrics on port %d\n",
+                   server->port());
+    } else {
+      std::fprintf(stderr, "error: --serve failed: %s\n", err.c_str());
+      return 2;
+    }
   }
   try {
     if (args.command() == "run") return cmd_run(args);

@@ -1,0 +1,139 @@
+// lambmesh_blackbox — decode flight-recorder artifacts after a crash
+// (docs/OBSERVABILITY.md "Live exposition & flight recorder").
+//
+//   lambmesh_blackbox <file> [--tail N] [--json]
+//
+// Accepts both flight formats and sniffs the magic:
+//   *.lfr        live mmap ring ("LAMBRING"), left behind by any process
+//                run with LAMBMESH_FLIGHT=<path> — even one that died to
+//                SIGKILL, which no handler can observe
+//   *.lfr.dump   sealed dump ("LAMBFREC") written by the watchdog /
+//                give-up / fatal-signal triggers or on demand
+//
+// Prints the event timeline oldest-first with decoded type names, and a
+// one-line verdict naming the in-flight epoch at the moment of death.
+// Exit status: 0 decoded, 1 decode failure, 2 usage.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "io/recorder_codec.hpp"
+#include "obs/recorder.hpp"
+
+namespace {
+
+using lamb::io::FlightDump;
+using lamb::io::LoadError;
+using lamb::obs::DumpReason;
+using lamb::obs::FlightEvent;
+using lamb::obs::FlightEventType;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lambmesh_blackbox <flight-file> [--tail N] [--json]\n");
+  return 2;
+}
+
+void print_event_text(const FlightEvent& ev) {
+  std::printf("  seq %8" PRIu64 "  t+%12.6fs  epoch %4u  %-18s code %u"
+              "  a=%" PRId64 "  b=%" PRId64 "\n",
+              ev.seq, static_cast<double>(ev.t_ns) / 1e9, ev.epoch,
+              lamb::obs::flight_event_type_name(
+                  static_cast<FlightEventType>(ev.type)),
+              ev.code, ev.a, ev.b);
+}
+
+void print_event_json(const FlightEvent& ev, bool last) {
+  std::printf("    {\"seq\": %" PRIu64 ", \"t_ns\": %" PRIu64
+              ", \"epoch\": %u, \"type\": \"%s\", \"code\": %u, "
+              "\"a\": %" PRId64 ", \"b\": %" PRId64 "}%s\n",
+              ev.seq, ev.t_ns, ev.epoch,
+              lamb::obs::flight_event_type_name(
+                  static_cast<FlightEventType>(ev.type)),
+              ev.code, ev.a, ev.b, last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::size_t tail = 0;  // 0 = everything
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--tail" && i + 1 < argc) {
+      tail = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  FlightDump dump;
+  const LoadError err = lamb::io::load_flight_file(path, &dump);
+  if (!err.ok()) {
+    std::fprintf(stderr, "lambmesh_blackbox: %s: %s\n", path.c_str(),
+                 err.to_string().c_str());
+    return 1;
+  }
+
+  std::size_t first = 0;
+  if (tail > 0 && dump.events.size() > tail) {
+    first = dump.events.size() - tail;
+  }
+
+  // The verdict: what was in flight when the recording stopped.
+  const FlightEvent* last = dump.events.empty() ? nullptr
+                                                : &dump.events.back();
+  if (json) {
+    std::printf("{\n  \"file\": \"%s\",\n  \"kind\": \"%s\",\n", path.c_str(),
+                dump.kind.c_str());
+    if (dump.kind == "dump") {
+      std::printf("  \"reason\": \"%s\",\n",
+                  lamb::obs::dump_reason_name(dump.reason));
+    } else {
+      std::printf("  \"ring_capacity\": %zu,\n  \"torn_slots\": %zu,\n",
+                  dump.ring_capacity, dump.torn_slots);
+    }
+    std::printf("  \"events_total\": %zu,\n  \"last_epoch\": %u,\n"
+                "  \"events\": [\n",
+                dump.events.size(), last != nullptr ? last->epoch : 0);
+    for (std::size_t i = first; i < dump.events.size(); ++i) {
+      print_event_json(dump.events[i], i + 1 == dump.events.size());
+    }
+    std::printf("  ]\n}\n");
+    return 0;
+  }
+
+  std::printf("flight file: %s\n", path.c_str());
+  if (dump.kind == "dump") {
+    std::printf("kind: sealed dump, reason %s\n",
+                lamb::obs::dump_reason_name(dump.reason));
+  } else {
+    std::printf("kind: live ring (capacity %zu, torn slots %zu)\n",
+                dump.ring_capacity, dump.torn_slots);
+  }
+  std::printf("events: %zu%s\n", dump.events.size(),
+              first > 0 ? " (tail shown)" : "");
+  for (std::size_t i = first; i < dump.events.size(); ++i) {
+    print_event_text(dump.events[i]);
+  }
+  if (last != nullptr) {
+    std::printf("last recorded state: epoch %u, %s (seq %" PRIu64 ")\n",
+                last->epoch,
+                lamb::obs::flight_event_type_name(
+                    static_cast<FlightEventType>(last->type)),
+                last->seq);
+  } else {
+    std::printf("last recorded state: no valid events\n");
+  }
+  return 0;
+}

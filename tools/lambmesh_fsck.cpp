@@ -9,12 +9,18 @@
 //
 // verify/dump never modify the directory; compact performs exactly the
 // repairs MachineManager::open() would.
+//
+// verify/dump also accept a flight-recorder artifact (a LAMBRING live
+// ring or a LAMBFREC sealed dump, see obs/recorder.hpp) instead of a
+// state directory — the magic is sniffed; tools/lambmesh_blackbox is
+// the full-featured decoder, this is the health check.
 #include <cstdio>
 #include <memory>
 #include <string>
 
 #include "io/binary_format.hpp"
 #include "io/durable.hpp"
+#include "io/recorder_codec.hpp"
 #include "manager/machine_manager.hpp"
 #include "mesh/mesh.hpp"
 
@@ -135,12 +141,54 @@ int cmd_compact(const std::string& dir) {
   return 0;
 }
 
+int cmd_flight(const std::string& path, const std::string& bytes,
+               bool dump) {
+  lamb::io::FlightDump flight;
+  const LoadError err = bytes.size() >= 8 &&
+                                bytes.compare(0, 8, lamb::obs::kFlightRingMagic,
+                                              8) == 0
+                            ? lamb::io::decode_flight_ring(bytes, &flight)
+                            : lamb::io::decode_flight_dump(bytes, &flight);
+  std::printf("flight file: %s\n", path.c_str());
+  if (!err.ok()) {
+    std::printf("decode: %s\nrecoverable: NO\n", err.to_string().c_str());
+    return 1;
+  }
+  if (flight.kind == "dump") {
+    std::printf("kind: sealed dump (reason %s)\n",
+                lamb::obs::dump_reason_name(flight.reason));
+  } else {
+    std::printf("kind: live ring (capacity %zu, torn slots %zu)\n",
+                flight.ring_capacity, flight.torn_slots);
+  }
+  std::printf("events: %zu\n", flight.events.size());
+  if (dump && !flight.events.empty()) {
+    const lamb::obs::FlightEvent& last = flight.events.back();
+    std::printf("last event: seq %llu, epoch %u, %s\n",
+                static_cast<unsigned long long>(last.seq), last.epoch,
+                lamb::obs::flight_event_type_name(
+                    static_cast<lamb::obs::FlightEventType>(last.type)));
+  }
+  std::printf("recoverable: yes\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc != 3) return usage();
   const std::string cmd = argv[1];
   const std::string dir = argv[2];
+  if (cmd == "verify" || cmd == "dump") {
+    // A flight artifact is a file, not a directory; sniff the magic and
+    // route it to the flight decoder.
+    std::string bytes;
+    LoadError read_err;
+    if (lamb::io::read_file_bytes(dir, &bytes, &read_err) &&
+        lamb::io::looks_like_flight_file(bytes)) {
+      return cmd_flight(dir, bytes, cmd == "dump");
+    }
+  }
   if (cmd == "verify") return cmd_verify(dir, /*dump=*/false);
   if (cmd == "dump") return cmd_verify(dir, /*dump=*/true);
   if (cmd == "compact") return cmd_compact(dir);

@@ -22,9 +22,11 @@
 #include <vector>
 
 #include "io/cli_args.hpp"
+#include "support/quantiles.hpp"
 
 namespace {
 
+namespace support = lamb::support;
 using lamb::io::ArgError;
 using lamb::io::CliArgs;
 
@@ -168,19 +170,19 @@ int cmd_summary(const Dump& dump) {
                 busiest->first, busiest->second);
   }
   if (!dump.latencies.empty()) {
-    std::vector<long long> totals;
+    std::vector<double> totals;
     long long queue = 0, transit = 0, stall = 0;
     for (const LatencyRow& r : dump.latencies) {
-      totals.push_back(r.total());
+      totals.push_back(static_cast<double>(r.total()));
       queue += r.queue;
       transit += r.transit;
       stall += r.stall;
     }
     std::sort(totals.begin(), totals.end());
+    // Shared nearest-rank quantile (support/quantiles.hpp); cycle counts
+    // are integers, so the cast back is exact.
     const auto q = [&](double p) {
-      const std::size_t i = static_cast<std::size_t>(
-          p * static_cast<double>(totals.size() - 1));
-      return totals[i];
+      return static_cast<long long>(support::quantile_sorted(totals, p));
     };
     const double n = static_cast<double>(dump.latencies.size());
     std::printf("latency      %zu delivered; p50 %lld p95 %lld p99 %lld\n",
