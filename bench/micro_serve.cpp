@@ -1,0 +1,137 @@
+// Serving-layer microbenchmark: the route_loadgen scenario (storm +
+// reconfigurations under thousands of virtual clients) run end to end at
+// solver thread counts 1 and 4, holding two claims to numbers: the
+// request-outcome digest is bit-identical at any pool width (the
+// determinism gate), and every covered pair of a certified epoch vends a
+// route (failed_requests == 0) with the queues fully drained. The
+// single-threaded pass's vend-latency quantiles and throughput are the
+// reported rows. With --json PATH the results are written as a JSON
+// document (BENCH_micro_serve.json in CI).
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "io/cli_args.hpp"
+#include "obs/obs.hpp"
+#include "serve/loadgen.hpp"
+#include "support/machine_info.hpp"
+#include "support/parallel.hpp"
+#include "support/stats.hpp"
+
+using namespace lamb;
+
+namespace {
+
+struct Row {
+  int threads = 0;
+  double seconds = 0.0;  // whole-scenario wall time
+  serve::LoadgenResult result;
+};
+
+void write_json(const std::string& path, const serve::LoadgenConfig& config,
+                const std::vector<Row>& rows, bool digest_stable) {
+  const serve::LoadgenResult& base = rows.front().result;
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"micro_serve\",\n"
+      << support::machine_info_json() << "  \"workload\": \"" << config.mesh
+      << ", " << config.clients << " clients, " << config.ticks
+      << " issue ticks, " << config.initial_node_faults << "+"
+      << config.storm_node_kills << "n/" << config.storm_link_kills
+      << "l faults, reconfigure window " << config.reconfigure_ticks
+      << "\",\n"
+      << "  \"digest_stable\": " << (digest_stable ? 1 : 0) << ",\n"
+      << "  \"failed_requests\": " << base.failed_requests << ",\n"
+      << "  \"final_queue_depth\": " << base.final_queue_depth << ",\n"
+      << "  \"outcomes\": " << base.outcomes << ",\n"
+      << "  \"served\": "
+      << base.served_fresh + base.served_stale + base.served_fallback
+      << ",\n"
+      << "  \"vend_p99_us\": " << base.vend_latency.p99 * 1e6 << ",\n"
+      << "  \"gates\": [\n"
+      << "    {\"metric\": \"digest_stable\", \"equals\": 1},\n"
+      << "    {\"metric\": \"failed_requests\", \"equals\": 0},\n"
+      << "    {\"metric\": \"final_queue_depth\", \"equals\": 0}\n"
+      << "  ],\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    char digest[32];
+    std::snprintf(digest, sizeof digest, "0x%016" PRIx64,
+                  row.result.digest);
+    out << "    {\"threads\": " << row.threads
+        << ", \"seconds\": " << row.seconds << ", \"outcomes\": "
+        << row.result.outcomes << ", \"reconfigures\": "
+        << row.result.reconfigures << ", \"digest\": \"" << digest << "\"}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::init(argc, argv);
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") json_path = argv[i + 1];
+  }
+
+  serve::LoadgenConfig config;
+  config.clients = 256;
+  config.ticks = 160;
+  // Tight admission so the shed/backoff/hedge paths are exercised, not
+  // just the fresh-route fast path.
+  config.service.admission.refill_per_tick = 12.0;
+  config.service.admission.bucket_capacity = 24.0;
+  config.service.admission.max_queue_depth = 32;
+  config.client.hedge = true;
+
+  std::printf("micro_serve: %s, %lld clients, %lld issue ticks\n\n",
+              config.mesh.c_str(), static_cast<long long>(config.clients),
+              static_cast<long long>(config.ticks));
+
+  std::vector<Row> rows;
+  for (const int threads : {1, 4}) {
+    par::set_threads(threads);
+    Row row;
+    row.threads = threads;
+    Stopwatch watch;
+    row.result = serve::run_loadgen(config);
+    row.seconds = watch.seconds();
+    std::printf(
+        "  threads=%d  %7.3f s  %6lld outcomes  %2lld reconfigures  "
+        "digest 0x%016" PRIx64 "\n",
+        threads, row.seconds, static_cast<long long>(row.result.outcomes),
+        static_cast<long long>(row.result.reconfigures), row.result.digest);
+    rows.push_back(std::move(row));
+  }
+  par::set_threads(0);
+
+  const serve::LoadgenResult& base = rows.front().result;
+  bool digest_stable = true;
+  for (const Row& row : rows) {
+    if (row.result.digest != base.digest) digest_stable = false;
+  }
+  std::printf(
+      "\n  served %lld/%lld (fresh %lld, stale %lld, fallback %lld), "
+      "vend p99 %.1f us\n",
+      static_cast<long long>(base.served_fresh + base.served_stale +
+                             base.served_fallback),
+      static_cast<long long>(base.outcomes),
+      static_cast<long long>(base.served_fresh),
+      static_cast<long long>(base.served_stale),
+      static_cast<long long>(base.served_fallback),
+      base.vend_latency.p99 * 1e6);
+  std::printf("  digest across thread counts: %s\n",
+              digest_stable ? "bit-identical" : "MISMATCH");
+
+  if (!json_path.empty()) {
+    write_json(json_path, config, rows, digest_stable);
+  }
+  if (!digest_stable) return 1;
+  if (base.failed_requests > 0 || base.final_queue_depth > 0) return 1;
+  return 0;
+}

@@ -7,11 +7,13 @@
 // growth), replays the undelivered messages, and the application
 // resumes on the surviving partition.
 #include <cstdio>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "collective/schedule.hpp"
 #include "io/cli_args.hpp"
+#include "io/serve_cli.hpp"
 #include "manager/machine_manager.hpp"
 #include "manager/recovery.hpp"
 #include "obs/obs.hpp"
@@ -22,8 +24,25 @@
 using namespace lamb;
 
 int main(int argc, char** argv) {
-  // obs::init wires LAMBMESH_SERVE/--serve into the live /metrics
-  // endpoint so the recovery loop below can be scraped while it runs.
+  // The example has no subcommands; parse its options under a synthetic
+  // one so it shares the tools' CliArgs conventions (`--serve SPEC`,
+  // `--threads N`) — and the one --serve resolution in io::serve_cli.
+  std::vector<std::string> tokens{"run"};
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  io::CliArgs args;
+  try {
+    args = io::CliArgs::parse(tokens);
+    args.require_known({"serve", "threads"});
+  } catch (const io::ArgError& e) {
+    std::fprintf(stderr,
+                 "error: %s\nusage: application_epochs [--serve SPEC] "
+                 "[--threads N]\n",
+                 e.what());
+    return 2;
+  }
+  if (!io::start_serve_exposition(args, "application_epochs")) return 2;
+  // obs::init still wires LAMBMESH_SERVE / LAMBMESH_METRICS and the
+  // flight recorder for argv-less embedding.
   obs::init(argc, argv);
   io::init_threads(argc, argv);
   manager::MachineManager mgr(MeshShape::cube(3, 10));  // 1000 nodes

@@ -1,0 +1,29 @@
+#include "io/serve_cli.hpp"
+
+#include <cstdio>
+
+#include "obs/expose.hpp"
+#include "obs/metrics.hpp"
+#include "support/env.hpp"
+
+namespace lamb::io {
+
+bool start_serve_exposition(const CliArgs& args, const char* tool) {
+  const std::string spec = args.get("serve", env_string("LAMBMESH_SERVE", ""));
+  if (spec.empty()) return true;
+  if (obs::serving_started()) return true;
+  // A scrape target without metric collection is an empty page; serving
+  // implies collecting.
+  obs::MetricsRegistry::global().set_enabled(true);
+  std::string err;
+  obs::ExposeServer* server = obs::serve_global(spec, &err);
+  if (!server->running()) {
+    std::fprintf(stderr, "%s: --serve failed: %s\n", tool, err.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "%s: serving metrics on port %d\n", tool,
+               server->port());
+  return true;
+}
+
+}  // namespace lamb::io

@@ -1,0 +1,23 @@
+// The one `--serve` spec resolution shared by the CLI tools.
+//
+// fault_storm, route_loadgen, and the application_epochs example all
+// expose the same convention: `--serve SPEC` (":9464", "9464",
+// "127.0.0.1:9464"; ":0" for an ephemeral port), falling back to the
+// LAMBMESH_SERVE environment variable. Each used to hand-roll the
+// resolve/enable/start/report sequence; this helper is that sequence,
+// once, on top of obs::serve_global.
+#pragma once
+
+#include "io/cli_args.hpp"
+
+namespace lamb::io {
+
+// Resolves `--serve` from `args` (env fallback LAMBMESH_SERVE) and
+// starts the process-wide /metrics exposition server. No spec means no
+// server and a true return; a spec that fails to bind returns false
+// (callers should exit non-zero). When a server is already running
+// (obs::init consumed the env first), reports nothing and returns true.
+// `tool` prefixes the status lines on stderr.
+bool start_serve_exposition(const CliArgs& args, const char* tool);
+
+}  // namespace lamb::io

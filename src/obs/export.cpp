@@ -263,9 +263,10 @@ bool init(int argc, const char* const* argv) {
     registry.set_enabled(true);
     ensure_atexit();
   }
-  if (!serve_spec.empty()) {
+  if (!serve_spec.empty() && !serving_started()) {
     // A scrape target without metric collection is an empty page;
-    // serving implies collecting.
+    // serving implies collecting. Skipped when io::start_serve_exposition
+    // already started the server from the same flag/env.
     registry.set_enabled(true);
     start_server(serve_spec);
   }

@@ -313,4 +313,11 @@ ExposeServer* serve_global(const std::string& spec, std::string* err) {
   return server;
 }
 
+bool serving_started() {
+  std::string err;
+  // Empty spec never starts anything; this only queries the singleton.
+  static ExposeServer* const server = serve_global("", &err);
+  return server->running();
+}
+
 }  // namespace lamb::obs

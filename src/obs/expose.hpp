@@ -92,4 +92,9 @@ class ExposeServer {
 // never returns null after the first call.
 ExposeServer* serve_global(const std::string& spec, std::string* err = nullptr);
 
+// True once serve_global has a running server in this process. Lets the
+// two resolution paths (obs::init's raw-argv/env scan and the io-level
+// CliArgs helper) coexist without double starts or duplicate banners.
+bool serving_started();
+
 }  // namespace lamb::obs

@@ -147,6 +147,11 @@ SloTracker& SloTracker::global() {
                       /*objective=*/0.99,
                       /*threshold_seconds=*/0.0,
                       /*window=*/128});
+    tracker->declare({kSloServeAvailability,
+                      "route requests are answered with a route, not shed",
+                      /*objective=*/0.99,
+                      /*threshold_seconds=*/0.0,
+                      /*window=*/4096});
     return tracker;
   }();
   return *instance;

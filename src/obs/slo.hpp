@@ -110,5 +110,10 @@ inline constexpr const char* kSloReconfigureLatency = "reconfigure_latency";
 inline constexpr const char* kSloRouteVendLatency = "route_vend_latency";
 inline constexpr const char* kSloEpochCompletion = "epoch_completion";
 inline constexpr const char* kSloReplayLoss = "replay_loss";
+// Serving layer (src/serve): a request is good when it was answered with
+// a route (fresh, stale, or dimension-ordered fallback), bad when it was
+// shed, rejected, or missed its deadline. Unroutable answers about dead
+// endpoints are not availability events.
+inline constexpr const char* kSloServeAvailability = "serve_availability";
 
 }  // namespace lamb::obs

@@ -1,0 +1,74 @@
+// Admission control for the route-vending service: per-shard token
+// buckets plus bounded FIFO queues (docs/SERVING.md "Admission").
+//
+// A request that finds a token is served immediately; one that does not
+// waits in its shard's bounded queue; one that finds the queue full is
+// shed with a typed Overloaded rejection carrying a retry_after hint —
+// the service never queues unboundedly, so a storm of clients degrades
+// into fast typed rejections instead of latency collapse.
+//
+// Time is the caller's virtual tick clock (the loadgen's tick, or
+// milliseconds for a wall-clock caller): refill math only ever sees the
+// caller-supplied `now`, which keeps the whole admission plane
+// deterministic for the digest-checked test mode.
+#pragma once
+
+#include <cstdint>
+
+namespace lamb::serve {
+
+struct AdmissionOptions {
+  int shards = 4;
+  double bucket_capacity = 32.0;   // burst allowance, in requests
+  double refill_per_tick = 16.0;   // sustained rate, per shard
+  std::int64_t max_queue_depth = 64;  // queued requests per shard
+};
+
+class TokenBucket {
+ public:
+  TokenBucket(double capacity, double refill_per_tick, std::int64_t now)
+      : capacity_(capacity),
+        refill_per_tick_(refill_per_tick),
+        tokens_(capacity),
+        last_refill_(now) {}
+
+  // Refills for the elapsed ticks, then takes one token if available.
+  bool try_take(std::int64_t now) {
+    refill(now);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  double tokens(std::int64_t now) {
+    refill(now);
+    return tokens_;
+  }
+
+  // Ticks until `needed` tokens will have accumulated (>= 1; the hint a
+  // shed response carries as retry_after).
+  std::int64_t ticks_until(double needed, std::int64_t now) {
+    refill(now);
+    const double deficit = needed - tokens_;
+    if (deficit <= 0.0 || refill_per_tick_ <= 0.0) return 1;
+    const double ticks = deficit / refill_per_tick_;
+    const auto whole = static_cast<std::int64_t>(ticks);
+    return whole + (static_cast<double>(whole) < ticks ? 1 : 0);
+  }
+
+ private:
+  void refill(std::int64_t now) {
+    if (now <= last_refill_) return;
+    const double earned =
+        static_cast<double>(now - last_refill_) * refill_per_tick_;
+    tokens_ = tokens_ + earned > capacity_ ? capacity_ : tokens_ + earned;
+    last_refill_ = now;
+  }
+
+  double capacity_;
+  double refill_per_tick_;
+  double tokens_;
+  std::int64_t last_refill_;
+};
+
+}  // namespace lamb::serve

@@ -1,0 +1,144 @@
+#include "serve/client.hpp"
+
+#include <algorithm>
+
+namespace lamb::serve {
+
+namespace {
+
+// Independent tie-break stream per (client, request, attempt): responses
+// depend only on the request, never on how many other clients ran first.
+std::uint64_t request_seed(std::uint64_t client_seed, std::int64_t seq,
+                           int attempt) {
+  std::uint64_t state = client_seed ^
+                        (static_cast<std::uint64_t>(seq) * 0x9e3779b97f4a7c15ULL) ^
+                        static_cast<std::uint64_t>(attempt);
+  return splitmix64(state);
+}
+
+}  // namespace
+
+Client::Client(std::uint64_t id, std::uint64_t seed,
+               const ClientOptions& options, RouteService* service)
+    : id_(id), seed_(seed), rng_(seed), options_(options), service_(service) {}
+
+void Client::step(std::int64_t now, std::vector<Outcome>* out) {
+  if (state_ == State::kPending) return;
+  if (state_ == State::kBackoff) {
+    if (now >= retry_at_) submit(now, out);
+    return;
+  }
+  if (draining_ || now < next_issue_) return;
+  const std::shared_ptr<const RouteTable> table = service_->table();
+  const std::vector<NodeId>& survivors = table->survivors();
+  if (survivors.size() < 2) {
+    next_issue_ = now + options_.issue_period;
+    return;
+  }
+  const auto n = static_cast<std::uint64_t>(survivors.size());
+  src_ = survivors[static_cast<std::size_t>(rng_.below(n))];
+  do {
+    dst_ = survivors[static_cast<std::size_t>(rng_.below(n))];
+  } while (dst_ == src_);
+  ++seq_;
+  attempt_ = 1;
+  hedged_ = false;
+  hedge_shard_ = -1;
+  first_submit_ = now;
+  deadline_ = options_.deadline_ticks < 0 ? -1 : now + options_.deadline_ticks;
+  submit(now, out);
+}
+
+void Client::submit(std::int64_t now, std::vector<Outcome>* out) {
+  RouteRequest request;
+  request.client_id = id_;
+  request.seq = seq_;
+  request.attempt = attempt_;
+  request.src = src_;
+  request.dst = dst_;
+  request.submit_tick = now;
+  request.deadline_tick = deadline_;
+  request.shard = hedge_shard_;
+  request.rng_seed = request_seed(seed_, seq_, attempt_);
+  state_ = State::kPending;
+  const std::optional<RouteResponse> response =
+      service_->submit(request, now);
+  if (response.has_value()) resolve(*response, now, out);
+}
+
+void Client::on_response(const RouteRequest& request,
+                         const RouteResponse& response, std::int64_t now,
+                         std::vector<Outcome>* out) {
+  // A response for an abandoned request (possible only if a caller
+  // replays drains) is dropped on the floor.
+  if (request.seq != seq_ || state_ != State::kPending) return;
+  resolve(response, now, out);
+}
+
+std::int64_t Client::backoff_delay(const RouteResponse& response) {
+  // Capped exponential: base * 2^(attempt-1), then +/- jitter.
+  std::int64_t delay = options_.backoff_base;
+  for (int a = 1; a < attempt_ && delay < options_.backoff_cap; ++a) {
+    delay *= 2;
+  }
+  delay = std::min(delay, options_.backoff_cap);
+  delay = std::max(delay, response.retry_after_ticks);
+  if (options_.jitter > 0.0) {
+    const double factor =
+        1.0 + options_.jitter * (2.0 * rng_.uniform01() - 1.0);
+    delay = static_cast<std::int64_t>(static_cast<double>(delay) * factor);
+  }
+  return std::max<std::int64_t>(delay, 1);
+}
+
+void Client::finish(ServeStatus status, const RouteResponse& response,
+                    std::int64_t now, std::vector<Outcome>* out) {
+  Outcome outcome;
+  outcome.client = id_;
+  outcome.seq = seq_;
+  outcome.status = status;
+  outcome.attempts = attempt_;
+  outcome.epoch = response.epoch;
+  outcome.route_length =
+      response.route.has_value() ? response.route->length() : 0;
+  outcome.latency_ticks = now - first_submit_;
+  outcome.vend_seconds = response.vend_seconds;
+  out->push_back(outcome);
+  state_ = State::kIdle;
+  next_issue_ = now + options_.issue_period;
+}
+
+void Client::resolve(const RouteResponse& response, std::int64_t now,
+                     std::vector<Outcome>* out) {
+  if (served(response.status) || response.status == ServeStatus::kUnroutable ||
+      response.status == ServeStatus::kDeadline ||
+      response.status == ServeStatus::kError) {
+    finish(response.status, response, now, out);
+    return;
+  }
+  // Overloaded / Rejected: retry while attempts and the deadline allow.
+  if (attempt_ >= options_.max_attempts) {
+    finish(response.status, response, now, out);
+    return;
+  }
+  ++attempt_;
+  if (options_.hedge && response.status == ServeStatus::kOverloaded &&
+      !hedged_) {
+    // Hedge once, immediately, against the next shard: the canonical
+    // one may simply be the hot one.
+    hedged_ = true;
+    hedge_shard_ = static_cast<int>(id_ & 0x3fffffff) + 1;
+    submit(now, out);
+    return;
+  }
+  hedge_shard_ = -1;
+  const std::int64_t delay = backoff_delay(response);
+  retry_at_ = now + delay;
+  if (deadline_ >= 0 && retry_at_ > deadline_) {
+    finish(ServeStatus::kDeadline, response, now, out);
+    return;
+  }
+  state_ = State::kBackoff;
+}
+
+}  // namespace lamb::serve

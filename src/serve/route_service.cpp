@@ -1,0 +1,298 @@
+#include "serve/route_service.hpp"
+
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "support/stats.hpp"
+
+namespace lamb::serve {
+
+namespace {
+
+obs::Counter& status_counter(ServeStatus status) {
+  static obs::Counter& fresh = obs::counter("serve.fresh");
+  static obs::Counter& stale = obs::counter("serve.stale");
+  static obs::Counter& fallback = obs::counter("serve.fallback");
+  static obs::Counter& shed = obs::counter("serve.shed");
+  static obs::Counter& rejected = obs::counter("serve.rejected");
+  static obs::Counter& unroutable = obs::counter("serve.unroutable");
+  static obs::Counter& deadline = obs::counter("serve.deadline");
+  static obs::Counter& errors = obs::counter("serve.errors");
+  switch (status) {
+    case ServeStatus::kFresh: return fresh;
+    case ServeStatus::kStale: return stale;
+    case ServeStatus::kFallback: return fallback;
+    case ServeStatus::kOverloaded: return shed;
+    case ServeStatus::kRejected: return rejected;
+    case ServeStatus::kUnroutable: return unroutable;
+    case ServeStatus::kDeadline: return deadline;
+    case ServeStatus::kError: return errors;
+  }
+  return errors;
+}
+
+}  // namespace
+
+const char* to_string(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kFresh: return "fresh";
+    case ServeStatus::kStale: return "stale";
+    case ServeStatus::kFallback: return "fallback";
+    case ServeStatus::kOverloaded: return "overloaded";
+    case ServeStatus::kRejected: return "rejected";
+    case ServeStatus::kUnroutable: return "unroutable";
+    case ServeStatus::kDeadline: return "deadline";
+    case ServeStatus::kError: return "error";
+  }
+  return "?";
+}
+
+bool served(ServeStatus status) {
+  return status == ServeStatus::kFresh || status == ServeStatus::kStale ||
+         status == ServeStatus::kFallback;
+}
+
+RouteService::RouteService(const manager::MachineManager& manager,
+                           ServiceOptions options, std::int64_t now)
+    : manager_(&manager), options_(std::move(options)) {
+  if (options_.admission.shards < 1) options_.admission.shards = 1;
+  shards_.reserve(static_cast<std::size_t>(options_.admission.shards));
+  for (int s = 0; s < options_.admission.shards; ++s) {
+    shards_.push_back(Shard{TokenBucket(options_.admission.bucket_capacity,
+                                        options_.admission.refill_per_tick,
+                                        now),
+                            {}});
+  }
+  publish(now);
+}
+
+void RouteService::begin_reconfigure(std::int64_t now) {
+  if (!window_open_.exchange(true)) {
+    window_open_tick_.store(now);
+    obs::counter("serve.windows").add();
+  }
+}
+
+void RouteService::publish(std::int64_t now) {
+  RouteTable::BuildStats build;
+  const std::shared_ptr<const RouteTable> prev = table_.load();
+  const std::shared_ptr<const RouteTable> next =
+      RouteTable::capture(*manager_, now, prev.get(), &build);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.publishes;
+    stats_.floods_retained += build.floods_retained;
+    stats_.floods_dropped += build.floods_dropped;
+    if (next->certified()) last_certified_ = next;
+  }
+  table_.store(next);
+  window_open_.store(false);
+  obs::counter("serve.publishes").add();
+  obs::gauge("serve.epoch").set(static_cast<double>(next->epoch()));
+}
+
+int RouteService::shard_of(const RouteRequest& request) const {
+  const auto shards = static_cast<std::uint64_t>(shards_.size());
+  if (request.shard >= 0) {
+    return static_cast<int>(static_cast<std::uint64_t>(request.shard) %
+                            shards);
+  }
+  return static_cast<int>(request.client_id % shards);
+}
+
+RouteResponse RouteService::serve(const RouteRequest& request,
+                                  std::int64_t now) const {
+  Stopwatch timer;
+  const std::shared_ptr<const RouteTable> table = table_.load();
+  const std::shared_ptr<const RouteTable> certified = last_certified();
+  const bool window = window_open_.load();
+
+  RouteResponse response;
+  response.epoch = table->epoch();
+  Rng rng(request.rng_seed);
+
+  // The last serving rung: a one-round dimension-ordered route for pairs
+  // the last certified solve covered; below it only typed rejection.
+  auto fallback_rung = [&]() {
+    if (certified != nullptr && certified->covers(request.src, request.dst)) {
+      if (auto route =
+              certified->dim_order_route(request.src, request.dst)) {
+        response.status = ServeStatus::kFallback;
+        response.epoch = certified->epoch();
+        response.route = std::move(route);
+        return;
+      }
+      response.status = ServeStatus::kRejected;
+      return;
+    }
+    response.status = table->covers(request.src, request.dst)
+                          ? ServeStatus::kRejected
+                          : ServeStatus::kUnroutable;
+  };
+
+  if (!window) {
+    if (table->covers(request.src, request.dst)) {
+      if (auto route = table->route(request.src, request.dst, rng)) {
+        response.status = ServeStatus::kFresh;
+        response.route = std::move(route);
+      } else if (table->certified()) {
+        // Covered pair of a certified epoch: the lamb guarantee says this
+        // cannot happen. Typed loudly so the soak gate catches it.
+        response.status = ServeStatus::kError;
+      } else {
+        fallback_rung();
+      }
+    } else {
+      response.status = ServeStatus::kUnroutable;
+    }
+  } else {
+    const std::int64_t age = now - window_open_tick_.load();
+    response.stale_age = age;
+    if (age <= options_.staleness_cap &&
+        table->covers(request.src, request.dst)) {
+      if (auto route = table->route(request.src, request.dst, rng)) {
+        response.status = ServeStatus::kStale;
+        response.route = std::move(route);
+      } else if (table->certified()) {
+        response.status = ServeStatus::kError;
+      } else {
+        fallback_rung();
+      }
+    } else {
+      fallback_rung();
+    }
+  }
+  response.vend_seconds = timer.seconds();
+  return response;
+}
+
+void RouteService::count(const RouteResponse& response) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (response.status) {
+      case ServeStatus::kFresh: ++stats_.fresh; break;
+      case ServeStatus::kStale: ++stats_.stale; break;
+      case ServeStatus::kFallback: ++stats_.fallback; break;
+      case ServeStatus::kOverloaded: ++stats_.shed; break;
+      case ServeStatus::kRejected: ++stats_.rejected; break;
+      case ServeStatus::kUnroutable: ++stats_.unroutable; break;
+      case ServeStatus::kDeadline: ++stats_.deadline; break;
+      case ServeStatus::kError: ++stats_.errors; break;
+    }
+  }
+  status_counter(response.status).add();
+  if (served(response.status)) {
+    if (obs::Slo* slo =
+            obs::SloTracker::global().find(obs::kSloRouteVendLatency)) {
+      slo->observe_latency(response.vend_seconds);
+    }
+  }
+  // Availability counts answers, good or degraded, against shed/reject;
+  // kUnroutable is a correct answer about a dead endpoint, not an
+  // availability event, so it does not touch the objective.
+  if (response.status != ServeStatus::kUnroutable) {
+    if (obs::Slo* slo =
+            obs::SloTracker::global().find(obs::kSloServeAvailability)) {
+      slo->record(served(response.status));
+    }
+  }
+}
+
+std::optional<RouteResponse> RouteService::submit(const RouteRequest& request,
+                                                  std::int64_t now) {
+  obs::counter("serve.submitted").add();
+  if (request.deadline_tick >= 0 && now > request.deadline_tick) {
+    RouteResponse response;
+    response.status = ServeStatus::kDeadline;
+    response.epoch = table_.load()->epoch();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.submitted;
+    }
+    count(response);
+    return response;
+  }
+
+  bool serve_now = false;
+  RouteResponse shed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    Shard& shard = shards_[static_cast<std::size_t>(shard_of(request))];
+    if (shard.queue.empty() && shard.bucket.try_take(now)) {
+      serve_now = true;
+    } else if (static_cast<std::int64_t>(shard.queue.size()) <
+               options_.admission.max_queue_depth) {
+      shard.queue.push_back(request);
+      ++stats_.queued;
+      const auto depth = static_cast<std::int64_t>(shard.queue.size());
+      if (depth > stats_.max_queue_depth) stats_.max_queue_depth = depth;
+      obs::counter("serve.queued").add();
+      return std::nullopt;
+    } else {
+      shed.status = ServeStatus::kOverloaded;
+      shed.epoch = table_.load()->epoch();
+      // How long until the bucket could have drained today's backlog —
+      // the typed Overloaded's retry hint.
+      shed.retry_after_ticks = shard.bucket.ticks_until(
+          static_cast<double>(shard.queue.size()) + 1.0, now);
+    }
+  }
+  const RouteResponse response = serve_now ? serve(request, now) : shed;
+  count(response);
+  return response;
+}
+
+std::vector<RouteService::Drained> RouteService::advance(std::int64_t now) {
+  struct Action {
+    RouteRequest request;
+    bool expired = false;
+  };
+  std::vector<Action> actions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Shard& shard : shards_) {
+      while (!shard.queue.empty()) {
+        const RouteRequest& head = shard.queue.front();
+        if (head.deadline_tick >= 0 && now > head.deadline_tick) {
+          actions.push_back(Action{head, /*expired=*/true});
+          shard.queue.pop_front();
+          continue;
+        }
+        if (!shard.bucket.try_take(now)) break;
+        actions.push_back(Action{head, /*expired=*/false});
+        shard.queue.pop_front();
+      }
+    }
+  }
+  std::vector<Drained> out;
+  out.reserve(actions.size());
+  for (const Action& action : actions) {
+    RouteResponse response;
+    if (action.expired) {
+      response.status = ServeStatus::kDeadline;
+      response.epoch = table_.load()->epoch();
+    } else {
+      response = serve(action.request, now);
+    }
+    count(response);
+    out.push_back(Drained{action.request, std::move(response)});
+  }
+  return out;
+}
+
+std::int64_t RouteService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += static_cast<std::int64_t>(shard.queue.size());
+  }
+  return total;
+}
+
+ServiceStats RouteService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace lamb::serve

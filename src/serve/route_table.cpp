@@ -1,0 +1,119 @@
+#include "serve/route_table.hpp"
+
+#include <algorithm>
+
+#include "obs/obs.hpp"
+#include "reach/dim_order.hpp"
+
+namespace lamb::serve {
+
+namespace {
+
+// A table snapshot owns its fault set (the manager's keeps mutating), so
+// the manager's records are replayed against the table's own shape.
+FaultSet copy_faults(const MeshShape& shape, const FaultSet& from) {
+  FaultSet faults(shape);
+  for (const NodeId id : from.node_faults()) faults.add_node(id);
+  for (const LinkFault& lf : from.link_faults()) {
+    if (lf.bidirectional) {
+      faults.add_link(lf.from, lf.dim, lf.dir);
+    } else {
+      faults.add_directed_link(lf.from, lf.dim, lf.dir);
+    }
+  }
+  return faults;
+}
+
+bool contains_link(const std::vector<LinkFault>& haystack,
+                   const LinkFault& needle) {
+  return std::find(haystack.begin(), haystack.end(), needle) !=
+         haystack.end();
+}
+
+}  // namespace
+
+RouteTable::RouteTable(const manager::MachineManager& manager,
+                       std::int64_t published_tick)
+    : shape_(manager.shape()),
+      faults_(copy_faults(shape_, manager.faults())),
+      orders_(manager.orders()),
+      epoch_(manager.epoch()),
+      certified_(!manager.history().empty() &&
+                 manager.history().back().solve_status ==
+                     SolveStatus::kCertified),
+      published_tick_(published_tick),
+      survivors_(manager.survivors()),
+      is_survivor_(static_cast<std::size_t>(shape_.size()), 0),
+      dim_order_(shape_, faults_, {DimOrder::ascending(shape_.dim())}),
+      cache_(shape_, faults_, orders_) {
+  for (const NodeId id : survivors_) {
+    is_survivor_[static_cast<std::size_t>(id)] = 1;
+  }
+}
+
+std::shared_ptr<const RouteTable> RouteTable::capture(
+    const manager::MachineManager& manager, std::int64_t published_tick,
+    const RouteTable* prev, BuildStats* stats) {
+  std::shared_ptr<RouteTable> table(
+      new RouteTable(manager, published_tick));
+  BuildStats build;
+  if (prev != nullptr && prev->shape_.to_string() == table->shape_.to_string() &&
+      prev->orders_ == table->orders_) {
+    // The carry-forward predicate is only sound when this epoch's faults
+    // are a superset of prev's (monotone growth along one timeline); a
+    // restore to a divergent timeline fails the check and floods cold.
+    bool superset = true;
+    std::vector<NodeId> delta_nodes;
+    std::vector<LinkFault> delta_links;
+    for (const NodeId id : prev->faults_.node_faults()) {
+      if (!table->faults_.node_faulty(id)) superset = false;
+    }
+    for (const LinkFault& lf : prev->faults_.link_faults()) {
+      if (!contains_link(table->faults_.link_faults(), lf)) superset = false;
+    }
+    if (superset) {
+      for (const NodeId id : table->faults_.node_faults()) {
+        if (!prev->faults_.node_faulty(id)) delta_nodes.push_back(id);
+      }
+      for (const LinkFault& lf : table->faults_.link_faults()) {
+        if (!contains_link(prev->faults_.link_faults(), lf)) {
+          delta_links.push_back(lf);
+        }
+      }
+      std::scoped_lock lock(table->mu_, prev->mu_);
+      const wormhole::RouteCache::InvalidateStats adopted =
+          table->cache_.adopt(prev->cache_, delta_nodes, delta_links);
+      build.floods_retained = adopted.retained;
+      build.floods_dropped = adopted.dropped;
+    }
+  }
+  obs::counter("serve.table.floods_retained").add(build.floods_retained);
+  obs::counter("serve.table.floods_dropped").add(build.floods_dropped);
+  if (stats != nullptr) *stats = build;
+  return table;
+}
+
+std::optional<wormhole::Route> RouteTable::route(NodeId src, NodeId dst,
+                                                 Rng& rng) const {
+  if (!covers(src, dst)) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.build(src, dst, rng);
+}
+
+std::optional<wormhole::Route> RouteTable::dim_order_route(
+    NodeId src, NodeId dst) const {
+  if (src == dst || src < 0 || dst < 0 || src >= shape_.size() ||
+      dst >= shape_.size()) {
+    return std::nullopt;
+  }
+  // One round, no intermediates: the builder ignores its tie-break rng.
+  Rng rng(0);
+  return dim_order_.build(src, dst, rng);
+}
+
+std::int64_t RouteTable::cached_floods() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.cached_entries();
+}
+
+}  // namespace lamb::serve

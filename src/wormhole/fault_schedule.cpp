@@ -66,6 +66,11 @@ FaultSchedule FaultSchedule::random_storm(const MeshShape& shape,
   }
   std::int64_t placed = 0;
   std::int64_t attempts = 0;
+  // Directed channel ids of links this storm already kills: a schedule
+  // must not carry duplicate entries for one link (a re-draw of either
+  // direction kills the same channel pair and would only no-op when
+  // applied).
+  std::vector<LinkId> storm_links;
   while (placed < link_kills && attempts < link_kills * 64 + 64) {
     ++attempts;
     const NodeId from = static_cast<NodeId>(
@@ -79,6 +84,13 @@ FaultSchedule FaultSchedule::random_storm(const MeshShape& shape,
       continue;
     }
     if (faults.link_faulty(from, dim, dir)) continue;
+    const LinkId forward = shape.link_id(from, dim, dir);
+    if (std::find(storm_links.begin(), storm_links.end(), forward) !=
+        storm_links.end()) {
+      continue;
+    }
+    storm_links.push_back(forward);
+    storm_links.push_back(shape.link_id(shape.index(to), dim, opposite(dir)));
     storm.kill_link(static_cast<std::int64_t>(rng.below(
                         static_cast<std::uint64_t>(horizon))),
                     from, dim, dir);

@@ -746,6 +746,49 @@ std::int64_t Network::apply_due_faults(SimResult* result) {
   while (next_fault_ < pending_faults_.size() &&
          pending_faults_[next_fault_].cycle <= cycle_) {
     const FaultEvent& ev = pending_faults_[next_fault_++];
+    auto kill_directed = [&](NodeId from, int dim, Dir dir) -> bool {
+      Point to;
+      if (!shape_->neighbor(shape_->point(from), dim, dir, &to)) return false;
+      char& dead =
+          link_dead_[static_cast<std::size_t>(shape_->link_id(from, dim, dir))];
+      if (dead) return false;
+      dead = 1;
+      ++result->dead_channels;
+      return true;
+    };
+    // An event that changes nothing — the node is already dead, or every
+    // directed channel of the link already is — must not count: schedules
+    // can legitimately carry duplicates (overlapping storms, replayed
+    // windows), and double-counting them in applied_faults used to inflate
+    // faults_applied and feed spurious re-reports to the recovery loop.
+    bool effective = false;
+    if (ev.kind == FaultEvent::Kind::kNode) {
+      char& dead = node_dead_[static_cast<std::size_t>(ev.node)];
+      if (!dead) {
+        dead = 1;
+        effective = true;
+        // Every incident directed link dies with the node.
+        const Point p = shape_->point(ev.node);
+        for (int d = 0; d < shape_->dim(); ++d) {
+          for (Dir dir : {Dir::Neg, Dir::Pos}) {
+            kill_directed(ev.node, d, dir);
+            Point nb;
+            if (shape_->neighbor(p, d, dir, &nb)) {
+              kill_directed(shape_->index(nb), d, opposite(dir));
+            }
+          }
+        }
+      }
+    } else {
+      if (kill_directed(ev.node, ev.dim, ev.dir)) effective = true;
+      Point nb;
+      if (shape_->neighbor(shape_->point(ev.node), ev.dim, ev.dir, &nb)) {
+        if (kill_directed(shape_->index(nb), ev.dim, opposite(ev.dir))) {
+          effective = true;
+        }
+      }
+    }
+    if (!effective) continue;
     applied = true;
     ++result->faults_applied;
     result->applied_faults.push_back(ev);
@@ -755,38 +798,6 @@ std::int64_t Network::apply_due_faults(SimResult* result) {
         ev.kind == FaultEvent::Kind::kNode
             ? 0
             : ev.dim * 2 + (ev.dir == Dir::Pos ? 0 : 1));
-    auto kill_directed = [&](NodeId from, int dim, Dir dir) {
-      Point to;
-      if (!shape_->neighbor(shape_->point(from), dim, dir, &to)) return;
-      char& dead =
-          link_dead_[static_cast<std::size_t>(shape_->link_id(from, dim, dir))];
-      if (!dead) {
-        dead = 1;
-        ++result->dead_channels;
-      }
-    };
-    if (ev.kind == FaultEvent::Kind::kNode) {
-      char& dead = node_dead_[static_cast<std::size_t>(ev.node)];
-      if (dead) continue;
-      dead = 1;
-      // Every incident directed link dies with the node.
-      const Point p = shape_->point(ev.node);
-      for (int d = 0; d < shape_->dim(); ++d) {
-        for (Dir dir : {Dir::Neg, Dir::Pos}) {
-          kill_directed(ev.node, d, dir);
-          Point nb;
-          if (shape_->neighbor(p, d, dir, &nb)) {
-            kill_directed(shape_->index(nb), d, opposite(dir));
-          }
-        }
-      }
-    } else {
-      kill_directed(ev.node, ev.dim, ev.dir);
-      Point nb;
-      if (shape_->neighbor(shape_->point(ev.node), ev.dim, ev.dir, &nb)) {
-        kill_directed(shape_->index(nb), ev.dim, opposite(ev.dir));
-      }
-    }
   }
   if (!applied) return 0;
   // A state change happened even if no flit moves this cycle: the kill

@@ -23,6 +23,38 @@ obs::Counter& miss_counter() {
   return c;
 }
 
+// Shared staleness predicate for invalidate()/adopt(): a flood may have
+// used a dead element iff it contains a delta node or both endpoints of
+// a delta link (see invalidate() in the header for the argument).
+class StaleTest {
+ public:
+  StaleTest(const MeshShape& shape, const std::vector<NodeId>& delta_nodes,
+            const std::vector<LinkFault>& delta_links)
+      : nodes_(&delta_nodes) {
+    // Pre-resolve the link endpoints once (delta is tiny, caches are not).
+    link_ends_.reserve(delta_links.size());
+    for (const LinkFault& lf : delta_links) {
+      Point nb;
+      if (!shape.neighbor(lf.from, lf.dim, lf.dir, &nb)) continue;
+      link_ends_.emplace_back(shape.index(lf.from), shape.index(nb));
+    }
+  }
+
+  bool operator()(const Bits& flood) const {
+    for (NodeId id : *nodes_) {
+      if (flood.test(id)) return true;
+    }
+    for (const auto& [a, b] : link_ends_) {
+      if (flood.test(a) && flood.test(b)) return true;
+    }
+    return false;
+  }
+
+ private:
+  const std::vector<NodeId>* nodes_;
+  std::vector<std::pair<NodeId, NodeId>> link_ends_;
+};
+
 }  // namespace
 
 std::int64_t NodeLoad::total() const {
@@ -80,23 +112,7 @@ RouteCache::InvalidateStats RouteCache::invalidate(
     const std::vector<NodeId>& delta_nodes,
     const std::vector<LinkFault>& delta_links) {
   obs::counter("wormhole.route_cache.invalidates").add();
-  // Pre-resolve the link endpoints once (delta is tiny, caches are not).
-  std::vector<std::pair<NodeId, NodeId>> link_ends;
-  link_ends.reserve(delta_links.size());
-  for (const LinkFault& lf : delta_links) {
-    Point nb;
-    if (!shape_->neighbor(lf.from, lf.dim, lf.dir, &nb)) continue;
-    link_ends.emplace_back(shape_->index(lf.from), shape_->index(nb));
-  }
-  auto stale = [&](const Bits& flood) {
-    for (NodeId id : delta_nodes) {
-      if (flood.test(id)) return true;
-    }
-    for (const auto& [a, b] : link_ends) {
-      if (flood.test(a) && flood.test(b)) return true;
-    }
-    return false;
-  };
+  const StaleTest stale(*shape_, delta_nodes, delta_links);
   InvalidateStats stats;
   for (auto* cache : {&forward_, &backward_}) {
     for (auto it = cache->begin(); it != cache->end();) {
@@ -105,6 +121,29 @@ RouteCache::InvalidateStats RouteCache::invalidate(
         ++stats.dropped;
       } else {
         ++it;
+        ++stats.retained;
+      }
+    }
+  }
+  obs::counter("wormhole.route_cache.retained").add(stats.retained);
+  obs::counter("wormhole.route_cache.dropped").add(stats.dropped);
+  return stats;
+}
+
+RouteCache::InvalidateStats RouteCache::adopt(
+    const RouteCache& prev, const std::vector<NodeId>& delta_nodes,
+    const std::vector<LinkFault>& delta_links) {
+  obs::counter("wormhole.route_cache.adopts").add();
+  const StaleTest stale(*shape_, delta_nodes, delta_links);
+  InvalidateStats stats;
+  const std::pair<const std::unordered_map<NodeId, Bits>*,
+                  std::unordered_map<NodeId, Bits>*>
+      sides[] = {{&prev.forward_, &forward_}, {&prev.backward_, &backward_}};
+  for (const auto& [from, to] : sides) {
+    for (const auto& [node, flood] : *from) {
+      if (stale(flood)) {
+        ++stats.dropped;
+      } else if (to->emplace(node, flood).second) {
         ++stats.retained;
       }
     }

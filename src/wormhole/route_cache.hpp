@@ -77,6 +77,18 @@ class RouteCache {
   InvalidateStats invalidate(const std::vector<NodeId>& delta_nodes,
                              const std::vector<LinkFault>& delta_links);
 
+  // Carry-forward for epoch-versioned tables (serve::RouteTable): seeds
+  // this cache with every flood of `prev` that survives the fault delta,
+  // leaving `prev` untouched. Equivalent to copying `prev` and calling
+  // invalidate(delta_nodes, delta_links) on the copy, with the same
+  // preconditions: this cache's FaultSet must already reflect the new
+  // cumulative state, and shape/orders must match `prev`'s. Floods this
+  // cache already holds for an adopted endpoint are kept (not
+  // overwritten); they were built against the newer fault set.
+  InvalidateStats adopt(const RouteCache& prev,
+                        const std::vector<NodeId>& delta_nodes,
+                        const std::vector<LinkFault>& delta_links);
+
   std::int64_t cached_entries() const {
     return static_cast<std::int64_t>(forward_.size() + backward_.size());
   }

@@ -7,6 +7,7 @@
 // including bit-identical determinism at 1/4/16 worker threads.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -74,6 +75,33 @@ TEST(FaultSchedule, RandomStormIsSeededAndAvoidsExistingFaults) {
   }
 }
 
+TEST(FaultSchedule, RandomStormNeverDuplicatesALink) {
+  // A 2x2 mesh has only 4 undirected links, so drawing 4 kills forces
+  // the sampler to re-draw channels it already picked — in either
+  // direction. Regression: duplicates used to survive into the schedule
+  // and double-count in applied_faults when applied.
+  const MeshShape shape = MeshShape::cube(2, 2);
+  const FaultSet faults(shape);
+  Rng rng(7);
+  const FaultSchedule storm =
+      FaultSchedule::random_storm(shape, faults, 0, 4, 100, rng);
+  EXPECT_EQ(storm.size(), 4);
+  std::vector<LinkId> seen;
+  for (const FaultEvent& ev : storm.events) {
+    ASSERT_EQ(ev.kind, FaultEvent::Kind::kLink);
+    Point to;
+    ASSERT_TRUE(shape.neighbor(shape.point(ev.node), ev.dim, ev.dir, &to));
+    const LinkId forward = shape.link_id(ev.node, ev.dim, ev.dir);
+    const LinkId reverse =
+        shape.link_id(shape.index(to), ev.dim, opposite(ev.dir));
+    for (const LinkId id : {forward, reverse}) {
+      EXPECT_TRUE(std::find(seen.begin(), seen.end(), id) == seen.end())
+          << "duplicate channel " << id << " in storm";
+      seen.push_back(id);
+    }
+  }
+}
+
 // ----------------------------------------------------- live kills in the net
 
 // One-hop-per-cycle straight route along dim 0 from `src`, `hops` steps.
@@ -134,6 +162,34 @@ TEST(LiveFaults, MidFlightKillPoisonsOnlyCrossingMessages) {
   EXPECT_EQ(result.outcomes[0], DeliveryOutcome::kPoisoned);
   EXPECT_EQ(result.outcomes[1], DeliveryOutcome::kDelivered);
   EXPECT_GT(result.dead_channels, 0);
+}
+
+TEST(LiveFaults, DuplicateKillEventsCountOnce) {
+  // Regression: a second kill of an already-dead node, a repeated link
+  // kill, and the reverse direction of a dead link all used to land in
+  // applied_faults — inflating faults_applied and feeding duplicate
+  // reports to the manager. Only the two EFFECTIVE events may count.
+  const MeshShape shape = MeshShape::cube(2, 8);
+  const FaultSet faults(shape);
+  SimConfig config;
+  const NodeId victim = shape.index(Point{3, 0});
+  config.fault_schedule.kill_node(2, victim);
+  config.fault_schedule.kill_node(5, victim);  // already dead: no-op
+  config.fault_schedule.kill_link(3, shape.index(Point{5, 0}), 0, Dir::Pos);
+  // Same channel again, then its reverse direction: both no-ops.
+  config.fault_schedule.kill_link(6, shape.index(Point{5, 0}), 0, Dir::Pos);
+  config.fault_schedule.kill_link(7, shape.index(Point{6, 0}), 0, Dir::Neg);
+  Network net(shape, faults, config);
+  // A slow disjoint-row message keeps the clock running past cycle 7.
+  net.submit(straight_message(shape, Point{0, 4}, 6, 0, /*flits=*/32));
+  const SimResult result = net.run();
+  EXPECT_EQ(result.delivered, 1);
+  EXPECT_EQ(result.faults_applied, 2);
+  ASSERT_EQ(result.applied_faults.size(), 2u);
+  EXPECT_EQ(result.applied_faults[0].kind, FaultEvent::Kind::kNode);
+  EXPECT_EQ(result.applied_faults[0].node, victim);
+  EXPECT_EQ(result.applied_faults[1].kind, FaultEvent::Kind::kLink);
+  EXPECT_EQ(result.applied_faults[1].cycle, 3);
 }
 
 TEST(LiveFaults, HealthyRunPaysNothing) {

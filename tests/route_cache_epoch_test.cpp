@@ -1,0 +1,204 @@
+// RouteCache carry-forward across a reconfigure epoch swap: adopt() is
+// equivalent to invalidate() on a copy, retained floods keep producing
+// legal routes, dropped endpoints re-vend against the new fault set, and
+// no route served by the new epoch's table ever crosses a new fault.
+// This is the serving layer's correctness spine — RouteTable::capture
+// leans on exactly these properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/lamb.hpp"
+#include "manager/machine_manager.hpp"
+#include "serve/route_table.hpp"
+#include "support/rng.hpp"
+#include "wormhole/route_cache.hpp"
+
+namespace lamb {
+namespace {
+
+using wormhole::Route;
+using wormhole::RouteCache;
+
+// Node sequence a route visits, validated hop by hop.
+std::vector<NodeId> walk(const MeshShape& shape, const Route& route) {
+  std::vector<NodeId> nodes{route.src};
+  Point at = shape.point(route.src);
+  for (const auto& hop : route.hops) {
+    Point next;
+    EXPECT_TRUE(shape.neighbor(at, hop.dim, hop.dir, &next));
+    at = next;
+    nodes.push_back(shape.index(at));
+  }
+  EXPECT_EQ(nodes.back(), route.dst);
+  return nodes;
+}
+
+std::vector<std::pair<NodeId, NodeId>> survivor_pairs(
+    const std::vector<NodeId>& survivors, std::size_t count, Rng& rng) {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  while (pairs.size() < count) {
+    const NodeId src =
+        survivors[rng.below(static_cast<std::uint64_t>(survivors.size()))];
+    const NodeId dst =
+        survivors[rng.below(static_cast<std::uint64_t>(survivors.size()))];
+    if (src != dst) pairs.push_back({src, dst});
+  }
+  return pairs;
+}
+
+TEST(RouteCacheAdopt, EquivalentToInvalidateAndRoutesStayLegal) {
+  const MeshShape shape = MeshShape::cube(2, 8);
+  FaultSet faults(shape);  // shared by both caches; mutated mid-test
+  faults.add_node(Point{2, 2});
+  const MultiRoundOrder orders = ascending_rounds(2, 2);
+  RouteCache warmed(shape, faults, orders);
+  RouteCache adopter(shape, faults, orders);
+
+  std::vector<NodeId> good;
+  for (NodeId id = 0; id < shape.size(); ++id) {
+    if (faults.node_good(id)) good.push_back(id);
+  }
+  Rng rng(11);
+  const auto pairs = survivor_pairs(good, 48, rng);
+  for (const auto& [src, dst] : pairs) {
+    ASSERT_TRUE(warmed.build(src, dst, rng).has_value());
+  }
+  const std::int64_t warmed_entries = warmed.cached_entries();
+  ASSERT_GT(warmed_entries, 0);
+
+  // The epoch's fault delta: one more dead node, visible to both caches
+  // through the shared FaultSet (the adopt/invalidate precondition).
+  const NodeId victim = shape.index(Point{5, 4});
+  faults.add_node(victim);
+  const std::vector<NodeId> delta{victim};
+
+  const auto adopt_stats = adopter.adopt(warmed, delta, {});
+  const auto inval_stats = warmed.invalidate(delta, {});
+  EXPECT_EQ(adopt_stats.retained, inval_stats.retained);
+  EXPECT_EQ(adopt_stats.dropped, inval_stats.dropped);
+  EXPECT_EQ(adopt_stats.retained + adopt_stats.dropped, warmed_entries);
+  EXPECT_EQ(adopter.cached_entries(), warmed.cached_entries());
+
+  // Both caches now vend identical, legal routes: retained floods are
+  // provably unchanged, dropped endpoints re-flood against the new
+  // faults, and same-seeded tie-breaks match.
+  for (const auto& [src, dst] : pairs) {
+    if (src == victim || dst == victim) continue;
+    Rng rng_a(src * 1000 + dst), rng_b(src * 1000 + dst);
+    const auto via_adopt = adopter.build(src, dst, rng_a);
+    const auto via_inval = warmed.build(src, dst, rng_b);
+    ASSERT_EQ(via_adopt.has_value(), via_inval.has_value());
+    if (!via_adopt) continue;
+    const auto nodes = walk(shape, *via_adopt);
+    EXPECT_EQ(nodes, walk(shape, *via_inval));
+    for (const NodeId node : nodes) {
+      EXPECT_TRUE(faults.node_good(node))
+          << "route " << src << "->" << dst << " crosses dead node " << node;
+    }
+  }
+}
+
+TEST(RouteCacheAdopt, LinkDeltaDropsOnlyFloodsHoldingBothEndpoints) {
+  const MeshShape shape = MeshShape::cube(2, 8);
+  FaultSet faults(shape);
+  const MultiRoundOrder orders = ascending_rounds(2, 2);
+  RouteCache prev(shape, faults, orders);
+  Rng rng(23);
+  std::vector<NodeId> all;
+  for (NodeId id = 0; id < shape.size(); ++id) all.push_back(id);
+  for (const auto& [src, dst] : survivor_pairs(all, 32, rng)) {
+    ASSERT_TRUE(prev.build(src, dst, rng).has_value());
+  }
+  faults.add_link(Point{3, 3}, 0, Dir::Pos);
+  RouteCache next(shape, faults, orders);
+  const auto stats = next.adopt(prev, {}, faults.link_faults());
+  EXPECT_EQ(stats.retained + stats.dropped,
+            prev.cached_entries());  // prev itself untouched
+  // Every adopted flood still routes clear of the dead link: walk each
+  // route and assert it never uses the (3,3)->(4,3) channel either way.
+  const NodeId a = shape.index(Point{3, 3});
+  const NodeId b = shape.index(Point{4, 3});
+  for (const auto& [src, dst] : survivor_pairs(all, 32, rng)) {
+    Rng tie(5);
+    const auto route = next.build(src, dst, tie);
+    if (!route) continue;
+    const auto nodes = walk(shape, *route);
+    for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+      const bool crosses = (nodes[i] == a && nodes[i + 1] == b) ||
+                           (nodes[i] == b && nodes[i + 1] == a);
+      EXPECT_FALSE(crosses) << "route crosses the dead link";
+    }
+  }
+}
+
+TEST(RouteTableEpochSwap, RetainsDropsAndRevendsAcrossCapture) {
+  manager::MachineManager mgr(MeshShape::cube(2, 8));
+  mgr.reconfigure();
+  auto t1 = serve::RouteTable::capture(mgr, /*published_tick=*/0);
+  ASSERT_TRUE(t1->certified());
+
+  // Warm epoch 1's cache with survivor traffic.
+  Rng rng(31);
+  const auto pairs = survivor_pairs(t1->survivors(), 64, rng);
+  for (const auto& [src, dst] : pairs) {
+    ASSERT_TRUE(t1->route(src, dst, rng).has_value());
+  }
+  const std::int64_t warmed = t1->cached_floods();
+  ASSERT_GT(warmed, 0);
+
+  // Epoch swap: one new dead node, carry the surviving floods forward.
+  const NodeId victim = t1->survivors()[7];
+  mgr.report_node_fault(victim);
+  mgr.reconfigure();
+  serve::RouteTable::BuildStats stats;
+  auto t2 = serve::RouteTable::capture(mgr, /*published_tick=*/1, t1.get(),
+                                       &stats);
+  EXPECT_EQ(stats.floods_retained + stats.floods_dropped, warmed);
+  EXPECT_EQ(t2->cached_floods(), stats.floods_retained);
+  EXPECT_EQ(t2->epoch(), t1->epoch() + 1);
+  EXPECT_FALSE(t2->covers(victim));
+
+  // Every covered pair re-vends against the new epoch — retained floods
+  // and re-floods alike — and no route crosses the new fault.
+  ASSERT_TRUE(t2->certified());
+  std::int64_t vended = 0;
+  for (const auto& [src, dst] : pairs) {
+    if (!t2->covers(src, dst)) continue;
+    const auto route = t2->route(src, dst, rng);
+    ASSERT_TRUE(route.has_value());
+    ++vended;
+    for (const NodeId node : walk(t2->shape(), *route)) {
+      EXPECT_NE(node, victim);
+      EXPECT_TRUE(t2->faults().node_good(node));
+    }
+  }
+  EXPECT_GT(vended, 0);
+  // The old epoch stays fully usable for in-flight readers (RCU): its
+  // routes still answer against ITS fault set.
+  ASSERT_TRUE(t1->route(pairs[0].first, pairs[0].second, rng).has_value());
+  EXPECT_GE(t2->cached_floods(), stats.floods_retained);
+}
+
+TEST(RouteTableEpochSwap, MismatchedTimelineFallsBackToColdCache) {
+  manager::MachineManager small(MeshShape::cube(2, 4));
+  small.reconfigure();
+  auto other = serve::RouteTable::capture(small, 0);
+  Rng rng(3);
+  const auto pairs = survivor_pairs(other->survivors(), 8, rng);
+  for (const auto& [src, dst] : pairs) {
+    ASSERT_TRUE(other->route(src, dst, rng).has_value());
+  }
+
+  manager::MachineManager mgr(MeshShape::cube(2, 8));
+  mgr.reconfigure();
+  serve::RouteTable::BuildStats stats;
+  auto table = serve::RouteTable::capture(mgr, 1, other.get(), &stats);
+  EXPECT_EQ(stats.floods_retained, 0);
+  EXPECT_EQ(stats.floods_dropped, 0);
+  EXPECT_EQ(table->cached_floods(), 0);
+}
+
+}  // namespace
+}  // namespace lamb

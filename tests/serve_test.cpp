@@ -1,0 +1,314 @@
+// Tests for the serving layer (src/serve/): token-bucket admission,
+// bounded queues with typed Overloaded shedding, the epoch-swap
+// degradation ladder (fresh -> stale -> dim-order fallback -> reject),
+// deadlines, the client retry state machine, and the loadgen scenario's
+// headline guarantees — zero failed covered requests, fully drained
+// queues, and a request-outcome digest that is bit-identical at 1/4/16
+// solver threads.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "manager/machine_manager.hpp"
+#include "serve/admission.hpp"
+#include "serve/client.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/route_service.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+namespace lamb {
+namespace {
+
+using serve::Client;
+using serve::ClientOptions;
+using serve::RouteRequest;
+using serve::RouteResponse;
+using serve::RouteService;
+using serve::ServeStatus;
+using serve::ServiceOptions;
+using serve::TokenBucket;
+
+TEST(TokenBucket, RefillsOnCallerTicksAndCapsAtCapacity) {
+  TokenBucket bucket(/*capacity=*/2.0, /*refill_per_tick=*/1.0, /*now=*/0);
+  EXPECT_TRUE(bucket.try_take(0));
+  EXPECT_TRUE(bucket.try_take(0));
+  EXPECT_FALSE(bucket.try_take(0));  // burst exhausted
+  EXPECT_TRUE(bucket.try_take(1));   // one tick earns one token
+  EXPECT_FALSE(bucket.try_take(1));
+  // Idle ticks accumulate only up to capacity.
+  EXPECT_DOUBLE_EQ(bucket.tokens(100), 2.0);
+  // ticks_until rounds the deficit up and never returns less than 1.
+  EXPECT_TRUE(bucket.try_take(100));
+  EXPECT_TRUE(bucket.try_take(100));
+  EXPECT_EQ(bucket.ticks_until(3.0, 100), 3);
+  EXPECT_EQ(bucket.ticks_until(0.0, 100), 1);
+}
+
+// An 8x8 machine with one dead node, reconfigured to epoch 1 — the
+// fixture every service test vends against.
+struct ServiceFixture {
+  ServiceFixture() : mgr(MeshShape::cube(2, 8)) {
+    mgr.report_node_fault(dead);
+    mgr.reconfigure();
+  }
+  RouteRequest request(NodeId src, NodeId dst, std::int64_t now) const {
+    RouteRequest req;
+    req.client_id = 1;
+    req.src = src;
+    req.dst = dst;
+    req.submit_tick = now;
+    req.rng_seed = 42;
+    return req;
+  }
+  manager::MachineManager mgr;
+  NodeId dead = 27;  // Point{3,3} on the 8x8
+};
+
+TEST(RouteService, VendsFreshRoutesAndTypesUnroutables) {
+  ServiceFixture fx;
+  RouteService svc(fx.mgr, ServiceOptions{}, /*now=*/0);
+  const auto survivors = svc.table()->survivors();
+  const auto ok = svc.submit(fx.request(survivors[0], survivors[9], 0), 0);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->status, ServeStatus::kFresh);
+  EXPECT_EQ(ok->epoch, 1);
+  ASSERT_TRUE(ok->route.has_value());
+  EXPECT_GT(ok->route->length(), 0);
+
+  const auto bad = svc.submit(fx.request(survivors[0], fx.dead, 0), 0);
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(bad->status, ServeStatus::kUnroutable);
+  EXPECT_FALSE(bad->route.has_value());
+
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.fresh, 1);
+  EXPECT_EQ(stats.unroutable, 1);
+  EXPECT_EQ(stats.submitted, 2);
+}
+
+TEST(RouteService, DegradationLadderStaleThenFallbackThenReject) {
+  ServiceFixture fx;
+  ServiceOptions options;
+  options.staleness_cap = 2;
+  RouteService svc(fx.mgr, options, /*now=*/0);
+  const auto survivors = svc.table()->survivors();
+  const NodeId src = survivors[0], dst = survivors[9];
+
+  // Window opens: within the cap the stale epoch keeps serving.
+  svc.begin_reconfigure(/*now=*/10);
+  EXPECT_TRUE(svc.reconfiguring());
+  const auto stale = svc.submit(fx.request(src, dst, 11), 11);
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_EQ(stale->status, ServeStatus::kStale);
+  EXPECT_EQ(stale->stale_age, 1);
+  ASSERT_TRUE(stale->route.has_value());
+
+  // Past the cap the ladder drops to one-round dim-ordered routes from
+  // the last certified epoch. (0,0)->(7,0): row 0 is clear of the dead
+  // (3,3), so the e-cube path exists.
+  const MeshShape& shape = svc.table()->shape();
+  const auto fb = svc.submit(
+      fx.request(shape.index(Point{0, 0}), shape.index(Point{7, 0}), 13), 13);
+  ASSERT_TRUE(fb.has_value());
+  EXPECT_EQ(fb->status, ServeStatus::kFallback);
+  ASSERT_TRUE(fb->route.has_value());
+  EXPECT_EQ(fb->route->length(), 7);
+
+  // (0,3)->(7,3): ascending dim order walks straight through the dead
+  // (3,3), so the last rung has nothing to offer — typed reject.
+  const auto rej = svc.submit(
+      fx.request(shape.index(Point{0, 3}), shape.index(Point{7, 3}), 13), 13);
+  ASSERT_TRUE(rej.has_value());
+  EXPECT_EQ(rej->status, ServeStatus::kRejected);
+
+  // publish() closes the window and vends fresh from the new epoch.
+  fx.mgr.report_node_fault(survivors[20]);
+  fx.mgr.reconfigure();
+  svc.publish(/*now=*/14);
+  EXPECT_FALSE(svc.reconfiguring());
+  const auto fresh = svc.submit(fx.request(src, dst, 15), 15);
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(fresh->status, ServeStatus::kFresh);
+  EXPECT_EQ(fresh->epoch, 2);
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.stale, 1);
+  EXPECT_EQ(stats.fallback, 1);
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_EQ(stats.publishes, 2);  // constructor + explicit publish
+}
+
+TEST(RouteService, BoundedQueueShedsWithTypedRetryAfter) {
+  ServiceFixture fx;
+  ServiceOptions options;
+  options.admission.shards = 1;
+  options.admission.bucket_capacity = 1.0;
+  options.admission.refill_per_tick = 1.0;
+  options.admission.max_queue_depth = 2;
+  RouteService svc(fx.mgr, options, /*now=*/0);
+  const auto survivors = svc.table()->survivors();
+  const auto req = [&](std::int64_t now) {
+    return fx.request(survivors[0], survivors[5], now);
+  };
+
+  // Token -> served; then the bounded queue; then the typed shed.
+  ASSERT_TRUE(svc.submit(req(0), 0).has_value());
+  EXPECT_FALSE(svc.submit(req(0), 0).has_value());  // queued
+  EXPECT_FALSE(svc.submit(req(0), 0).has_value());  // queued (depth 2)
+  const auto shed = svc.submit(req(0), 0);
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(shed->status, ServeStatus::kOverloaded);
+  EXPECT_GE(shed->retry_after_ticks, 1);
+  EXPECT_EQ(svc.queue_depth(), 2);
+  EXPECT_EQ(svc.stats().shed, 1);
+  EXPECT_EQ(svc.stats().max_queue_depth, 2);
+
+  // advance() drains one queued request per earned token, FIFO.
+  const auto first = svc.advance(1);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].response.status, ServeStatus::kFresh);
+  const auto second = svc.advance(2);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(svc.queue_depth(), 0);
+}
+
+TEST(RouteService, DeadlinesResolveWithoutSpendingTokens) {
+  ServiceFixture fx;
+  ServiceOptions options;
+  options.admission.shards = 1;
+  options.admission.bucket_capacity = 1.0;
+  options.admission.refill_per_tick = 0.25;  // slow refill: queue lingers
+  options.admission.max_queue_depth = 4;
+  RouteService svc(fx.mgr, options, /*now=*/0);
+  const auto survivors = svc.table()->survivors();
+
+  // Already-expired submission short-circuits.
+  RouteRequest late = fx.request(survivors[0], survivors[5], 5);
+  late.deadline_tick = 3;
+  const auto expired = svc.submit(late, 5);
+  ASSERT_TRUE(expired.has_value());
+  EXPECT_EQ(expired->status, ServeStatus::kDeadline);
+
+  // A queued request whose deadline passes resolves as kDeadline on the
+  // next advance — without consuming the tick's token.
+  ASSERT_TRUE(svc.submit(fx.request(survivors[0], survivors[5], 5), 5)
+                  .has_value());  // drains the one token
+  RouteRequest queued = fx.request(survivors[1], survivors[6], 5);
+  queued.deadline_tick = 6;
+  EXPECT_FALSE(svc.submit(queued, 5).has_value());
+  const auto drained = svc.advance(9);  // one token earned by now
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].response.status, ServeStatus::kDeadline);
+  EXPECT_EQ(svc.stats().deadline, 2);
+}
+
+TEST(ServeClient, RetriesWithBackoffUntilAttemptsExhaust) {
+  ServiceFixture fx;
+  ServiceOptions options;
+  options.admission.shards = 2;
+  options.admission.bucket_capacity = 0.0;
+  options.admission.refill_per_tick = 0.0;
+  options.admission.max_queue_depth = 0;  // every submission sheds
+  RouteService svc(fx.mgr, options, /*now=*/0);
+
+  ClientOptions copts;
+  copts.issue_period = 1;
+  copts.max_attempts = 3;
+  copts.backoff_base = 2;
+  copts.backoff_cap = 8;
+  copts.jitter = 0.0;
+  Client client(/*id=*/1, /*seed=*/99, copts, &svc);
+  std::vector<Client::Outcome> outcomes;
+  for (std::int64_t t = 0; t < 64 && outcomes.empty(); ++t) {
+    client.step(t, &outcomes);
+  }
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].status, ServeStatus::kOverloaded);
+  EXPECT_EQ(outcomes[0].attempts, 3);
+  EXPECT_GT(outcomes[0].latency_ticks, 0);  // backoff delays accumulated
+  EXPECT_TRUE(client.settled());
+  EXPECT_EQ(svc.stats().shed, 3);
+}
+
+TEST(ServeClient, ServedRequestResolvesImmediatelyAndReissues) {
+  ServiceFixture fx;
+  RouteService svc(fx.mgr, ServiceOptions{}, /*now=*/0);
+  ClientOptions copts;
+  copts.issue_period = 4;
+  Client client(/*id=*/7, /*seed=*/5, copts, &svc);
+  std::vector<Client::Outcome> outcomes;
+  for (std::int64_t t = 0; t < 12; ++t) client.step(t, &outcomes);
+  ASSERT_GE(outcomes.size(), 2u);  // issue period 4 over 12 ticks
+  for (const auto& outcome : outcomes) {
+    EXPECT_EQ(outcome.status, ServeStatus::kFresh);
+    EXPECT_EQ(outcome.attempts, 1);
+    EXPECT_GT(outcome.route_length, 0);
+  }
+  EXPECT_EQ(outcomes[0].client, 7u);
+  EXPECT_EQ(outcomes[1].seq, outcomes[0].seq + 1);
+}
+
+// The loadgen's headline guarantees, and the determinism anchor the CI
+// serve-soak lane diffs: same config => same digest at any thread count.
+TEST(Loadgen, DigestStableAcrossThreadCountsAndNoFailedRequests) {
+  serve::LoadgenConfig config;
+  config.mesh = "8x8";
+  config.clients = 48;
+  config.ticks = 64;
+  config.initial_node_faults = 2;
+  config.storm_node_kills = 3;
+  config.storm_link_kills = 1;
+  std::optional<serve::LoadgenResult> base;
+  for (const int threads : {1, 4, 16}) {
+    par::set_threads(threads);
+    const serve::LoadgenResult result = serve::run_loadgen(config);
+    EXPECT_EQ(result.failed_requests, 0) << "threads=" << threads;
+    EXPECT_EQ(result.final_queue_depth, 0) << "threads=" << threads;
+    EXPECT_GT(result.outcomes, 0);
+    EXPECT_GT(result.reconfigures, 0);  // the storm forced epoch swaps
+    if (!base) {
+      base = result;
+    } else {
+      EXPECT_EQ(result.digest, base->digest) << "threads=" << threads;
+      EXPECT_EQ(result.outcomes, base->outcomes);
+      EXPECT_EQ(result.final_epoch, base->final_epoch);
+    }
+  }
+  par::set_threads(0);
+  // Served outcomes dominate this gentle scenario; every terminal status
+  // is typed (the sums reconcile).
+  EXPECT_EQ(base->outcomes,
+            base->served_fresh + base->served_stale + base->served_fallback +
+                base->gave_up_overloaded + base->gave_up_rejected +
+                base->unroutable + base->deadline_exceeded + base->errors);
+  EXPECT_GT(base->served_fresh, 0);
+}
+
+TEST(Loadgen, DeadlinesAndTightAdmissionStayTypedAndDrain) {
+  serve::LoadgenConfig config;
+  config.mesh = "8x8";
+  config.clients = 96;
+  config.ticks = 48;
+  config.service.admission.shards = 2;
+  config.service.admission.bucket_capacity = 4.0;
+  config.service.admission.refill_per_tick = 2.0;
+  config.service.admission.max_queue_depth = 4;
+  config.client.deadline_ticks = 12;
+  config.client.hedge = true;
+  const serve::LoadgenResult result = serve::run_loadgen(config);
+  EXPECT_EQ(result.failed_requests, 0);
+  EXPECT_EQ(result.final_queue_depth, 0);
+  // The overload has to show up somewhere typed: sheds at the response
+  // level, and gave-up/deadline outcomes at the client level.
+  EXPECT_GT(result.service.shed, 0);
+  EXPECT_GT(result.gave_up_overloaded + result.deadline_exceeded, 0);
+  // Bounded queues: the high-water mark respects the configured bound.
+  EXPECT_LE(result.service.max_queue_depth,
+            config.service.admission.shards *
+                config.service.admission.max_queue_depth);
+}
+
+}  // namespace
+}  // namespace lamb

@@ -51,25 +51,35 @@ def check_file(path: str) -> int:
     for gate in gates:
         metric = gate.get("metric")
         measured = lookup(doc, metric)
-        if not isinstance(measured, (int, float)):
-            print(f"FAIL {path}: metric '{metric}' missing or non-numeric")
+        if not isinstance(measured, (int, float)) or isinstance(measured, bool):
+            got = "missing" if measured is None else f"got {measured!r}"
+            print(f"FAIL {path}: metric '{metric}' missing or non-numeric "
+                  f"({got})")
             failures += 1
             continue
+        # The miss distance, printed on failure so the log says HOW far
+        # out of bounds the run was, not just that it was.
+        margin = 0.0
         if "max" in gate:
             ok = measured <= gate["max"]
             bound = f"<= {gate['max']}"
+            margin = measured - gate["max"]
         elif "min" in gate:
             ok = measured >= gate["min"]
             bound = f">= {gate['min']}"
+            margin = gate["min"] - measured
         elif "equals" in gate:
             ok = measured == gate["equals"]
             bound = f"== {gate['equals']}"
+            margin = measured - gate["equals"]
         else:
-            print(f"FAIL {path}: gate for '{metric}' has no max/min/equals")
+            print(f"FAIL {path}: gate for '{metric}' has no max/min/equals "
+                  f"(measured {measured:g})")
             failures += 1
             continue
         status = "PASS" if ok else "FAIL"
-        print(f"{status} {path}: {metric} = {measured:g} (gate {bound})")
+        miss = "" if ok else f", off by {margin:g}"
+        print(f"{status} {path}: {metric} = {measured:g} (gate {bound}{miss})")
         if not ok:
             failures += 1
     return failures

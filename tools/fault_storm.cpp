@@ -43,6 +43,7 @@
 #include "io/binary_format.hpp"
 #include "io/cli_args.hpp"
 #include "io/durable.hpp"
+#include "io/serve_cli.hpp"
 #include "io/text_format.hpp"
 #include "manager/machine_manager.hpp"
 #include "manager/recovery.hpp"
@@ -561,20 +562,7 @@ int main(int argc, char** argv) {
                    err.c_str());
     }
   }
-  const std::string serve_spec =
-      args.get("serve", env_string("LAMBMESH_SERVE", ""));
-  if (!serve_spec.empty()) {
-    obs::MetricsRegistry::global().set_enabled(true);
-    std::string err;
-    obs::ExposeServer* server = obs::serve_global(serve_spec, &err);
-    if (server->running()) {
-      std::fprintf(stderr, "fault_storm: serving metrics on port %d\n",
-                   server->port());
-    } else {
-      std::fprintf(stderr, "error: --serve failed: %s\n", err.c_str());
-      return 2;
-    }
-  }
+  if (!io::start_serve_exposition(args, "fault_storm")) return 2;
   try {
     if (args.command() == "run") return cmd_run(args);
     usage(("unknown command " + args.command()).c_str());

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Unit tests for check_bench_gates.py (run: python3 -m unittest
+discover -s tools -p 'test_*.py' or execute this file directly)."""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_bench_gates as gates
+
+
+def run_on(doc):
+    """check_file on a temp JSON document; returns (failures, output)."""
+    with tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False) as fh:
+        json.dump(doc, fh)
+        path = fh.name
+    out = io.StringIO()
+    try:
+        with contextlib.redirect_stdout(out):
+            failures = gates.check_file(path)
+    finally:
+        os.unlink(path)
+    return failures, out.getvalue()
+
+
+class LookupTest(unittest.TestCase):
+    def test_top_level_key_wins_over_dotted_path(self):
+        doc = {"a.b": 1, "a": {"b": 2}}
+        self.assertEqual(gates.lookup(doc, "a.b"), 1)
+
+    def test_dotted_path_descends(self):
+        doc = {"slo": {"route_vend_latency": {"burn": 0.25}}}
+        self.assertEqual(gates.lookup(doc, "slo.route_vend_latency.burn"),
+                         0.25)
+
+    def test_missing_path_is_none(self):
+        self.assertIsNone(gates.lookup({"a": {"b": 1}}, "a.c"))
+        self.assertIsNone(gates.lookup({"a": 1}, "a.b"))
+
+
+class GateTest(unittest.TestCase):
+    def test_passing_gates(self):
+        failures, out = run_on({
+            "x": 5, "flag": 1,
+            "gates": [{"metric": "x", "max": 5},
+                      {"metric": "x", "min": 5},
+                      {"metric": "flag", "equals": 1}]})
+        self.assertEqual(failures, 0)
+        self.assertEqual(out.count("PASS"), 3)
+        self.assertNotIn("off by", out)
+
+    def test_failure_prints_measured_threshold_and_margin(self):
+        failures, out = run_on({
+            "lat": 2.5, "gates": [{"metric": "lat", "max": 1.0}]})
+        self.assertEqual(failures, 1)
+        self.assertIn("lat = 2.5", out)
+        self.assertIn("gate <= 1.0", out)
+        self.assertIn("off by 1.5", out)
+
+    def test_min_failure_margin_is_the_shortfall(self):
+        failures, out = run_on({
+            "speedup": 0.5, "gates": [{"metric": "speedup", "min": 3.0}]})
+        self.assertEqual(failures, 1)
+        self.assertIn("off by 2.5", out)
+
+    def test_missing_metric_fails_and_names_what_it_got(self):
+        failures, out = run_on({
+            "gates": [{"metric": "absent", "max": 1},
+                      {"metric": "textual", "equals": 1}],
+            "textual": "yes"})
+        self.assertEqual(failures, 2)
+        self.assertIn("missing", out)
+        self.assertIn("'yes'", out)
+
+    def test_boolean_metric_is_rejected_not_coerced(self):
+        failures, out = run_on({
+            "flag": True, "gates": [{"metric": "flag", "equals": 1}]})
+        self.assertEqual(failures, 1)
+        self.assertIn("non-numeric", out)
+
+    def test_gate_without_bound_fails_but_shows_measured(self):
+        failures, out = run_on({"x": 7, "gates": [{"metric": "x"}]})
+        self.assertEqual(failures, 1)
+        self.assertIn("no max/min/equals", out)
+        self.assertIn("measured 7", out)
+
+    def test_no_gates_array_fails(self):
+        failures, out = run_on({"x": 1})
+        self.assertEqual(failures, 1)
+        self.assertIn("no gates", out)
+
+
+if __name__ == "__main__":
+    unittest.main()
