@@ -1,0 +1,302 @@
+// FleetManager: a fault-tolerant fleet of route-vending shards.
+//
+// Each shard is one MachineManager + RouteService replica (same mesh
+// geometry, independent fault history, its own durable state directory).
+// The fleet is the serve::Backend a Client talks to: it maps a client to
+// its primary shard (client_id mod shards) and fails the request over —
+// deterministically, in ring order — when the primary is unhealthy.
+//
+// Health is a per-shard state machine driven by two signals
+// (docs/SERVING.md "Fleet"):
+//
+//   SERVING ──burn ≥ degraded_burn──▶ DEGRADED
+//   SERVING/DEGRADED ──burn ≥ quarantine_burn, heartbeat timeout,
+//                      or shard kill──▶ QUARANTINED
+//   QUARANTINED ──cooloff + reconfigure slot──▶ RECOVERING
+//   RECOVERING ──recovering_ticks──▶ SERVING
+//
+// where `burn` is the shard's availability error-budget burn over a
+// sliding window of fleet-observed outcomes. A DEGRADED or RECOVERING
+// shard still serves its own primaries but stops being a failover or
+// hedge target; a QUARANTINED shard serves nothing — its queue is
+// evicted and failed over, and new reports for it are backlogged until
+// recovery.
+//
+// Reconfiguration windows may be OPEN on any number of shards at once
+// (staleness typing starts at report time), but the closed part — the
+// solve + publish slot — is serialized by a single fleet-wide token, so
+// the fleet never has two shards solving at the same time and at most
+// one shard's table is mid-swap.
+//
+// Shard recovery is restart-transparent by construction: every shard
+// journals reports before applying them (PR 5 durable state), so a
+// killed shard reopens from its StateDir with exactly the state the
+// live object had (RecoveryMode::kReopen), and the kLive mode — which
+// keeps the object and merely re-admits it — is the executable
+// specification that the two are outcome-identical. tests/fleet_test.cpp
+// asserts the two modes' digests are bit-identical under the same chaos
+// schedule.
+//
+// The fleet is driven by ONE thread (the loadgen's virtual clock);
+// solver parallelism stays inside reconfigure(), which is bit-identical
+// at any LAMBMESH_THREADS — outcome digests are thread-count invariant.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "manager/machine_manager.hpp"
+#include "serve/route_service.hpp"
+
+namespace lamb::fleet {
+
+enum class ShardHealth : std::uint8_t {
+  kServing = 0,  // full service: primaries, failover target, hedge target
+  kDegraded,     // serves its primaries only; not a failover/hedge target
+  kQuarantined,  // serves nothing; queue evicted, reports backlogged
+  kRecovering,   // back up, re-proving itself; serves primaries only
+};
+
+const char* to_string(ShardHealth health);
+
+// How a killed shard comes back (the A/B arms of the restart-
+// transparency proof; everything else in the fleet is mode-independent).
+enum class RecoveryMode : std::uint8_t {
+  kReopen = 0,  // destroy the manager at kill; MachineManager::open() at
+                // recovery — the production crash-restart path
+  kLive,        // keep the live object parked; re-admit it at recovery —
+                // the uninterrupted reference the reopen must match
+};
+
+struct FleetOptions {
+  int shards = 3;
+  std::string mesh = "8x8";
+  std::int64_t initial_node_faults = 2;  // per shard, per-shard seed
+  std::uint64_t seed = 1;                // per-shard initial-fault seeds
+  serve::ServiceOptions service;         // every shard's service config
+
+  // Reconfiguration: ticks a granted solve+publish slot occupies.
+  std::int64_t reconfigure_ticks = 4;
+
+  // Health plane. The burn window treats unfilled slots as good, so a
+  // young window cannot quarantine a shard off a handful of sheds.
+  std::int64_t heartbeat_timeout = 8;   // missed-heartbeat ticks
+  std::size_t health_window = 256;      // outcomes per shard
+  double availability_objective = 0.9;  // burn denominator (health only;
+                                        // the exported SLO keeps its own)
+  double degraded_burn = 1.0;           // SERVING -> DEGRADED at or above
+  double quarantine_burn = 3.0;         // -> QUARANTINED at or above
+  std::int64_t quarantine_cooloff = 16;  // min ticks quarantined
+  std::int64_t recovering_ticks = 8;     // RECOVERING -> SERVING delay
+
+  // Durable state: per-shard subdirectories under this root. Required —
+  // restart transparency is not optional in this layer.
+  std::string state_root;
+  bool fsync = false;  // tests/benchmarks: process death, not power loss
+  RecoveryMode recovery = RecoveryMode::kReopen;
+};
+
+// Monotone fleet counters. Everything here except `reopens` is
+// recovery-mode independent (reopens counts MachineManager::open calls,
+// which only the kReopen arm performs) — the loadgen digest folds the
+// mode-independent ones in.
+struct FleetStats {
+  std::int64_t routed = 0;      // fleet submissions, failover resubmits incl.
+  std::int64_t failovers = 0;   // served by a non-primary shard
+  std::int64_t hedges_redirected = 0;  // hedged submissions routed by health
+  std::int64_t no_healthy_shard = 0;   // fleet-level typed sheds
+  std::int64_t evicted = 0;     // requests pulled from quarantined queues
+  std::int64_t kills = 0;
+  std::int64_t hangs = 0;
+  std::int64_t restarts = 0;    // killed shards whose downtime elapsed
+  std::int64_t reopens = 0;     // MachineManager::open() recoveries
+  std::int64_t quarantines = 0;
+  std::int64_t heartbeat_timeouts = 0;
+  std::int64_t burn_quarantines = 0;
+  std::int64_t degrades = 0;
+  std::int64_t readmissions = 0;      // RECOVERING -> SERVING
+  std::int64_t windows_granted = 0;   // solve+publish slots granted
+  std::int64_t window_waits = 0;      // ticks shards waited for the token
+};
+
+// Per-shard availability burn over a fixed sliding window. Unlike
+// obs::Slo this divides by the WINDOW SIZE, not the observation count:
+// slots not yet observed count as good, which damps early-window spikes
+// and keeps the health plane free of wall-clock state (pure virtual
+// time, so chaos runs digest identically at any thread count).
+class BurnWindow {
+ public:
+  explicit BurnWindow(std::size_t window = 256) : window_(window) {}
+
+  void record(bool good) {
+    events_.push_back(good);
+    if (!good) ++bad_;
+    if (events_.size() > window_) {
+      if (!events_.front()) --bad_;
+      events_.pop_front();
+    }
+  }
+
+  double burn(double objective) const {
+    const double budget = 1.0 - objective;
+    if (budget <= 0.0 || window_ == 0) return 0.0;
+    return static_cast<double>(bad_) / static_cast<double>(window_) / budget;
+  }
+
+  void reset() {
+    events_.clear();
+    bad_ = 0;
+  }
+
+ private:
+  std::size_t window_;
+  std::deque<bool> events_;
+  std::size_t bad_ = 0;
+};
+
+class FleetManager : public serve::Backend {
+ public:
+  // Builds every shard: manager + seeded initial faults + reconfigure,
+  // durability attached (state_root/shard-<i>, wiped first — a fleet
+  // starts fresh; shards resume through kill/recover, not the ctor),
+  // service published at `now`. Throws std::invalid_argument on an empty
+  // state_root or shards < 1.
+  explicit FleetManager(FleetOptions options, std::int64_t now = 0);
+  ~FleetManager() override;
+
+  FleetManager(const FleetManager&) = delete;
+  FleetManager& operator=(const FleetManager&) = delete;
+
+  // --- serve::Backend (what clients see) ---
+  // Routes to the health view's shard for this client and submits there;
+  // a request no shard can take is shed with a fleet-level typed
+  // Overloaded. nullopt = queued inside a shard (response arrives from a
+  // later advance()).
+  std::optional<serve::RouteResponse> submit(const serve::RouteRequest& request,
+                                             std::int64_t now) override;
+  // The serving shard's table for this client; never null.
+  std::shared_ptr<const serve::RouteTable> table_for(
+      std::uint64_t client_id) const override;
+  // Next SERVING shard after the one serving this client (ring order),
+  // or -1 when there is none — a hedge never lands on a quarantined or
+  // degraded shard.
+  int hedge_shard(const serve::RouteRequest& request) const override;
+
+  // --- Tick driver ---
+  // One fleet tick, in deterministic order: chaos lifecycle (restarts,
+  // hang releases), heartbeats + timeout quarantines, burn transitions,
+  // window-token grant, due solve+publish, then queue drains (buffered
+  // failover responses first, then shards 0..n). Returns every response
+  // that resolved this tick.
+  std::vector<serve::RouteService::Drained> advance(std::int64_t now);
+
+  // --- Diagnostics (the fleet's control plane) ---
+  // Reports go straight to a healthy shard's manager (journal-before-
+  // apply) and open its window; reports for a down shard are backlogged
+  // and applied at recovery, before its first publish.
+  void report_node_fault(int shard, NodeId id, std::int64_t now);
+  void report_link_fault(int shard, NodeId from, int dim, Dir dir,
+                         std::int64_t now);
+
+  // --- Shard-level chaos ---
+  // Kill: the shard process dies for `downtime` ticks. Queue evicted and
+  // failed over, service destroyed; under kReopen the manager is
+  // destroyed too and recovery goes through MachineManager::open on the
+  // shard's StateDir. Recovery then takes the normal quarantine ->
+  // boot -> RECOVERING path.
+  void kill_shard(int shard, std::int64_t now, std::int64_t downtime);
+  // Hang: the shard stops heartbeating and draining for `duration` ticks
+  // but keeps accepting (its queues build). A hang shorter than the
+  // heartbeat timeout rides through; a longer one is quarantined by the
+  // timeout and recovers like a kill (without the reopen).
+  void hang_shard(int shard, std::int64_t now, std::int64_t duration);
+
+  // --- Introspection (tests, loadgen, BENCH writer) ---
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  ShardHealth health(int shard) const;
+  double burn(int shard) const;
+  int epoch(int shard) const;  // last published manager epoch
+  // The shard submit() would route this client to right now; -1 = none.
+  int serving_shard(std::uint64_t client_id) const;
+  // Live manager, or nullptr while the shard is killed under kReopen.
+  const manager::MachineManager* shard_manager(int shard) const;
+  // This shard's service counters, retired service generations included.
+  serve::ServiceStats shard_stats(int shard) const;
+  // Sum over shards (live + retired generations).
+  serve::ServiceStats service_stats() const;
+  std::int64_t queue_depth() const;  // live shards, this instant
+  const FleetStats& stats() const { return stats_; }
+
+  // One entry per granted solve+publish slot, in grant order; tests
+  // assert the [granted, published] intervals never overlap.
+  struct WindowSlot {
+    int shard = -1;
+    std::int64_t granted = 0;
+    std::int64_t published = 0;
+    bool boot = false;  // recovery publish (vs in-service reconfigure)
+  };
+  const std::vector<WindowSlot>& window_log() const { return window_log_; }
+
+  // True when nothing is in flight: no token held or queued, no buffered
+  // responses, every shard up, drained, and out of its window. The
+  // loadgen's cooldown stops here.
+  bool quiescent() const;
+
+ private:
+  struct PendingReport {
+    bool link = false;
+    NodeId node = 0;
+    int dim = 0;
+    Dir dir = Dir::Pos;
+  };
+
+  struct ShardState {
+    std::unique_ptr<manager::MachineManager> manager;
+    std::unique_ptr<serve::RouteService> service;
+    std::string dir;
+    ShardHealth health = ShardHealth::kServing;
+    bool hung = false;
+    bool killed = false;
+    std::int64_t down_until = -1;  // restart / hang-release tick
+    std::int64_t last_heartbeat = 0;
+    std::int64_t cooloff_until = -1;
+    std::int64_t readmit_at = -1;
+    BurnWindow burn;
+    // Window token bookkeeping.
+    bool waiting = false;  // in token_queue_
+    std::int64_t wait_since = 0;
+    std::int64_t publish_due = -1;  // token held
+    std::int64_t granted_at = 0;
+    bool boot = false;  // the held/requested slot is a recovery boot
+    std::vector<PendingReport> backlog;  // reports received while down
+    serve::ServiceStats retired;  // stats of destroyed service instances
+    int last_epoch = 0;
+  };
+
+  bool eligible(int shard) const;  // can take traffic right now
+  int route_for(std::uint64_t client_id) const;
+  void record_outcome(int shard, const serve::RouteResponse& response);
+  void open_window(int shard, std::int64_t now);
+  void cancel_window(int shard);
+  void quarantine(int shard, std::int64_t now);
+  void boot_shard(int shard, std::int64_t now);
+  void apply_report(manager::MachineManager* manager,
+                    const PendingReport& report);
+  void drain_backlog_live(int shard, std::int64_t now);
+
+  FleetOptions options_;
+  MeshShape shape_;
+  std::vector<ShardState> shards_;
+  std::shared_ptr<const serve::RouteTable> fallback_table_;
+  FleetStats stats_;
+  int token_holder_ = -1;
+  std::deque<int> token_queue_;
+  std::vector<serve::RouteService::Drained> pending_drains_;
+  std::vector<WindowSlot> window_log_;
+};
+
+}  // namespace lamb::fleet

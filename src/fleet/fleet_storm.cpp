@@ -1,0 +1,66 @@
+#include "fleet/fleet_storm.hpp"
+
+#include <algorithm>
+
+namespace lamb::fleet {
+
+namespace {
+
+bool overlaps(const std::vector<std::pair<std::int64_t, std::int64_t>>& taken,
+              std::int64_t begin, std::int64_t end) {
+  for (const auto& [b, e] : taken) {
+    if (begin < e && b < end) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FleetStorm FleetStorm::random(int shards, std::int64_t kills,
+                              std::int64_t hangs, std::int64_t horizon,
+                              std::int64_t min_down, std::int64_t max_down,
+                              std::int64_t margin, Rng& rng) {
+  FleetStorm storm;
+  if (shards < 1 || horizon < 1) return storm;
+  if (max_down < min_down) max_down = min_down;
+  if (min_down < 1) min_down = 1;
+  std::vector<std::pair<std::int64_t, std::int64_t>> taken;
+  const std::int64_t total = kills + hangs;
+  for (std::int64_t i = 0; i < total; ++i) {
+    ShardEvent event;
+    event.kind = i < kills ? ShardEvent::Kind::kKill : ShardEvent::Kind::kHang;
+    event.shard =
+        static_cast<int>(rng.below(static_cast<std::uint64_t>(shards)));
+    event.duration = rng.uniform(min_down, max_down);
+    const std::int64_t occupancy =
+        event.duration + std::max<std::int64_t>(margin, 0);
+    // Bounded redraw keeps the schedule deterministic even when the
+    // horizon is crowded; past the attempt budget the event is placed
+    // right after the last occupied interval instead.
+    bool placed = false;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      event.tick = static_cast<std::int64_t>(
+          rng.below(static_cast<std::uint64_t>(horizon)));
+      if (!overlaps(taken, event.tick, event.tick + occupancy)) {
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      std::int64_t last_end = 0;
+      for (const auto& [b, e] : taken) last_end = std::max(last_end, e);
+      event.tick = last_end;
+    }
+    taken.emplace_back(event.tick, event.tick + occupancy);
+    storm.events.push_back(event);
+  }
+  std::sort(storm.events.begin(), storm.events.end(),
+            [](const ShardEvent& a, const ShardEvent& b) {
+              if (a.tick != b.tick) return a.tick < b.tick;
+              if (a.shard != b.shard) return a.shard < b.shard;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+  return storm;
+}
+
+}  // namespace lamb::fleet

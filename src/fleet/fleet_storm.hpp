@@ -1,0 +1,51 @@
+// Shard-level chaos schedule: whole shards die or hang mid-traffic.
+//
+// A FleetStorm is the shard-granular analogue of wormhole::FaultSchedule:
+// a seeded list of kill/hang events stamped with the virtual tick at
+// which they strike and how long the shard stays down. Generation keeps
+// AT MOST ONE SHARD DOWN AT A TIME — each event's occupancy interval is
+// its downtime plus a caller-supplied recovery margin (cooloff + solve
+// slot + readmission), and events are redrawn (bounded, deterministic)
+// until their intervals are disjoint. That invariant is what makes
+// "failed_requests == 0 under shard chaos" a fair gate: with N >= 2
+// shards the fleet always has somewhere to fail over to.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace lamb::fleet {
+
+struct ShardEvent {
+  enum class Kind : std::uint8_t { kKill, kHang };
+
+  std::int64_t tick = 0;
+  int shard = 0;
+  Kind kind = Kind::kKill;
+  std::int64_t duration = 0;  // downtime (kill) / stall (hang), ticks
+
+  friend bool operator==(const ShardEvent&, const ShardEvent&) = default;
+};
+
+struct FleetStorm {
+  std::vector<ShardEvent> events;  // sorted by (tick, shard)
+
+  bool empty() const { return events.empty(); }
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(events.size());
+  }
+
+  // Seeded schedule of `kills` shard kills and `hangs` shard hangs over
+  // [0, horizon), durations uniform in [min_down, max_down], with the
+  // one-shard-down-at-a-time spacing described above (`margin` is the
+  // recovery tail added to every occupancy interval). Deterministic in
+  // `rng` at any thread count.
+  static FleetStorm random(int shards, std::int64_t kills, std::int64_t hangs,
+                           std::int64_t horizon, std::int64_t min_down,
+                           std::int64_t max_down, std::int64_t margin,
+                           Rng& rng);
+};
+
+}  // namespace lamb::fleet

@@ -1,0 +1,81 @@
+// Seeded federation load-generation scenario for the fleet layer,
+// shared by tools/fleet_loadgen (the CLI) and bench/micro_fleet.
+//
+// The scenario stacks both fault regimes: per-shard fault storms strike
+// each shard's mesh (node/link kills, as in the serve loadgen) while a
+// FleetStorm kills or hangs WHOLE SHARDS mid-traffic. Everything runs in
+// virtual time, so the client-outcome stream — and its FNV digest — is a
+// pure function of the config: bit-identical at any LAMBMESH_THREADS and
+// across RecoveryMode::kReopen vs kLive (the restart-transparency
+// anchor; only the reopen counter differs between the modes, and it is
+// excluded from the digest). Wall-clock vend latencies are summarized
+// beside the digest, never inside it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.hpp"
+#include "fleet/fleet_storm.hpp"
+#include "serve/client.hpp"
+#include "support/quantiles.hpp"
+
+namespace lamb::fleet {
+
+struct FleetLoadgenConfig {
+  FleetOptions fleet;  // seed is derived from `seed` below at run time
+  std::int64_t clients = 96;
+  std::int64_t ticks = 400;          // issue + chaos horizon
+  std::int64_t max_cooldown = 4096;  // extra drain ticks after the horizon
+  std::uint64_t seed = 20020416;
+  // Per-shard mesh fault storm (each shard draws its own schedule).
+  std::int64_t storm_node_kills = 4;
+  std::int64_t storm_link_kills = 1;
+  // Shard-level chaos.
+  std::int64_t shard_kills = 2;
+  std::int64_t shard_hangs = 1;
+  std::int64_t min_downtime = 12;
+  std::int64_t max_downtime = 24;
+  serve::ClientOptions client;
+};
+
+struct FleetLoadgenResult {
+  // Terminal client outcomes, by status.
+  std::int64_t outcomes = 0;
+  std::int64_t served_fresh = 0;
+  std::int64_t served_stale = 0;
+  std::int64_t served_fallback = 0;
+  std::int64_t gave_up_overloaded = 0;
+  std::int64_t gave_up_rejected = 0;
+  std::int64_t unroutable = 0;
+  std::int64_t deadline_exceeded = 0;
+  std::int64_t errors = 0;
+  // Response-level counters summed over shards (retired generations of
+  // killed shards included), plus the fleet's own counters.
+  serve::ServiceStats service;
+  FleetStats fleet;
+  std::int64_t storm_events = 0;  // mesh-level fault events, all shards
+  std::int64_t chaos_events = 0;  // shard-level kill/hang events
+  std::int64_t cooldown_used = 0;
+  std::int64_t final_queue_depth = 0;
+  // Guarantee violations (ServeStatus::kError) anywhere in the fleet:
+  // the headline zero, even under shard chaos.
+  std::int64_t failed_requests = 0;
+  std::uint64_t digest = 0;
+  std::vector<int> final_epochs;           // per shard
+  support::QuantileSummary vend_latency;   // global, served vends only
+};
+
+FleetLoadgenResult run_fleet_loadgen(const FleetLoadgenConfig& config);
+
+// Writes the BENCH_fleet.json document: config echo, outcome/response
+// counts, fleet counters, global vend-latency quantiles, the SLO
+// snapshot, machine info, and the gates array (failed_requests == 0,
+// final_queue_depth == 0, fleet_availability burn <= 1) that
+// tools/check_bench_gates.py asserts on.
+bool write_fleet_json(const std::string& path,
+                      const FleetLoadgenConfig& config,
+                      const FleetLoadgenResult& result);
+
+}  // namespace lamb::fleet

@@ -152,6 +152,11 @@ SloTracker& SloTracker::global() {
                       /*objective=*/0.99,
                       /*threshold_seconds=*/0.0,
                       /*window=*/4096});
+    tracker->declare({kSloFleetAvailability,
+                      "fleet answers with a route despite shard loss",
+                      /*objective=*/0.99,
+                      /*threshold_seconds=*/0.0,
+                      /*window=*/4096});
     return tracker;
   }();
   return *instance;

@@ -115,5 +115,10 @@ inline constexpr const char* kSloReplayLoss = "replay_loss";
 // shed, rejected, or missed its deadline. Unroutable answers about dead
 // endpoints are not availability events.
 inline constexpr const char* kSloServeAvailability = "serve_availability";
+// Fleet layer (src/fleet): same good/bad classification as
+// serve_availability, but over the FLEET's answer — a request failed over
+// to a healthy shard and served there counts good, no matter how many
+// shards shed it on the way.
+inline constexpr const char* kSloFleetAvailability = "fleet_availability";
 
 }  // namespace lamb::obs

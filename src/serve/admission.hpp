@@ -22,6 +22,13 @@ struct AdmissionOptions {
   double bucket_capacity = 32.0;   // burst allowance, in requests
   double refill_per_tick = 16.0;   // sustained rate, per shard
   std::int64_t max_queue_depth = 64;  // queued requests per shard
+  // Ceiling on the retry_after hint a shed response may carry. The raw
+  // hint is computed from the bucket's refill rate, so a pathological
+  // config (near-zero refill against a deep queue) would otherwise tell
+  // clients to back off effectively forever; the cap bounds the hint to
+  // one admission window — past it the client's own backoff/deadline
+  // policy decides, not a number the bucket cannot stand behind.
+  std::int64_t retry_after_cap = 128;
 };
 
 class TokenBucket {

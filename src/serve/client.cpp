@@ -10,16 +10,16 @@ namespace {
 // depend only on the request, never on how many other clients ran first.
 std::uint64_t request_seed(std::uint64_t client_seed, std::int64_t seq,
                            int attempt) {
-  std::uint64_t state = client_seed ^
-                        (static_cast<std::uint64_t>(seq) * 0x9e3779b97f4a7c15ULL) ^
-                        static_cast<std::uint64_t>(attempt);
+  std::uint64_t state =
+      client_seed ^ (static_cast<std::uint64_t>(seq) * 0x9e3779b97f4a7c15ULL) ^
+      static_cast<std::uint64_t>(attempt);
   return splitmix64(state);
 }
 
 }  // namespace
 
 Client::Client(std::uint64_t id, std::uint64_t seed,
-               const ClientOptions& options, RouteService* service)
+               const ClientOptions& options, Backend* service)
     : id_(id), seed_(seed), rng_(seed), options_(options), service_(service) {}
 
 void Client::step(std::int64_t now, std::vector<Outcome>* out) {
@@ -29,7 +29,7 @@ void Client::step(std::int64_t now, std::vector<Outcome>* out) {
     return;
   }
   if (draining_ || now < next_issue_) return;
-  const std::shared_ptr<const RouteTable> table = service_->table();
+  const std::shared_ptr<const RouteTable> table = service_->table_for(id_);
   const std::vector<NodeId>& survivors = table->survivors();
   if (survivors.size() < 2) {
     next_issue_ = now + options_.issue_period;
@@ -44,6 +44,7 @@ void Client::step(std::int64_t now, std::vector<Outcome>* out) {
   attempt_ = 1;
   hedged_ = false;
   hedge_shard_ = -1;
+  retry_after_hint_ = 0;
   first_submit_ = now;
   deadline_ = options_.deadline_ticks < 0 ? -1 : now + options_.deadline_ticks;
   submit(now, out);
@@ -82,7 +83,10 @@ std::int64_t Client::backoff_delay(const RouteResponse& response) {
     delay *= 2;
   }
   delay = std::min(delay, options_.backoff_cap);
-  delay = std::max(delay, response.retry_after_ticks);
+  // Honor the strictest Overloaded hint this request has seen — when
+  // both the primary and the hedge shed, the larger retry_after wins.
+  delay = std::max(
+      delay, std::max(response.retry_after_ticks, retry_after_hint_));
   if (options_.jitter > 0.0) {
     const double factor =
         1.0 + options_.jitter * (2.0 * rng_.uniform01() - 1.0);
@@ -117,6 +121,10 @@ void Client::resolve(const RouteResponse& response, std::int64_t now,
     return;
   }
   // Overloaded / Rejected: retry while attempts and the deadline allow.
+  if (response.status == ServeStatus::kOverloaded) {
+    retry_after_hint_ =
+        std::max(retry_after_hint_, response.retry_after_ticks);
+  }
   if (attempt_ >= options_.max_attempts) {
     finish(response.status, response, now, out);
     return;
@@ -124,12 +132,23 @@ void Client::resolve(const RouteResponse& response, std::int64_t now,
   ++attempt_;
   if (options_.hedge && response.status == ServeStatus::kOverloaded &&
       !hedged_) {
-    // Hedge once, immediately, against the next shard: the canonical
-    // one may simply be the hot one.
+    // Hedge once, immediately, against the shard the backend picks: the
+    // canonical one may simply be the hot one. The backend consults its
+    // health view, so a fleet hedge never lands on a quarantined shard;
+    // -1 means no shard is worth hedging to, so back off instead.
     hedged_ = true;
-    hedge_shard_ = static_cast<int>(id_ & 0x3fffffff) + 1;
-    submit(now, out);
-    return;
+    RouteRequest probe;
+    probe.client_id = id_;
+    probe.seq = seq_;
+    probe.attempt = attempt_;
+    probe.src = src_;
+    probe.dst = dst_;
+    const int target = service_->hedge_shard(probe);
+    if (target >= 0) {
+      hedge_shard_ = target;
+      submit(now, out);
+      return;
+    }
   }
   hedge_shard_ = -1;
   const std::int64_t delay = backoff_delay(response);

@@ -1,12 +1,16 @@
 // serve::Client — the retry state machine a well-behaved route consumer
-// runs against RouteService (docs/SERVING.md "Client behavior").
+// runs against a serve::Backend (one RouteService, or a whole fleet
+// behind fleet::FleetManager; docs/SERVING.md "Client behavior").
 //
 // A client issues one request at a time: it picks a survivor pair from
-// the service's current table, submits, and on a typed rejection retries
-// with capped exponential backoff plus jitter (honoring the Overloaded
-// retry_after hint). Optional hedging re-submits the first shed request
-// to the next shard in the same tick. Requests carry an optional
-// deadline; a client never retries past it.
+// the backend's current table, submits, and on a typed rejection retries
+// with capped exponential backoff plus jitter (honoring the LARGEST
+// Overloaded retry_after hint the request has seen — when both the
+// primary and the hedge shed, the stricter of the two hints wins).
+// Optional hedging re-submits the first shed request to the shard the
+// backend's hedge_shard() picks — the fleet routes that through its
+// health view, so a hedge never lands on a quarantined shard. Requests
+// carry an optional deadline; a client never retries past it.
 //
 // The machine is driven by an external clock (step(now) once per tick),
 // so thousands of clients interleave deterministically in the loadgen's
@@ -48,7 +52,7 @@ class Client {
   };
 
   Client(std::uint64_t id, std::uint64_t seed, const ClientOptions& options,
-         RouteService* service);
+         Backend* service);
 
   // Advances the machine one tick: issues a new request when idle and
   // due, re-submits a backed-off one. Terminal resolutions (including
@@ -81,7 +85,7 @@ class Client {
   std::uint64_t seed_;
   Rng rng_;
   ClientOptions options_;
-  RouteService* service_;
+  Backend* service_;
 
   State state_ = State::kIdle;
   bool draining_ = false;
@@ -92,6 +96,9 @@ class Client {
   int attempt_ = 0;
   bool hedged_ = false;
   int hedge_shard_ = -1;  // explicit shard for the hedged re-submit
+  // Largest Overloaded retry_after hint seen by THIS request (primary
+  // and hedge sheds both feed it); backoff never undercuts it.
+  std::int64_t retry_after_hint_ = 0;
   NodeId src_ = 0;
   NodeId dst_ = 0;
   std::int64_t first_submit_ = 0;

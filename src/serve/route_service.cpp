@@ -1,5 +1,6 @@
 #include "serve/route_service.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/obs.hpp"
@@ -50,6 +51,24 @@ const char* to_string(ServeStatus status) {
 bool served(ServeStatus status) {
   return status == ServeStatus::kFresh || status == ServeStatus::kStale ||
          status == ServeStatus::kFallback;
+}
+
+void accumulate(ServiceStats* into, const ServiceStats& from) {
+  into->submitted += from.submitted;
+  into->queued += from.queued;
+  into->fresh += from.fresh;
+  into->stale += from.stale;
+  into->fallback += from.fallback;
+  into->shed += from.shed;
+  into->rejected += from.rejected;
+  into->unroutable += from.unroutable;
+  into->deadline += from.deadline;
+  into->errors += from.errors;
+  into->publishes += from.publishes;
+  into->max_queue_depth = std::max(into->max_queue_depth,
+                                   from.max_queue_depth);
+  into->floods_retained += from.floods_retained;
+  into->floods_dropped += from.floods_dropped;
 }
 
 RouteService::RouteService(const manager::MachineManager& manager,
@@ -233,9 +252,13 @@ std::optional<RouteResponse> RouteService::submit(const RouteRequest& request,
       shed.status = ServeStatus::kOverloaded;
       shed.epoch = table_.load()->epoch();
       // How long until the bucket could have drained today's backlog —
-      // the typed Overloaded's retry hint.
-      shed.retry_after_ticks = shard.bucket.ticks_until(
-          static_cast<double>(shard.queue.size()) + 1.0, now);
+      // the typed Overloaded's retry hint, clamped to the admission
+      // window so a pathological refill rate cannot instruct clients to
+      // back off effectively forever.
+      shed.retry_after_ticks = std::min(
+          shard.bucket.ticks_until(
+              static_cast<double>(shard.queue.size()) + 1.0, now),
+          std::max<std::int64_t>(options_.admission.retry_after_cap, 1));
     }
   }
   const RouteResponse response = serve_now ? serve(request, now) : shed;
@@ -277,6 +300,19 @@ std::vector<RouteService::Drained> RouteService::advance(std::int64_t now) {
     }
     count(response);
     out.push_back(Drained{action.request, std::move(response)});
+  }
+  return out;
+}
+
+std::vector<RouteRequest> RouteService::evict_queue() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RouteRequest> out;
+  for (Shard& shard : shards_) {
+    out.insert(out.end(), shard.queue.begin(), shard.queue.end());
+    shard.queue.clear();
+  }
+  if (!out.empty()) {
+    obs::counter("serve.evicted").add(static_cast<std::int64_t>(out.size()));
   }
   return out;
 }

@@ -75,6 +75,33 @@ struct ServiceOptions {
   std::int64_t staleness_cap = 8;
 };
 
+// What a serve::Client talks to: one RouteService, or a fleet of them
+// behind fleet::FleetManager. The interface is exactly the client-facing
+// surface — submit plus the two read paths the retry machine needs (a
+// table to pick survivor pairs from, and a health-aware answer to "where
+// should a hedged re-submit land").
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  // Admission + vend; nullopt when the request was queued (its response
+  // arrives from a later advance()).
+  virtual std::optional<RouteResponse> submit(const RouteRequest& request,
+                                              std::int64_t now) = 0;
+
+  // The table this client should pick survivor pairs from (the fleet
+  // returns the table of the shard that would currently serve the
+  // client). Never null.
+  virtual std::shared_ptr<const RouteTable> table_for(
+      std::uint64_t client_id) const = 0;
+
+  // Where a hedged re-submit of `request` should land (the value the
+  // client puts in RouteRequest::shard), or -1 when no shard is worth
+  // hedging to. The fleet routes this through its health view so a hedge
+  // never lands on a quarantined shard.
+  virtual int hedge_shard(const RouteRequest& request) const = 0;
+};
+
 // Monotone counters for reports and the BENCH_serve.json document (the
 // same values feed the serve.* metrics).
 struct ServiceStats {
@@ -94,7 +121,12 @@ struct ServiceStats {
   std::int64_t floods_dropped = 0;
 };
 
-class RouteService {
+// Member-wise sum (max for the high-water mark). The fleet layer folds a
+// dead shard's final stats into its running total with this before the
+// service object is destroyed.
+void accumulate(ServiceStats* into, const ServiceStats& from);
+
+class RouteService : public Backend {
  public:
   // The manager must already be configured (epoch >= 1, no pending
   // reports); the constructor publishes its configuration as the first
@@ -128,7 +160,18 @@ class RouteService {
   // Admission + vend. Returns the response, or nullopt when the request
   // was queued (its response is delivered by a later advance()).
   std::optional<RouteResponse> submit(const RouteRequest& request,
-                                      std::int64_t now);
+                                      std::int64_t now) override;
+
+  // Backend: the one table, regardless of client.
+  std::shared_ptr<const RouteTable> table_for(
+      std::uint64_t /*client_id*/) const override {
+    return table();
+  }
+  // Backend: single-service hedging stays the historical "next admission
+  // shard by index" (shard_of mods it into range).
+  int hedge_shard(const RouteRequest& request) const override {
+    return static_cast<int>(request.client_id & 0x3fffffff) + 1;
+  }
 
   struct Drained {
     RouteRequest request;
@@ -138,6 +181,12 @@ class RouteService {
   // tokens last (deadline-expired entries resolve without consuming a
   // token). Deterministic order: shard 0..n, FIFO within a shard.
   std::vector<Drained> advance(std::int64_t now);
+
+  // Removes and returns every queued request, FIFO within a shard, shard
+  // 0..n, WITHOUT resolving them. The fleet layer uses this when a shard
+  // is quarantined: its queue is dead weight — the requests are failed
+  // over to a healthy shard instead of timing out in a dead queue.
+  std::vector<RouteRequest> evict_queue();
 
   std::int64_t queue_depth() const;  // total over shards, at this instant
   ServiceStats stats() const;

@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "manager/machine_manager.hpp"
@@ -174,6 +176,32 @@ TEST(RouteService, BoundedQueueShedsWithTypedRetryAfter) {
   EXPECT_EQ(svc.queue_depth(), 0);
 }
 
+// Regression: a near-empty bucket with a trickle refill used to quote
+// retry_after hints of thousands of ticks (the honest ticks_until the
+// queue drains). The hint is now clamped to the admission window's
+// retry_after_cap — a shed client re-probes within the window instead of
+// parking for the whole drain estimate.
+TEST(RouteService, RetryAfterHintIsClampedToTheAdmissionCap) {
+  ServiceFixture fx;
+  ServiceOptions options;
+  options.admission.shards = 1;
+  options.admission.bucket_capacity = 1.0;
+  options.admission.refill_per_tick = 1.0 / 1024.0;  // ~2048-tick drain
+  options.admission.max_queue_depth = 1;
+  options.admission.retry_after_cap = 10;
+  RouteService svc(fx.mgr, options, /*now=*/0);
+  const auto survivors = svc.table()->survivors();
+  ASSERT_TRUE(
+      svc.submit(fx.request(survivors[0], survivors[5], 0), 0).has_value());
+  EXPECT_FALSE(
+      svc.submit(fx.request(survivors[1], survivors[6], 0), 0).has_value());
+  const auto shed = svc.submit(fx.request(survivors[2], survivors[7], 0), 0);
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(shed->status, ServeStatus::kOverloaded);
+  EXPECT_GE(shed->retry_after_ticks, 1);
+  EXPECT_LE(shed->retry_after_ticks, 10);
+}
+
 TEST(RouteService, DeadlinesResolveWithoutSpendingTokens) {
   ServiceFixture fx;
   ServiceOptions options;
@@ -230,6 +258,69 @@ TEST(ServeClient, RetriesWithBackoffUntilAttemptsExhaust) {
   EXPECT_GT(outcomes[0].latency_ticks, 0);  // backoff delays accumulated
   EXPECT_TRUE(client.settled());
   EXPECT_EQ(svc.stats().shed, 3);
+}
+
+// A scripted Backend: every submit sheds, with a mild hint from the
+// primary (shard -1) and a strict one from the hedge target. Records
+// each submission's tick and shard so the test can see the client's
+// actual schedule.
+struct SheddingBackend : serve::Backend {
+  explicit SheddingBackend(std::shared_ptr<const serve::RouteTable> table)
+      : table(std::move(table)) {}
+  std::optional<RouteResponse> submit(const RouteRequest& request,
+                                      std::int64_t now) override {
+    ticks.push_back(now);
+    shards.push_back(request.shard);
+    RouteResponse response;
+    response.status = ServeStatus::kOverloaded;
+    response.retry_after_ticks = request.shard >= 0 ? 9 : 3;
+    return response;
+  }
+  std::shared_ptr<const serve::RouteTable> table_for(
+      std::uint64_t) const override {
+    return table;
+  }
+  int hedge_shard(const RouteRequest&) const override { return 1; }
+
+  std::shared_ptr<const serve::RouteTable> table;
+  std::vector<std::int64_t> ticks;
+  std::vector<int> shards;
+};
+
+// When both the primary and the hedge shed, the client must honor the
+// LARGER of the two retry_after hints — the strictest overloaded shard
+// sets the pace, even though the hedge's hint arrived second and the
+// exponential backoff alone would retry much sooner.
+TEST(ServeClient, HonorsTheLargestRetryAfterAcrossPrimaryAndHedge) {
+  ServiceFixture fx;
+  RouteService svc(fx.mgr, ServiceOptions{}, /*now=*/0);
+  SheddingBackend backend(svc.table());
+
+  ClientOptions copts;
+  copts.issue_period = 1;
+  copts.max_attempts = 3;
+  copts.backoff_base = 1;
+  copts.backoff_cap = 4;  // backoff alone would retry at t=4 at most
+  copts.jitter = 0.0;
+  copts.hedge = true;
+  Client client(/*id=*/1, /*seed=*/7, copts, &backend);
+  std::vector<Client::Outcome> outcomes;
+  for (std::int64_t t = 0; t < 32 && outcomes.empty(); ++t) {
+    client.step(t, &outcomes);
+  }
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].status, ServeStatus::kOverloaded);
+  EXPECT_EQ(outcomes[0].attempts, 3);
+  // Attempt 1 (primary) and the hedge both land at t=0; the final
+  // attempt waits out the hedge's stricter hint (9), not the capped
+  // backoff (4) or the primary's milder hint (3).
+  ASSERT_EQ(backend.ticks.size(), 3u);
+  EXPECT_EQ(backend.ticks[0], 0);
+  EXPECT_EQ(backend.ticks[1], 0);
+  EXPECT_EQ(backend.ticks[2], 9);
+  EXPECT_EQ(backend.shards[0], -1);
+  EXPECT_EQ(backend.shards[1], 1);  // the hedge targeted hedge_shard()
+  EXPECT_EQ(backend.shards[2], -1);
 }
 
 TEST(ServeClient, ServedRequestResolvesImmediatelyAndReissues) {
